@@ -1,0 +1,312 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   plus the ablations called out in DESIGN.md.
+
+   Sections
+     E1/E2  Table 1 (min-area vs LAC-retiming, second iteration)
+     E3     flip-flops-in-interconnect summary (paper 5)
+     E4     alpha ablation (paper 4.2: alpha ~ 0.2 best)
+     E5     run-time: LAC vs min-area, constraint pruning on/off
+     A1     N_max ablation
+     A2     tile-granularity ablation
+     F1/F2  ASCII figures
+     B      bechamel micro-benchmarks of the kernels
+
+   Absolute numbers depend on the synthetic technology model; the
+   reproduction targets are the shapes (see EXPERIMENTS.md).
+   Set LACR_BENCH_FAST=1 to restrict to the smaller circuits. *)
+
+module Planner = Lacr_core.Planner
+module Report = Lacr_core.Report
+module Config = Lacr_core.Config
+module Build = Lacr_core.Build
+module Lac = Lacr_core.Lac
+module Suite = Lacr_circuits.Suite
+module Graph = Lacr_retime.Graph
+module Paths = Lacr_retime.Paths
+module Feasibility = Lacr_retime.Feasibility
+module Constraints = Lacr_retime.Constraints
+module Min_area = Lacr_retime.Min_area
+
+let section title =
+  Printf.printf "\n%s\n%s\n%s\n\n%!" (String.make 78 '=') title (String.make 78 '=')
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let fast_mode =
+  match Sys.getenv_opt "LACR_BENCH_FAST" with Some ("1" | "true") -> true | _ -> false
+
+let table1_circuits () =
+  let all = Suite.table1 () in
+  if fast_mode then List.filteri (fun i _ -> i < 4) all else all
+
+(* A medium circuit reused by the ablations and micro-benchmarks. *)
+let ablation_instance () =
+  let netlist = Option.get (Suite.by_name "s526") in
+  match Build.build netlist with
+  | Ok inst -> inst
+  | Error msg -> failwith msg
+
+let constraint_setup ?(prune = true) (inst : Build.instance) =
+  let g = inst.Build.graph in
+  let wd = Paths.compute g in
+  let extra = inst.Build.pin_constraints in
+  let mp = Feasibility.min_period ~extra g wd in
+  let t_init = Graph.clock_period g in
+  let t_clk = mp.Feasibility.period +. (0.2 *. (t_init -. mp.Feasibility.period)) in
+  (wd, t_clk, Constraints.generate ~prune ~extra g wd ~period:t_clk)
+
+(* --- E1/E2/E3: Table 1 --- *)
+
+let run_table1 () =
+  section "E1/E2  Table 1: interconnect planning, min-area vs LAC-retiming";
+  let rows =
+    List.filter_map
+      (fun (name, netlist) ->
+        Printf.eprintf "  planning %s...\n%!" name;
+        match Planner.plan netlist with
+        | Ok run -> Some (Report.row_of_run ~name run)
+        | Error msg ->
+          Printf.printf "  %s: planning failed (%s)\n" name msg;
+          None)
+      (table1_circuits ())
+  in
+  print_string (Report.render_table1 rows);
+  Printf.printf
+    "\n(parenthesised N_FOA = after the second planning iteration with\n\
+     expanded soft blocks; N/A = min-area produced no violations)\n";
+  section "E3  Flip-flops relocated into interconnects (paper: ~10%, up to ~30%)";
+  let mean_frac, max_frac = Report.interconnect_ff_fraction rows in
+  Printf.printf "LAC N_FN / N_F over the suite: mean %.0f%%, max %.0f%%\n" (100.0 *. mean_frac)
+    (100.0 *. max_frac)
+
+(* --- E4: alpha ablation --- *)
+
+let run_alpha_ablation () =
+  section "E4  Alpha ablation on s526 (paper 4.2: alpha ~ 0.2 typically best)";
+  let inst = ablation_instance () in
+  let _, t_clk, cs = constraint_setup inst in
+  Printf.printf "T_clk = %.2f ns\n\n%8s %8s %8s %8s\n" t_clk "alpha" "N_FOA" "N_F" "N_wr";
+  List.iter
+    (fun alpha ->
+      match Lac.retime ~alpha inst cs with
+      | Ok o -> Printf.printf "%8.2f %8d %8d %8d\n%!" alpha o.Lac.n_foa o.Lac.n_f o.Lac.n_wr
+      | Error msg -> Printf.printf "%8.2f failed: %s\n" alpha msg)
+    [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.5; 0.8; 1.0 ]
+
+(* --- E5: run time --- *)
+
+let run_runtime () =
+  section "E5  Run time: LAC vs min-area; constraint pruning ablation";
+  let names = if fast_mode then [ "s298"; "s386" ] else [ "s298"; "s386"; "s400"; "s526" ] in
+  Printf.printf "%-8s %12s %12s %8s %14s %14s\n" "circuit" "min-area(s)" "LAC(s)" "N_wr"
+    "constraints" "pruned";
+  List.iter
+    (fun name ->
+      let netlist = Option.get (Suite.by_name name) in
+      match Build.build netlist with
+      | Error msg -> Printf.printf "%-8s build failed: %s\n" name msg
+      | Ok inst ->
+        let _, _, cs_pruned = constraint_setup ~prune:true inst in
+        let _, _, cs_full = constraint_setup ~prune:false inst in
+        (match (Lac.min_area_baseline inst cs_pruned, Lac.retime inst cs_pruned) with
+        | Ok ma, Ok lac ->
+          Printf.printf "%-8s %12.2f %12.2f %8d %14d %14d\n%!" name ma.Lac.exec_seconds
+            lac.Lac.exec_seconds lac.Lac.n_wr
+            (List.length cs_full.Constraints.constraints)
+            (List.length cs_pruned.Constraints.constraints)
+        | Error msg, _ | _, Error msg -> Printf.printf "%-8s failed: %s\n" name msg))
+    names;
+  Printf.printf
+    "\n(the paper's claim: LAC run time is the same order as one min-area\n\
+     retiming because the clocking constraints are generated once)\n"
+
+(* --- A1: N_max ablation --- *)
+
+let run_nmax_ablation () =
+  section "A1  N_max ablation on s526 (non-improving rounds before stopping)";
+  let inst = ablation_instance () in
+  let _, _, cs = constraint_setup inst in
+  Printf.printf "%8s %8s %8s %10s\n" "N_max" "N_FOA" "N_wr" "time(s)";
+  List.iter
+    (fun n_max ->
+      match timed (fun () -> Lac.retime ~n_max inst cs) with
+      | Ok o, dt -> Printf.printf "%8d %8d %8d %10.2f\n%!" n_max o.Lac.n_foa o.Lac.n_wr dt
+      | Error msg, _ -> Printf.printf "%8d failed: %s\n" n_max msg)
+    [ 1; 3; 5; 10 ]
+
+(* --- A2: tile granularity --- *)
+
+let run_grid_ablation () =
+  section "A2  Tile-granularity ablation on s400";
+  let netlist = Option.get (Suite.by_name "s400") in
+  Printf.printf "%8s %10s %10s %10s %10s\n" "grid" "tiles" "MA N_FOA" "LAC N_FOA" "time(s)";
+  List.iter
+    (fun grid ->
+      let config = { Config.default with Config.grid } in
+      match timed (fun () -> Planner.plan ~config ~second_iteration:false netlist) with
+      | Ok run, dt ->
+        Printf.printf "%8d %10d %10d %10d %10.1f\n%!" grid
+          (Lacr_tilegraph.Tilegraph.num_tiles run.Planner.instance.Build.tilegraph)
+          run.Planner.minarea.Lac.n_foa run.Planner.lac.Lac.n_foa dt
+      | Error msg, _ -> Printf.printf "%8d failed: %s\n" grid msg)
+    (if fast_mode then [ 8; 12 ] else [ 8; 10; 12; 16 ])
+
+(* --- A4: floorplanner ablation --- *)
+
+let run_floorplanner_ablation () =
+  section "A4  Floorplanner ablation (sequence pair vs slicing tree) on s526";
+  let netlist = Option.get (Suite.by_name "s526") in
+  Printf.printf "%-14s %10s %10s %12s %12s\n" "engine" "MA N_FOA" "LAC N_FOA" "chip (mm^2)" "time(s)";
+  List.iter
+    (fun (name, engine) ->
+      let config = { Config.default with Config.floorplanner = engine } in
+      match timed (fun () -> Planner.plan ~config ~second_iteration:false netlist) with
+      | Ok run, dt ->
+        let chip = run.Planner.instance.Build.floorplan.Lacr_floorplan.Floorplan.chip in
+        Printf.printf "%-14s %10d %10d %12.1f %12.1f\n%!" name run.Planner.minarea.Lac.n_foa
+          run.Planner.lac.Lac.n_foa
+          (chip.Lacr_geometry.Rect.w *. chip.Lacr_geometry.Rect.h)
+          dt
+      | Error msg, _ -> Printf.printf "%-14s failed: %s\n" name msg)
+    [ ("sequence-pair", Config.Sequence_pair); ("slicing", Config.Slicing) ]
+
+(* --- A3: heuristic vs exact on tiny instances --- *)
+
+let run_exact_gap () =
+  section "A3  Heuristic vs exact LAC-retiming on tiny instances (optimality gap)";
+  let rng = Lacr_util.Rng.create 4242 in
+  let n_trials = 40 in
+  let optimal = ref 0 and total_gap = ref 0 and solved = ref 0 in
+  for _trial = 1 to n_trials do
+    (* Tiny ring-with-chords problems, the test suite's generator
+       shape. *)
+    let n = 4 + Lacr_util.Rng.int rng 2 in
+    let delays =
+      Array.init n (fun v -> if v = 0 then 0.0 else float_of_int (1 + Lacr_util.Rng.int rng 4))
+    in
+    let ring =
+      List.init n (fun v ->
+          { Lacr_retime.Graph.src = v; dst = (v + 1) mod n; weight = 1 })
+    in
+    let chords = ref [] in
+    for _c = 1 to Lacr_util.Rng.int rng n do
+      let src = Lacr_util.Rng.int rng n and dst = Lacr_util.Rng.int rng n in
+      if src <> dst then chords := { Lacr_retime.Graph.src; dst; weight = 1 } :: !chords
+    done;
+    let g = Lacr_retime.Graph.create ~delays ~edges:(ring @ !chords) ~host:0 in
+    let n_tiles = 2 + Lacr_util.Rng.int rng 2 in
+    let problem =
+      {
+        Lacr_core.Problem.graph = g;
+        vertex_tile = Array.init n (fun v -> if v = 0 then -1 else Lacr_util.Rng.int rng n_tiles);
+        n_tiles;
+        capacity = Array.init n_tiles (fun _ -> float_of_int (Lacr_util.Rng.int rng 3));
+        ff_area = 1.0;
+        interconnect = Array.make n false;
+      }
+    in
+    let wd = Paths.compute g in
+    let mp = Feasibility.min_period g wd in
+    let cs =
+      Constraints.generate ~prune:true g wd
+        ~period:(mp.Feasibility.period +. (float_of_int (Lacr_util.Rng.int rng 3) /. 2.0))
+    in
+    match (Lacr_core.Exact.solve ~range:6 problem cs, Lac.retime_problem problem cs) with
+    | Some exact, Ok heuristic ->
+      incr solved;
+      let gap = heuristic.Lac.n_foa - exact.Lacr_core.Exact.n_foa in
+      total_gap := !total_gap + gap;
+      if gap = 0 then incr optimal
+    | _ -> ()
+  done;
+  Printf.printf
+    "tiny instances solved exactly: %d; heuristic optimal on %d (%.0f%%), total violation gap %d\n"
+    !solved !optimal
+    (100.0 *. float_of_int !optimal /. float_of_int (max 1 !solved))
+    !total_gap
+
+(* --- F1/F2: figures --- *)
+
+let run_figures () =
+  section "F1  Figure 1: interconnect planning in the design flow";
+  print_string (Report.render_flow_figure ());
+  section "F2  Figure 2: tile graph (s298)";
+  let netlist = Option.get (Suite.by_name "s298") in
+  match Build.build netlist with
+  | Ok inst -> print_string (Report.render_tile_figure inst)
+  | Error msg -> Printf.printf "build failed: %s\n" msg
+
+(* --- bechamel micro-benchmarks --- *)
+
+let run_bechamel () =
+  section "B   Bechamel micro-benchmarks of the planner kernels (s298-sized)";
+  let open Bechamel in
+  let netlist = Option.get (Suite.by_name "s298") in
+  let inst = match Build.build netlist with Ok inst -> inst | Error msg -> failwith msg in
+  let g = inst.Build.graph in
+  let wd = Paths.compute g in
+  let extra = inst.Build.pin_constraints in
+  let mp = Feasibility.min_period ~extra g wd in
+  let t_init = Graph.clock_period g in
+  let t_clk = mp.Feasibility.period +. (0.2 *. (t_init -. mp.Feasibility.period)) in
+  let cs = Constraints.generate ~prune:true ~extra g wd ~period:t_clk in
+  let area = Array.make (Graph.num_vertices g) 1.0 in
+  let tests =
+    [
+      Test.make ~name:"wd-matrices" (Staged.stage (fun () -> ignore (Paths.compute g)));
+      Test.make ~name:"constraint-gen-pruned"
+        (Staged.stage (fun () ->
+             ignore (Constraints.generate ~prune:true ~extra g wd ~period:t_clk)));
+      Test.make ~name:"feasibility-probe"
+        (Staged.stage (fun () -> ignore (Feasibility.feasible ~extra g wd ~period:t_clk)));
+      Test.make ~name:"weighted-min-area"
+        (Staged.stage (fun () -> ignore (Min_area.solve_weighted g cs ~area)));
+      Test.make ~name:"clock-period" (Staged.stage (fun () -> ignore (Graph.clock_period g)));
+      Test.make ~name:"cycle-ratio-bound"
+        (Staged.stage (fun () -> ignore (Feasibility.cycle_ratio_lower_bound g)));
+    ]
+  in
+  let results =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun test ->
+        let instances = Toolkit.Instance.[ monotonic_clock ] in
+        let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.8) () in
+        Hashtbl.iter (fun k v -> Hashtbl.replace tbl k v) (Benchmark.all cfg instances test))
+      tests;
+    tbl
+  in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock results
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | Some _ | None -> rows := (name, nan) :: !rows)
+    ols;
+  List.iter
+    (fun (name, est) ->
+      if Float.is_nan est then Printf.printf "  %-28s (no estimate)\n" name
+      else if est > 1.0e6 then Printf.printf "  %-28s %10.2f ms/run\n" name (est /. 1.0e6)
+      else Printf.printf "  %-28s %10.2f us/run\n" name (est /. 1.0e3))
+    (List.sort compare !rows)
+
+let () =
+  Printf.printf "LAC-retiming benchmark harness (fast mode: %b)\n" fast_mode;
+  run_table1 ();
+  run_alpha_ablation ();
+  run_runtime ();
+  run_nmax_ablation ();
+  run_grid_ablation ();
+  run_floorplanner_ablation ();
+  run_exact_gap ();
+  run_figures ();
+  run_bechamel ();
+  print_newline ()

@@ -1,0 +1,361 @@
+(* lacr: command-line driver for the LAC-retiming interconnect
+   planner.
+
+   Sub-commands:
+     plan     — run the full pipeline on one circuit (built-in suite
+                name or a .bench file) and print its Table-1 row plus
+                planning detail;
+     table1   — reproduce the paper's Table 1 over the whole suite;
+     figures  — render ASCII versions of the paper's Figures 1 and 2;
+     alpha    — sweep the LAC weight-update coefficient (E4);
+     info     — print the benchmark suite statistics. *)
+
+module Planner = Lacr_core.Planner
+module Report = Lacr_core.Report
+module Config = Lacr_core.Config
+module Lac = Lacr_core.Lac
+module Build = Lacr_core.Build
+module Suite = Lacr_circuits.Suite
+
+let load_circuit name_or_path =
+  if Sys.file_exists name_or_path then begin
+    let parse =
+      if Filename.extension name_or_path = ".blif" then Lacr_netlist.Blif_io.parse_file
+      else Lacr_netlist.Bench_io.parse_file
+    in
+    match parse name_or_path with
+    | Ok n -> Ok n
+    | Error msg -> Error (Printf.sprintf "cannot parse %s: %s" name_or_path msg)
+  end
+  else
+    match Suite.by_name name_or_path with
+    | Some n -> Ok n
+    | None ->
+      Error
+        (Printf.sprintf "unknown circuit %s (not a file, not one of: s27 %s)" name_or_path
+           (String.concat " " Suite.table1_names))
+
+let config_with ?seed ?alpha ?grid () =
+  let c = Config.default in
+  let c = match seed with Some s -> { c with Config.seed = s } | None -> c in
+  let c = match alpha with Some a -> { c with Config.alpha = a } | None -> c in
+  match grid with Some g -> { c with Config.grid = g } | None -> c
+
+(* --- plan --- *)
+
+let run_plan circuit seed verbose second =
+  match load_circuit circuit with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok netlist ->
+    let config = config_with ?seed () in
+    (match Planner.plan ~config ~second_iteration:second netlist with
+    | Error msg ->
+      Printf.eprintf "planning failed: %s\n" msg;
+      1
+    | Ok run ->
+      let name = Lacr_netlist.Netlist.name netlist in
+      let row = Report.row_of_run ~name run in
+      print_string (Report.render_table1 [ row ]);
+      if verbose then begin
+        let inst = run.Planner.instance in
+        Printf.printf
+          "\nT_init = %.2f ns, T_min = %.2f ns, T_clk = %.2f ns\n\
+           units = %d, interconnect units = %d, repeaters = %d\n\
+           routed wirelength = %.1f mm, routing overflow = %.1f tracks\n"
+          run.Planner.t_init run.Planner.t_min run.Planner.t_clk inst.Build.n_units
+          inst.Build.n_interconnect_units inst.Build.n_repeaters
+          inst.Build.routing.Lacr_routing.Global_router.total_wirelength
+          inst.Build.routing.Lacr_routing.Global_router.overflow;
+        (match run.Planner.second with
+        | Some { Planner.lac2 = Ok o2; _ } ->
+          Printf.printf "second planning iteration: N_FOA %d -> %d\n" run.Planner.lac.Lac.n_foa
+            o2.Lac.n_foa
+        | Some { Planner.lac2 = Error msg; _ } ->
+          Printf.printf "second planning iteration infeasible: %s\n" msg
+        | None -> ())
+      end;
+      0)
+
+(* --- table1 --- *)
+
+let run_table1 seed second csv =
+  let config = config_with ?seed () in
+  let rows =
+    List.filter_map
+      (fun (name, netlist) ->
+        Printf.eprintf "planning %s...\n%!" name;
+        match Planner.plan ~config ~second_iteration:second netlist with
+        | Ok run -> Some (Report.row_of_run ~name run)
+        | Error msg ->
+          Printf.eprintf "  %s failed: %s\n%!" name msg;
+          None)
+      (Suite.table1 ())
+  in
+  print_string (Report.render_table1 rows);
+  let mean_frac, max_frac = Report.interconnect_ff_fraction rows in
+  Printf.printf "\nFlip-flops in interconnects: mean %.0f%%, max %.0f%% of N_F\n"
+    (100.0 *. mean_frac) (100.0 *. max_frac);
+  (match csv with
+  | None -> ()
+  | Some path ->
+    Lacr_util.Csv.write_file path ~header:Report.csv_header (List.map Report.csv_row rows);
+    Printf.printf "wrote %s\n" path);
+  0
+
+(* --- figures --- *)
+
+let run_figures circuit seed =
+  print_string (Report.render_flow_figure ());
+  print_newline ();
+  match load_circuit circuit with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok netlist ->
+    let config = config_with ?seed () in
+    (match Build.build ~config netlist with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok inst ->
+      print_string (Report.render_tile_figure inst);
+      0)
+
+(* --- alpha sweep --- *)
+
+let run_alpha circuit seed values =
+  match load_circuit circuit with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok netlist ->
+    let config = config_with ?seed () in
+    (match Build.build ~config netlist with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok inst ->
+      let g = inst.Build.graph in
+      let wd = Lacr_retime.Paths.compute g in
+      let extra = inst.Build.pin_constraints in
+      let mp = Lacr_retime.Feasibility.min_period ~extra g wd in
+      let t_init = Lacr_retime.Graph.clock_period g in
+      let t_clk =
+        mp.Lacr_retime.Feasibility.period
+        +. (config.Config.clk_fraction *. (t_init -. mp.Lacr_retime.Feasibility.period))
+      in
+      let cs = Lacr_retime.Constraints.generate ~prune:true ~extra g wd ~period:t_clk in
+      Printf.printf "alpha sweep on %s (T_clk = %.2f ns)\n" inst.Build.circuit t_clk;
+      Printf.printf "%8s %8s %8s %8s\n" "alpha" "N_FOA" "N_F" "N_wr";
+      List.iter
+        (fun alpha ->
+          match Lac.retime ~alpha inst cs with
+          | Ok o -> Printf.printf "%8.2f %8d %8d %8d\n" alpha o.Lac.n_foa o.Lac.n_f o.Lac.n_wr
+          | Error msg -> Printf.printf "%8.2f failed: %s\n" alpha msg)
+        values;
+      0)
+
+(* --- retime: export a retimed .bench --- *)
+
+let run_retime circuit seed slack output =
+  match load_circuit circuit with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok netlist ->
+    let config = config_with ?seed () in
+    (match Lacr_netlist.Seqview.of_netlist netlist with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok view ->
+      let g = Lacr_retime.Graph.of_seqview view in
+      let extra =
+        Lacr_retime.Graph.io_pin_constraints view ~host:(Lacr_retime.Graph.host g)
+      in
+      let wd = Lacr_retime.Paths.compute g in
+      let mp = Lacr_retime.Feasibility.min_period ~extra g wd in
+      let t_init = Lacr_retime.Graph.clock_period g in
+      let period =
+        mp.Lacr_retime.Feasibility.period
+        +. (slack *. (t_init -. mp.Lacr_retime.Feasibility.period))
+      in
+      let cs = Lacr_retime.Constraints.generate ~prune:true ~extra g wd ~period in
+      (match Lacr_retime.Min_area.solve g cs with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok solution ->
+        let labels =
+          Array.sub solution.Lacr_retime.Min_area.labels 0
+            (Lacr_netlist.Seqview.num_units view)
+        in
+        (match Lacr_netlist.Rebuild.of_labels netlist view labels with
+        | Error msg ->
+          prerr_endline msg;
+          1
+        | Ok rebuilt ->
+          let text = Lacr_netlist.Bench_io.to_string rebuilt in
+          (match output with
+          | Some path ->
+            Lacr_netlist.Bench_io.write_file path rebuilt;
+            Printf.printf
+              "wrote %s: period %.2f -> %.2f ns, flip-flops %d -> %d\n" path t_init period
+              (Lacr_netlist.Netlist.num_dffs netlist)
+              (Lacr_netlist.Netlist.num_dffs rebuilt)
+          | None -> print_string text);
+          ignore config;
+          0)))
+
+(* --- export-dot --- *)
+
+let run_dot circuit =
+  match load_circuit circuit with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok netlist ->
+    (match Lacr_netlist.Seqview.of_netlist netlist with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok view ->
+      print_string (Lacr_netlist.Dot.of_seqview view);
+      0)
+
+(* --- stats --- *)
+
+let run_stats circuit =
+  match load_circuit circuit with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok netlist ->
+    (match Lacr_netlist.Seqview.of_netlist netlist with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok view ->
+      (match Lacr_netlist.Levelize.stats view with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok s ->
+        Format.printf "%s: %a@." (Lacr_netlist.Netlist.name netlist)
+          Lacr_netlist.Levelize.pp_stats s;
+        (match Lacr_netlist.Sweep.sweep netlist with
+        | Ok sw when sw.Lacr_netlist.Sweep.removed_gates + sw.Lacr_netlist.Sweep.removed_dffs > 0 ->
+          Printf.printf "dead logic: %d gates and %d flip-flops are unobservable\n"
+            sw.Lacr_netlist.Sweep.removed_gates sw.Lacr_netlist.Sweep.removed_dffs
+        | Ok _ -> print_endline "no dead logic"
+        | Error msg -> prerr_endline msg);
+        0))
+
+(* --- info --- *)
+
+let run_info () =
+  let table = Lacr_util.Table.create
+      [ ("circuit", Lacr_util.Table.Left); ("inputs", Lacr_util.Table.Right);
+        ("outputs", Lacr_util.Table.Right); ("dffs", Lacr_util.Table.Right);
+        ("gates", Lacr_util.Table.Right) ]
+  in
+  let add name netlist =
+    Lacr_util.Table.add_row table
+      [
+        name;
+        string_of_int (Lacr_netlist.Netlist.num_inputs netlist);
+        string_of_int (Lacr_netlist.Netlist.num_outputs netlist);
+        string_of_int (Lacr_netlist.Netlist.num_dffs netlist);
+        string_of_int (Lacr_netlist.Netlist.num_gates netlist);
+      ]
+  in
+  add "s27" (Suite.s27 ());
+  List.iter (fun (name, n) -> add (name ^ "*") n) (Suite.table1 ());
+  Lacr_util.Table.print table;
+  print_endline "(* = synthetic stand-in with the published ISCAS89 statistics)";
+  0
+
+(* --- cmdliner wiring --- *)
+
+open Cmdliner
+
+let circuit_arg =
+  Arg.(value & pos 0 string "s298" & info [] ~docv:"CIRCUIT" ~doc:"Suite name or .bench file.")
+
+let seed_arg =
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc:"Planner random seed.")
+
+let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print planning detail.")
+
+let second_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "second-iteration" ] ~docv:"BOOL"
+        ~doc:"Run the floorplan-expansion second planning iteration when violations remain.")
+
+let alphas_arg =
+  Arg.(
+    value
+    & opt (list float) [ 0.0; 0.1; 0.2; 0.3; 0.5; 0.8; 1.0 ]
+    & info [ "alphas" ] ~docv:"LIST" ~doc:"Alpha values to sweep.")
+
+let plan_cmd =
+  let doc = "Run the interconnect planner on one circuit." in
+  Cmd.v (Cmd.info "plan" ~doc)
+    Term.(const run_plan $ circuit_arg $ seed_arg $ verbose_arg $ second_arg)
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the rows as CSV.")
+
+let table1_cmd =
+  let doc = "Reproduce the paper's Table 1 over the benchmark suite." in
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run_table1 $ seed_arg $ second_arg $ csv_arg)
+
+let figures_cmd =
+  let doc = "Render ASCII versions of the paper's Figures 1 and 2." in
+  Cmd.v (Cmd.info "figures" ~doc) Term.(const run_figures $ circuit_arg $ seed_arg)
+
+let alpha_cmd =
+  let doc = "Sweep the LAC weight-update coefficient alpha (paper 4.2)." in
+  Cmd.v (Cmd.info "alpha" ~doc) Term.(const run_alpha $ circuit_arg $ seed_arg $ alphas_arg)
+
+let info_cmd =
+  let doc = "Print benchmark-suite statistics." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run_info $ const ())
+
+let slack_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "slack" ] ~docv:"FRAC"
+        ~doc:"Target period = T_min + FRAC * (T_init - T_min).")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the retimed .bench here (default stdout).")
+
+let retime_cmd =
+  let doc = "Min-area retime a circuit and emit the retimed .bench netlist." in
+  Cmd.v (Cmd.info "retime" ~doc)
+    Term.(const run_retime $ circuit_arg $ seed_arg $ slack_arg $ output_arg)
+
+let dot_cmd =
+  let doc = "Export the sequential view as Graphviz DOT." in
+  Cmd.v (Cmd.info "export-dot" ~doc) Term.(const run_dot $ circuit_arg)
+
+let stats_cmd =
+  let doc = "Print structural statistics (levelization, dead logic)." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run_stats $ circuit_arg)
+
+let main_cmd =
+  let doc = "interconnect planning with local area constrained retiming (DATE 2003)" in
+  Cmd.group (Cmd.info "lacr" ~version:"1.0.0" ~doc)
+    [ plan_cmd; table1_cmd; figures_cmd; alpha_cmd; info_cmd; retime_cmd; dot_cmd; stats_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

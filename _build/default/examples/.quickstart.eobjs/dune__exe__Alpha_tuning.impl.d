@@ -1,0 +1,1 @@
+examples/alpha_tuning.ml: Lacr_circuits Lacr_core Lacr_retime List Option Printf String

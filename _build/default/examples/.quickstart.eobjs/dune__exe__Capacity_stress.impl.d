@@ -1,0 +1,1 @@
+examples/capacity_stress.ml: Array Lacr_circuits Lacr_core Lacr_floorplan Lacr_tilegraph List Option Printf

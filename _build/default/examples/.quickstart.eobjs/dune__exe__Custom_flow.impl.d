@@ -1,0 +1,1 @@
+examples/custom_flow.ml: Array Format Lacr_circuits Lacr_floorplan Lacr_geometry Lacr_netlist Lacr_partition Lacr_retime Lacr_tilegraph Lacr_util List Option Printf Result

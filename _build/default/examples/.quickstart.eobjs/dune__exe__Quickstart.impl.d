@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Lacr_circuits Lacr_core Lacr_netlist Lacr_routing Printf

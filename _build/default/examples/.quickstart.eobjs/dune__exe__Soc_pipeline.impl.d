@@ -1,0 +1,1 @@
+examples/soc_pipeline.ml: Lacr_core Lacr_netlist Printf

@@ -1,0 +1,1 @@
+examples/waveform.ml: Array Lacr_circuits Lacr_netlist Lacr_retime Lacr_util List Printf Result

@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Lacr_netlist List Synth

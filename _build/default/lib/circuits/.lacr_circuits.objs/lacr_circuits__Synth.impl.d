@@ -1,0 +1,1 @@
+lib/circuits/synth.ml: Array Hashtbl Lacr_netlist Lacr_util List Printf

@@ -1,0 +1,1 @@
+lib/circuits/synth.mli: Lacr_netlist Lacr_util

@@ -1,0 +1,59 @@
+let s27_text =
+  "# s27 (ISCAS89)\n\
+   INPUT(G0)\n\
+   INPUT(G1)\n\
+   INPUT(G2)\n\
+   INPUT(G3)\n\
+   OUTPUT(G17)\n\
+   G5 = DFF(G10)\n\
+   G6 = DFF(G11)\n\
+   G7 = DFF(G13)\n\
+   G14 = NOT(G0)\n\
+   G17 = NOT(G11)\n\
+   G8 = AND(G14, G6)\n\
+   G15 = OR(G12, G8)\n\
+   G16 = OR(G3, G8)\n\
+   G9 = NAND(G16, G15)\n\
+   G10 = NOR(G14, G11)\n\
+   G11 = NOR(G5, G9)\n\
+   G12 = NOR(G1, G7)\n\
+   G13 = NAND(G2, G12)\n"
+
+let s27 () =
+  match Lacr_netlist.Bench_io.parse_string ~name:"s27" s27_text with
+  | Ok netlist -> netlist
+  | Error msg -> failwith ("Suite.s27: embedded text failed to parse: " ^ msg)
+
+(* Published ISCAS89(+addendum) statistics: inputs/outputs/dffs/gates.
+   Depth and seed are our choices; seeds are fixed so the whole suite
+   is reproducible bit-for-bit. *)
+let specs : (string * Synth.spec) list =
+  let mk name n_inputs n_outputs n_dffs n_gates levels seed =
+    ( name,
+      { Synth.name; n_inputs; n_outputs; n_dffs; n_gates; levels; seed } )
+  in
+  [
+    mk "s298" 3 6 14 119 9 2981;
+    mk "s386" 7 7 6 159 11 3861;
+    mk "s400" 3 6 21 162 10 4001;
+    mk "s526" 3 6 21 193 9 5261;
+    mk "s641" 35 24 19 379 23 6411;
+    mk "s820" 18 19 5 289 10 8201;
+    mk "s953" 16 23 29 395 16 9531;
+    mk "s1196" 14 14 18 529 24 11961;
+    mk "s1269" 18 10 37 569 21 12691;
+    mk "s1423" 17 5 74 657 30 14231;
+  ]
+
+let table1_names = List.map fst specs
+
+let spec_of name = List.assoc_opt name specs
+
+let by_name name =
+  if name = "s27" then Some (s27 ())
+  else
+    match spec_of name with
+    | Some spec -> Some (Synth.generate spec)
+    | None -> None
+
+let table1 () = List.map (fun (name, spec) -> (name, Synth.generate spec)) specs

@@ -1,0 +1,27 @@
+(** The benchmark suite of the paper's Table 1.
+
+    [s27] is the real ISCAS89 circuit, embedded verbatim in `.bench`
+    syntax.  The ten Table-1 circuits are synthetic stand-ins carrying
+    the published input/output/flip-flop/gate counts of their ISCAS89
+    namesakes (see DESIGN.md §5 for the substitution rationale); their
+    names end in [*] in printed reports to flag the substitution. *)
+
+val s27 : unit -> Lacr_netlist.Netlist.t
+(** The genuine 10-gate / 3-flip-flop ISCAS89 circuit. *)
+
+val s27_text : string
+(** Its `.bench` source, for parser tests and documentation. *)
+
+val table1_names : string list
+(** In Table-1 row order: s298 s386 s400 s526 s641 s820 s953 s1196
+    s1269 s1423. *)
+
+val by_name : string -> Lacr_netlist.Netlist.t option
+(** [by_name "s27"] or any of {!table1_names}; [None] otherwise.
+    Deterministic: repeated calls build identical netlists. *)
+
+val table1 : unit -> (string * Lacr_netlist.Netlist.t) list
+(** All Table-1 circuits, in order. *)
+
+val spec_of : string -> Synth.spec option
+(** The generator specification used for a synthetic suite member. *)

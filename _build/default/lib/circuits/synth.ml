@@ -1,0 +1,158 @@
+module Netlist = Lacr_netlist.Netlist
+module Gate = Lacr_netlist.Gate
+module Rng = Lacr_util.Rng
+
+type spec = {
+  name : string;
+  n_inputs : int;
+  n_outputs : int;
+  n_dffs : int;
+  n_gates : int;
+  levels : int;
+  seed : int;
+}
+
+(* ISCAS89 circuits are dominated by NAND/NOR/NOT with a sprinkle of
+   AND/OR and rare XORs; the weights below approximate that mix. *)
+let pick_kind rng =
+  let roll = Rng.int rng 100 in
+  if roll < 28 then Gate.Nand
+  else if roll < 52 then Gate.Nor
+  else if roll < 68 then Gate.Not
+  else if roll < 80 then Gate.And
+  else if roll < 90 then Gate.Or
+  else if roll < 95 then Gate.Buf
+  else if roll < 98 then Gate.Xor
+  else Gate.Xnor
+
+let fanin_count rng kind =
+  match kind with
+  | Gate.Not | Gate.Buf -> 1
+  | Gate.Xor | Gate.Xnor -> 2
+  | Gate.And | Gate.Or | Gate.Nand | Gate.Nor -> 2 + Rng.int rng 3
+
+(* Pick [k] distinct fan-ins, biased towards the previous level to
+   control depth, with occasional long-range taps like real circuits
+   have. *)
+let pick_fanins rng ~previous ~all k =
+  let chosen = Hashtbl.create 8 in
+  let result = ref [] in
+  let attempts = ref 0 in
+  while List.length !result < k && !attempts < 50 do
+    incr attempts;
+    let pool = if Array.length previous > 0 && Rng.int rng 100 < 60 then previous else all in
+    let candidate = Rng.choose rng pool in
+    if not (Hashtbl.mem chosen candidate) then begin
+      Hashtbl.add chosen candidate ();
+      result := candidate :: !result
+    end
+  done;
+  (* Small pools can exhaust distinct candidates; a repeated fan-in is
+     harmless (it models a multi-input gate tied to one net). *)
+  let rec fill acc = if List.length acc >= k then acc else fill (Rng.choose rng all :: acc) in
+  fill !result
+
+let generate spec =
+  if spec.n_inputs <= 0 then invalid_arg "Synth.generate: n_inputs";
+  if spec.n_outputs <= 0 then invalid_arg "Synth.generate: n_outputs";
+  if spec.n_gates <= 0 then invalid_arg "Synth.generate: n_gates";
+  if spec.n_dffs < 0 then invalid_arg "Synth.generate: n_dffs";
+  if spec.levels <= 0 then invalid_arg "Synth.generate: levels";
+  let rng = Rng.create (spec.seed lxor Hashtbl.hash spec.name) in
+  let builder = Netlist.Builder.create ~name:spec.name in
+  let pis = Array.init spec.n_inputs (fun i -> Printf.sprintf "pi%d" i) in
+  Array.iter (Netlist.Builder.add_input builder) pis;
+  let ff_outs = Array.init spec.n_dffs (fun i -> Printf.sprintf "ff%d" i) in
+  (* Gates are generated level by level; level-0 sources are the
+     primary inputs and the flip-flop outputs (defined at the end,
+     once their data sources exist). *)
+  let sources = Array.append pis ff_outs in
+  let per_level = max 1 (spec.n_gates / spec.levels) in
+  let gate_names = Array.init spec.n_gates (fun i -> Printf.sprintf "g%d" i) in
+  let all_signals = ref (Array.to_list sources) in
+  (* Every signal consumed by some gate or register, to pick
+     primary outputs among the otherwise-unobservable sinks. *)
+  let fanin_seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let previous_level = ref sources in
+  let level_of_gate = Array.make spec.n_gates 0 in
+  let current = ref [] in
+  let flush_level () =
+    if !current <> [] then begin
+      previous_level := Array.of_list !current;
+      current := []
+    end
+  in
+  for g = 0 to spec.n_gates - 1 do
+    let level = min (spec.levels - 1) (g / per_level) in
+    level_of_gate.(g) <- level;
+    if g > 0 && level <> level_of_gate.(g - 1) then flush_level ();
+    let kind = pick_kind rng in
+    let k = fanin_count rng kind in
+    let all = Array.of_list !all_signals in
+    let fanins = pick_fanins rng ~previous:!previous_level ~all k in
+    List.iter (fun f -> Hashtbl.replace fanin_seen f ()) fanins;
+    Netlist.Builder.add_gate builder gate_names.(g) kind fanins;
+    all_signals := gate_names.(g) :: !all_signals;
+    current := gate_names.(g) :: !current
+  done;
+  (* Flip-flop data inputs: most state registers close feedback loops
+     through a moderate slice of the logic (real next-state functions
+     are a few levels deep, not the whole cone — a full-depth loop with
+     one register would lock the clock period at the loop delay and
+     leave retiming no freedom); about a quarter of the registers are
+     chained behind another register, the shift-register structures
+     ISCAS circuits are full of. *)
+  let band_lo = spec.n_gates / 4 in
+  let band_hi = max (band_lo + 1) ((spec.n_gates * 3) / 5) in
+  let feed_ff i =
+    if i > 0 && Rng.int rng 100 < 25 then begin
+      let data = ff_outs.(Rng.int rng i) in
+      Hashtbl.replace fanin_seen data ();
+      Netlist.Builder.add_dff builder ff_outs.(i) ~data
+    end
+    else begin
+      let g = band_lo + Rng.int rng (band_hi - band_lo) in
+      let data = gate_names.(min g (spec.n_gates - 1)) in
+      Hashtbl.replace fanin_seen data ();
+      Netlist.Builder.add_dff builder ff_outs.(i) ~data
+    end
+  in
+  Array.iteri (fun i _ -> feed_ff i) ff_outs;
+  (* Primary outputs: prefer gates nothing else consumes, so the
+     circuit carries little unobservable logic (like the real ISCAS
+     netlists); fill up with random gates if needed.  When more dead
+     sinks exist than output pins, OR-trees would be needed to expose
+     them all — instead any remaining unobservable logic is simply a
+     property of the instance, reported by [Lacr_netlist.Sweep]. *)
+  let n_out = min spec.n_outputs spec.n_gates in
+  let unused =
+    Array.to_list gate_names
+    |> List.filter (fun g -> not (Hashtbl.mem fanin_seen g))
+    |> Array.of_list
+  in
+  Rng.shuffle rng unused;
+  let rest = Array.copy gate_names in
+  Rng.shuffle rng rest;
+  let chosen = Hashtbl.create 16 in
+  let emit g =
+    if (not (Hashtbl.mem chosen g)) && Hashtbl.length chosen < n_out then begin
+      Hashtbl.add chosen g ();
+      Netlist.Builder.mark_output builder g
+    end
+  in
+  Array.iter emit unused;
+  Array.iter emit rest;
+  match Netlist.Builder.finish builder with
+  | Ok netlist -> netlist
+  | Error msg -> invalid_arg (Printf.sprintf "Synth.generate: internal error: %s" msg)
+
+let random_spec rng ~name =
+  {
+    name;
+    n_inputs = 2 + Rng.int rng 6;
+    n_outputs = 1 + Rng.int rng 4;
+    n_dffs = 1 + Rng.int rng 8;
+    n_gates = 10 + Rng.int rng 60;
+    levels = 2 + Rng.int rng 6;
+    seed = Rng.int rng 1_000_000;
+  }

@@ -1,0 +1,28 @@
+(** Seeded synthetic sequential-circuit generator.
+
+    The sealed build environment cannot ship the ISCAS89 netlist files,
+    so the benchmark suite is regenerated synthetically (see DESIGN.md
+    §5).  The generator reproduces the statistics that matter to
+    LAC-retiming: published input/output/flip-flop/gate counts,
+    levelized combinational logic of controllable depth (no
+    combinational cycles by construction), flip-flop feedback through
+    deep logic, and ISCAS-like gate-kind mix (NAND/NOR heavy). *)
+
+type spec = {
+  name : string;
+  n_inputs : int;
+  n_outputs : int;
+  n_dffs : int;
+  n_gates : int;
+  levels : int;  (** target combinational depth (>= 1) *)
+  seed : int;
+}
+
+val generate : spec -> Lacr_netlist.Netlist.t
+(** Deterministic in [spec] (including [seed]).  The result always
+    validates and its {!Lacr_netlist.Seqview} has no combinational
+    cycle.  @raise Invalid_argument on non-positive counts (except
+    [n_dffs], which may be 0). *)
+
+val random_spec : Lacr_util.Rng.t -> name:string -> spec
+(** A small random specification for property tests (tens of gates). *)

@@ -1,0 +1,1 @@
+lib/core/area.ml: Array Build Config Lacr_repeater Lacr_retime Lacr_tilegraph List

@@ -1,0 +1,1 @@
+lib/core/build.ml: Array Config Lacr_floorplan Lacr_geometry Lacr_mcmf Lacr_netlist Lacr_partition Lacr_repeater Lacr_retime Lacr_routing Lacr_tilegraph Lacr_util List Printf

@@ -1,0 +1,1 @@
+lib/core/build.mli: Config Lacr_floorplan Lacr_mcmf Lacr_netlist Lacr_retime Lacr_routing Lacr_tilegraph

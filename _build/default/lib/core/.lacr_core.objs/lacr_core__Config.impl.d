@@ -1,0 +1,1 @@
+lib/core/config.ml: Lacr_floorplan Lacr_partition Lacr_repeater Lacr_routing

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Lacr_mcmf Lacr_retime List Problem

@@ -1,0 +1,1 @@
+lib/core/lac.ml: Array Build Config Lacr_retime List Problem Unix

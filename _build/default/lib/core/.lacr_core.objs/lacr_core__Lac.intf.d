@@ -1,0 +1,1 @@
+lib/core/lac.mli: Build Lacr_retime Problem

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Area Array Build Config Hashtbl Lac Lacr_floorplan Lacr_retime Lacr_tilegraph List

@@ -1,0 +1,1 @@
+lib/core/planner.mli: Build Config Lac Lacr_netlist

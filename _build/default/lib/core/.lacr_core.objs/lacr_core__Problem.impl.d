@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Build Config Lacr_repeater Lacr_retime Lacr_tilegraph

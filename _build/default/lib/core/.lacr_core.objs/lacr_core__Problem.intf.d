@@ -1,0 +1,1 @@
+lib/core/problem.mli: Build Lacr_retime

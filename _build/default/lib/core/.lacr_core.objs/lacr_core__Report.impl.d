@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Build Lac Lacr_tilegraph Lacr_util List Planner Printf String

@@ -1,0 +1,31 @@
+(** Per-tile flip-flop area accounting and constraint-violation
+    metrics (paper §4.2, Eqn (3) and the N{_FOA} column of Table 1).
+
+    A flip-flop on edge [e = (u, v)] after retiming sits in the tile
+    of its fan-in unit, [P(u)]; tile consumption is
+    [AC(t) = sum over edges with P(src) = t of w_r(e) * ff_area].
+    Flip-flops on host edges model I/O-pad registers and are charged
+    to no tile. *)
+
+type violation_report = {
+  consumption : float array;  (** AC(t), FF-area units per tile *)
+  n_foa : int;
+      (** flip-flops violating local area constraints:
+          [sum_t ceil(max(0, AC(t) - C(t)) / ff_area)] *)
+  violated_tiles : (int * float) list;
+      (** (tile, excess FF area), worst first *)
+}
+
+val consumption : Build.instance -> labels:int array -> float array
+(** AC per tile under a retiming labelling. *)
+
+val report : Build.instance -> labels:int array -> violation_report
+(** Violations against the remaining capacity [C(t)] recorded in the
+    instance occupancy (i.e. after repeater insertion). *)
+
+val ff_count : Build.instance -> labels:int array -> int
+(** Total flip-flops after retiming (the paper's N{_F}). *)
+
+val ff_in_interconnect : Build.instance -> labels:int array -> int
+(** Flip-flops whose fan-in is an interconnect unit — registers
+    living in the wires (the paper's N{_FN}). *)

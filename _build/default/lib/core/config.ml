@@ -1,0 +1,60 @@
+type floorplanner =
+  | Sequence_pair
+  | Slicing
+
+type t = {
+  seed : int;
+  floorplanner : floorplanner;
+  units_per_block : int;
+  min_blocks : int;
+  max_blocks : int;
+  hard_block_every : int;
+  block_area_inflation : float;
+  chip_area_mm2 : float;
+  grid : int;
+  channel_density : float;
+  hard_sites_per_cell : float;
+  soft_fill_factor : float;
+  edge_capacity : float;
+  whitespace : float;
+  delay_model : Lacr_repeater.Delay_model.t;
+  router : Lacr_routing.Global_router.options;
+  annealer : Lacr_floorplan.Annealer.options;
+  fm : Lacr_partition.Fm.options;
+  clk_fraction : float;
+  alpha : float;
+  n_max : int;
+  max_wr : int;
+  prune_constraints : bool;
+}
+
+let default =
+  {
+    seed = 2003;
+    floorplanner = Sequence_pair;
+    units_per_block = 22;
+    min_blocks = 5;
+    max_blocks = 20;
+    hard_block_every = 0;
+    block_area_inflation = 1.27;
+    chip_area_mm2 = 225.0;
+    grid = 12;
+    channel_density = 0.8;
+    hard_sites_per_cell = 1.0;
+    soft_fill_factor = 0.92;
+    edge_capacity = 24.0;
+    whitespace = 0.25;
+    delay_model = Lacr_repeater.Delay_model.default;
+    router = Lacr_routing.Global_router.default_options;
+    annealer = Lacr_floorplan.Annealer.default_options;
+    fm = Lacr_partition.Fm.default_options;
+    clk_fraction = 0.2;
+    alpha = 0.2;
+    n_max = 8;
+    max_wr = 30;
+    prune_constraints = true;
+  }
+
+let block_count t ~n_units =
+  let raw = n_units / max 1 t.units_per_block in
+  max t.min_blocks (min t.max_blocks raw)

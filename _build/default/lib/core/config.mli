@@ -1,0 +1,55 @@
+(** Planner configuration: every knob of the interconnect-planning
+    pipeline in one record.
+
+    Geometry is normalized per circuit: the total functional-unit area
+    (in flip-flop equivalents) is scaled onto [chip_area_mm2] of
+    silicon, which fixes the FF-unit/mm^2 conversion used for tile
+    capacities.  The defaults reproduce the paper's setup: target
+    period at 20% of the way from [T_min] to [T_init], alpha = 0.2,
+    a handful of adaptive iterations. *)
+
+type floorplanner =
+  | Sequence_pair  (** simulated annealing over sequence pairs (default) *)
+  | Slicing  (** Wong-Liu normalized Polish expressions + shape curves *)
+
+type t = {
+  seed : int;
+  floorplanner : floorplanner;
+  (* -- partitioning / blocks -- *)
+  units_per_block : int;
+      (** target block granularity; block count is clamped to
+          [\[min_blocks, max_blocks\]] *)
+  min_blocks : int;
+  max_blocks : int;
+  hard_block_every : int;
+      (** every n-th block is a hard block (0 = all soft) *)
+  block_area_inflation : float;
+      (** soft block area = logic area * inflation; the headroom above
+          [soft_fill_factor] is the block's flip-flop capacity *)
+  (* -- geometry / tiles -- *)
+  chip_area_mm2 : float;
+  grid : int;  (** tile-grid cells per side *)
+  channel_density : float;
+      (** fraction of full logic density usable in channel/dead tiles *)
+  hard_sites_per_cell : float;
+  soft_fill_factor : float;
+  edge_capacity : float;  (** routing tracks per cell boundary *)
+  whitespace : float;  (** chip outline margin around the packing *)
+  (* -- engines -- *)
+  delay_model : Lacr_repeater.Delay_model.t;
+  router : Lacr_routing.Global_router.options;
+  annealer : Lacr_floorplan.Annealer.options;
+  fm : Lacr_partition.Fm.options;
+  (* -- retiming -- *)
+  clk_fraction : float;
+      (** T_clk = T_min + clk_fraction * (T_init - T_min); paper: 0.2 *)
+  alpha : float;  (** LAC weight-update coefficient; paper: ~0.2 *)
+  n_max : int;  (** stop after this many non-improving rounds *)
+  max_wr : int;  (** hard cap on weighted min-area calls *)
+  prune_constraints : bool;
+}
+
+val default : t
+
+val block_count : t -> n_units:int -> int
+(** Derived partition arity for a circuit size. *)

@@ -1,0 +1,127 @@
+module Graph = Lacr_retime.Graph
+module Min_area = Lacr_retime.Min_area
+
+type outcome = {
+  labels : int array;
+  n_foa : int;
+  n_f : int;
+  n_fn : int;
+  n_wr : int;
+  exec_seconds : float;
+  trace : (int * float) list;
+}
+
+let capacity_floor = 0.25
+
+(* Tiny area bias against interconnect-resident flip-flops: a register
+   in a wire needs shielding/buffering that a register inside a block
+   does not, and it breaks ties so the LP does not scatter flip-flops
+   along unit chains arbitrarily.  Small enough (total FF counts are
+   well under 1/bias) never to trade away a whole flip-flop. *)
+let interconnect_bias = 1e-4
+
+let base_area (problem : Problem.t) =
+  Array.map
+    (fun inter -> if inter then 1.0 +. interconnect_bias else 1.0)
+    problem.Problem.interconnect
+
+let outcome_of (problem : Problem.t) labels ~n_wr ~exec_seconds ~trace =
+  {
+    labels;
+    n_foa = Problem.violations problem ~labels;
+    n_f = Problem.ff_count problem ~labels;
+    n_fn = Problem.ff_in_interconnect problem ~labels;
+    n_wr;
+    exec_seconds;
+    trace;
+  }
+
+let min_area_baseline_problem (problem : Problem.t) constraints =
+  let start = Unix.gettimeofday () in
+  match Min_area.solve_weighted problem.Problem.graph constraints ~area:(base_area problem) with
+  | Error msg -> Error msg
+  | Ok solution ->
+    let exec_seconds = Unix.gettimeofday () -. start in
+    Ok (outcome_of problem solution.Min_area.labels ~n_wr:1 ~exec_seconds ~trace:[])
+
+(* Area weight of a vertex = current weight of its tile (untiled
+   vertices stay neutral), with the epsilon interconnect bias folded
+   in. *)
+let vertex_areas (problem : Problem.t) tile_weight =
+  let base = base_area problem in
+  Array.mapi
+    (fun v tile -> if tile >= 0 then tile_weight.(tile) *. base.(v) else base.(v))
+    problem.Problem.vertex_tile
+
+let retime_problem ?(alpha = Config.default.Config.alpha)
+    ?(n_max = Config.default.Config.n_max) ?(max_wr = Config.default.Config.max_wr)
+    (problem : Problem.t) constraints =
+  if alpha < 0.0 || alpha > 1.0 then invalid_arg "Lac.retime: alpha out of [0,1]";
+  let start = Unix.gettimeofday () in
+  let tile_weight = Array.make problem.Problem.n_tiles 1.0 in
+  let remaining tile = max capacity_floor problem.Problem.capacity.(tile) in
+  let best = ref None in
+  let trace = ref [] in
+  let stale = ref 0 in
+  let rec iterate n_wr =
+    if n_wr >= max_wr then Ok ()
+    else begin
+      let area = vertex_areas problem tile_weight in
+      match Min_area.solve_weighted problem.Problem.graph constraints ~area with
+      | Error msg -> Error msg
+      | Ok solution ->
+        let labels = solution.Min_area.labels in
+        let n_foa = Problem.violations problem ~labels in
+        trace := (n_foa, solution.Min_area.ff_area) :: !trace;
+        let n_f = Problem.ff_count problem ~labels in
+        let improved =
+          match !best with
+          | None -> true
+          | Some (best_foa, _, best_ffs) -> n_foa < best_foa || (n_foa = best_foa && n_f < best_ffs)
+        in
+        if improved then begin
+          best := Some (n_foa, labels, n_f);
+          stale := 0
+        end
+        else incr stale;
+        if n_foa = 0 || !stale > n_max then Ok ()
+        else begin
+          (* Paper step 6: New weight = Old * ((1-alpha) + alpha*AC/C). *)
+          let consumption = Problem.consumption problem ~labels in
+          Array.iteri
+            (fun tile used ->
+              let ratio = used /. remaining tile in
+              let factor = (1.0 -. alpha) +. (alpha *. ratio) in
+              tile_weight.(tile) <- tile_weight.(tile) *. factor)
+            consumption;
+          (* Renormalize so the smallest weight is 1 (pure scaling, the
+             optimum is unchanged) and cap the spread: extreme cost
+             ratios slow the min-cost-flow solver without changing the
+             argmin once a tile is priced out. *)
+          let lowest = Array.fold_left min infinity tile_weight in
+          if lowest > 0.0 && lowest < infinity then
+            Array.iteri (fun i w -> tile_weight.(i) <- min 1.0e4 (w /. lowest)) tile_weight;
+          iterate (n_wr + 1)
+        end
+    end
+  in
+  match iterate 0 with
+  | Error msg -> Error msg
+  | Ok () ->
+    let exec_seconds = Unix.gettimeofday () -. start in
+    (match !best with
+    | None -> Error "LAC-retiming: no iteration completed"
+    | Some (_, labels, _) ->
+      Ok (outcome_of problem labels ~n_wr:(List.length !trace) ~exec_seconds ~trace:(List.rev !trace)))
+
+(* --- instance-facing wrappers --- *)
+
+let min_area_baseline (inst : Build.instance) constraints =
+  min_area_baseline_problem (Problem.of_instance inst) constraints
+
+let retime ?alpha ?n_max ?max_wr (inst : Build.instance) constraints =
+  let cfg = inst.Build.config in
+  let alpha = match alpha with Some a -> a | None -> cfg.Config.alpha in
+  let n_max = match n_max with Some n -> n | None -> cfg.Config.n_max in
+  let max_wr = match max_wr with Some n -> n | None -> cfg.Config.max_wr in
+  retime_problem ~alpha ~n_max ~max_wr (Problem.of_instance inst) constraints

@@ -1,0 +1,59 @@
+(** LAC-retiming: local area constrained retiming by adaptively
+    re-weighted minimum-area retiming (paper §4.2, the core
+    contribution).
+
+    The algorithm follows the paper's six steps:
+    + generate edge and clocking constraints once;
+    + start from uniform area weights;
+    + solve the weighted min-area retiming (a min-cost-flow dual);
+    + compute per-tile consumption AC(t);
+    + stop at zero violations or after [n_max] non-improving rounds
+      (keeping the best labelling seen);
+    + otherwise re-weight every tile by
+      [(1 - alpha) + alpha * AC(t)/C(t)] and repeat.
+
+    Tiles with (near-)zero capacity use a small floor so the ratio
+    stays finite; weights are clamped to a generous ceiling. *)
+
+type outcome = {
+  labels : int array;
+  n_foa : int;  (** flip-flops violating local area constraints *)
+  n_f : int;  (** total flip-flops *)
+  n_fn : int;  (** flip-flops inside interconnects *)
+  n_wr : int;  (** weighted min-area retimings performed *)
+  exec_seconds : float;
+  trace : (int * float) list;
+      (** per iteration: (N_FOA, total weighted FF area) — the
+          convergence record used by the ablation benches *)
+}
+
+val min_area_baseline :
+  Build.instance -> Lacr_retime.Constraints.t -> (outcome, string) result
+(** Plain (unit-weight) min-area retiming plus violation accounting —
+    the comparison column of Table 1.  [n_wr = 1]. *)
+
+val retime :
+  ?alpha:float ->
+  ?n_max:int ->
+  ?max_wr:int ->
+  Build.instance ->
+  Lacr_retime.Constraints.t ->
+  (outcome, string) result
+(** LAC-retiming.  Defaults come from the instance configuration. *)
+
+(** {1 Abstract-problem variants}
+
+    The same algorithms over a bare {!Problem.t} — used by tests, the
+    exact-reference comparison and any caller that is not running the
+    full physical-planning pipeline. *)
+
+val min_area_baseline_problem :
+  Problem.t -> Lacr_retime.Constraints.t -> (outcome, string) result
+
+val retime_problem :
+  ?alpha:float ->
+  ?n_max:int ->
+  ?max_wr:int ->
+  Problem.t ->
+  Lacr_retime.Constraints.t ->
+  (outcome, string) result

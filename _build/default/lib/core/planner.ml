@@ -1,0 +1,110 @@
+module Graph = Lacr_retime.Graph
+module Paths = Lacr_retime.Paths
+module Constraints = Lacr_retime.Constraints
+module Feasibility = Lacr_retime.Feasibility
+module Tilegraph = Lacr_tilegraph.Tilegraph
+module Occupancy = Lacr_tilegraph.Occupancy
+
+type run = {
+  instance : Build.instance;
+  t_init : float;
+  t_min : float;
+  t_clk : float;
+  minarea : Lac.outcome;
+  lac : Lac.outcome;
+  second : second option;
+}
+
+and second = {
+  instance2 : Build.instance;
+  lac2 : (Lac.outcome, string) result;
+}
+
+(* Grow each over-utilized soft block (the floorplanner "allocates
+   additional space to those over-utilized soft blocks", paper §1). *)
+let growth_for (inst : Build.instance) (outcome : Lac.outcome) =
+  (* Growth covers the tile's full overflow — relocated flip-flops AND
+     the repeaters already parked there: a tile overfull from
+     repeaters alone leaves C(t) = 0, so its resident flip-flops can
+     never become legal without more block area. *)
+  let report = Area.report inst ~labels:outcome.Lac.labels in
+  let tiles = Tilegraph.tiles inst.Build.tilegraph in
+  let by_block = Hashtbl.create 8 in
+  List.iter
+    (fun (tile, _ff_excess) ->
+      match tiles.(tile).Tilegraph.kind with
+      | Tilegraph.Soft_merged b ->
+        let name = inst.Build.blocks.(b).Lacr_floorplan.Block.name in
+        let full_excess =
+          report.Area.consumption.(tile)
+          +. Occupancy.used inst.Build.occupancy tile
+          -. tiles.(tile).Tilegraph.capacity
+        in
+        if full_excess > 0.0 then begin
+          (* Growing a soft block by factor (1+g) raises its capacity
+             by about sized * inflation * fill * g FF units; size the
+             growth to cover the excess with 30% slack, so the
+             floorplan change stays incremental (big jumps can make
+             the frozen T_clk infeasible, the paper's s1269 case). *)
+          let cfg = inst.Build.config in
+          let sized_units =
+            Lacr_floorplan.Block.area inst.Build.blocks.(b)
+            /. (inst.Build.mm2_per_unit *. cfg.Config.block_area_inflation)
+          in
+          let capacity_per_growth =
+            sized_units *. cfg.Config.block_area_inflation *. cfg.Config.soft_fill_factor
+          in
+          let factor = 1.3 *. full_excess /. max 1.0 capacity_per_growth in
+          Hashtbl.replace by_block name factor
+        end
+      | Tilegraph.Channel | Tilegraph.Hard_cell _ -> ())
+    report.Area.violated_tiles;
+  fun name -> try Hashtbl.find by_block name with Not_found -> 0.0
+
+let retiming_setup (inst : Build.instance) =
+  let g = inst.Build.graph in
+  let t_init = Graph.clock_period g in
+  let wd = Paths.compute g in
+  let extra = inst.Build.pin_constraints in
+  let cfg = inst.Build.config in
+  let mp = Feasibility.min_period ~extra g wd in
+  let t_min = mp.Feasibility.period in
+  let t_clk = t_min +. (cfg.Config.clk_fraction *. (t_init -. t_min)) in
+  let constraints =
+    Constraints.generate ~prune:cfg.Config.prune_constraints ~extra g wd ~period:t_clk
+  in
+  (t_init, t_min, t_clk, constraints)
+
+let plan ?(config = Config.default) ?(second_iteration = true) netlist =
+  match Build.build ~config netlist with
+  | Error msg -> Error msg
+  | Ok instance ->
+    let t_init, t_min, t_clk, constraints = retiming_setup instance in
+    (match
+       (Lac.min_area_baseline instance constraints, Lac.retime instance constraints)
+     with
+    | Error msg, _ | _, Error msg -> Error msg
+    | Ok minarea, Ok lac ->
+      let second =
+        if (not second_iteration) || lac.Lac.n_foa = 0 then None
+        else begin
+          let grow = growth_for instance lac in
+          let layout = (instance.Build.sequence, instance.Build.dims) in
+          match Build.build ~config ~soft_growth:grow ~layout netlist with
+          | Error _ -> None
+          | Ok instance2 ->
+            (* The expanded floorplan changes interconnect delays; the
+               original T_clk may no longer be feasible (the paper's
+               s1269 case).  Generate fresh constraints at the same
+               T_clk and report infeasibility honestly. *)
+            let g2 = instance2.Build.graph in
+            let wd2 = Paths.compute g2 in
+            let constraints2 =
+              Constraints.generate ~prune:config.Config.prune_constraints
+                ~extra:instance2.Build.pin_constraints g2 wd2 ~period:t_clk
+            in
+            let lac2 = Lac.retime instance2 constraints2 in
+            Some { instance2; lac2 }
+        end
+      in
+      Ok { instance; t_init; t_min; t_clk; minarea; lac; second })

@@ -1,0 +1,36 @@
+(** The full interconnect-planning pipeline of the paper's §5
+    experiment, producing one Table-1 row per circuit.
+
+    Steps: build the planning instance (partition, floorplan, tiles,
+    routing, repeaters), measure [T_init], min-period retime to get
+    [T_min], set [T_clk = T_min + clk_fraction (T_init - T_min)],
+    generate the retiming constraints once, then run plain min-area
+    retiming and LAC-retiming under the same constraints.  When
+    LAC-retiming cannot reach zero violations, a second planning
+    iteration expands the congested soft blocks (paper §5) and
+    re-plans. *)
+
+type run = {
+  instance : Build.instance;
+  t_init : float;
+  t_min : float;
+  t_clk : float;
+  minarea : Lac.outcome;
+  lac : Lac.outcome;
+  second : second option;
+}
+
+and second = {
+  instance2 : Build.instance;
+  lac2 : (Lac.outcome, string) result;
+      (** [Error] models the paper's s1269 case: the target period can
+          become infeasible after a drastic floorplan change *)
+}
+
+val plan : ?config:Config.t -> ?second_iteration:bool -> Lacr_netlist.Netlist.t -> (run, string) result
+(** [second_iteration] (default [true]) controls the expansion
+    re-plan. *)
+
+val growth_for : Build.instance -> Lac.outcome -> string -> float
+(** Soft-block growth factors for the second iteration: proportional
+    to the block tile's excess area, zero for untouched blocks. *)

@@ -1,0 +1,33 @@
+(** The abstract LAC-retiming problem: a retiming graph, a tile per
+    vertex, and per-tile flip-flop capacities.
+
+    [Build.instance] produces one for real planning runs; tests and
+    the exact reference solver construct small ones directly. *)
+
+type t = {
+  graph : Lacr_retime.Graph.t;
+  vertex_tile : int array;
+      (** tile per vertex; -1 = untiled (host, I/O pads) *)
+  n_tiles : int;
+  capacity : float array;  (** remaining FF-area capacity per tile *)
+  ff_area : float;  (** area of one flip-flop *)
+  interconnect : bool array;
+      (** interconnect-unit vertices (for the N{_FN} statistic and the
+          epsilon area bias) *)
+}
+
+val validate : t -> (unit, string) result
+
+val consumption : t -> labels:int array -> float array
+(** AC(t): flip-flop area charged per tile under a labelling (each
+    flip-flop on edge (u,v) charged to [vertex_tile.(u)]). *)
+
+val violations : t -> labels:int array -> int
+(** The N{_FOA} count: [sum_t ceil(max(0, AC(t) - capacity(t)) /
+    ff_area)]. *)
+
+val ff_count : t -> labels:int array -> int
+
+val ff_in_interconnect : t -> labels:int array -> int
+
+val of_instance : Build.instance -> t

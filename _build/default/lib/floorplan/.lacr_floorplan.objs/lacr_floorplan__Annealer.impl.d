@@ -1,0 +1,1 @@
+lib/floorplan/annealer.ml: Array Block Lacr_geometry Lacr_util List Sequence_pair

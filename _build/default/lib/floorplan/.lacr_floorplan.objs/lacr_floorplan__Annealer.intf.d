@@ -1,0 +1,1 @@
+lib/floorplan/annealer.mli: Block Lacr_util Sequence_pair

@@ -1,0 +1,1 @@
+lib/floorplan/floorplan.ml: Array Block Lacr_geometry Sequence_pair

@@ -1,0 +1,1 @@
+lib/floorplan/floorplan.mli: Block Lacr_geometry Sequence_pair

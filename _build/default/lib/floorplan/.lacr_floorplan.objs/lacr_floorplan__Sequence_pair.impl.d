@@ -1,0 +1,1 @@
+lib/floorplan/sequence_pair.ml: Array Lacr_geometry Lacr_util

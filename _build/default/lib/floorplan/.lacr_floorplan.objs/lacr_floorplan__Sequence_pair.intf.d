@@ -1,0 +1,1 @@
+lib/floorplan/sequence_pair.mli: Lacr_geometry Lacr_util

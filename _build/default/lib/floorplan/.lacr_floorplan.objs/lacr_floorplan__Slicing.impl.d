@@ -1,0 +1,1 @@
+lib/floorplan/slicing.ml: Annealer Array Block Hashtbl Lacr_geometry Lacr_util List

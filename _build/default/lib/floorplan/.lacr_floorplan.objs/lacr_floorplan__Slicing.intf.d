@@ -1,0 +1,1 @@
+lib/floorplan/slicing.mli: Annealer Block Lacr_geometry Lacr_util

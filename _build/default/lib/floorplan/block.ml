@@ -1,0 +1,35 @@
+type shape =
+  | Hard of { width : float; height : float }
+  | Soft of { area : float; min_aspect : float; max_aspect : float }
+
+type t = { name : string; shape : shape }
+
+let hard ~name ~width ~height =
+  if width <= 0.0 || height <= 0.0 then invalid_arg "Block.hard: non-positive extent";
+  { name; shape = Hard { width; height } }
+
+let soft ?(min_aspect = 1.0 /. 3.0) ?(max_aspect = 3.0) ~name area =
+  if area <= 0.0 then invalid_arg "Block.soft: non-positive area";
+  if min_aspect <= 0.0 || min_aspect > max_aspect then invalid_arg "Block.soft: aspect bounds";
+  { name; shape = Soft { area; min_aspect; max_aspect } }
+
+let area t =
+  match t.shape with
+  | Hard { width; height } -> width *. height
+  | Soft { area; _ } -> area
+
+let is_soft t = match t.shape with Soft _ -> true | Hard _ -> false
+
+let shapes t ~n_choices =
+  match t.shape with
+  | Hard { width; height } -> [ (width, height) ]
+  | Soft { area; min_aspect; max_aspect } ->
+    let n = max 1 n_choices in
+    let pick i =
+      let frac = if n = 1 then 0.5 else float_of_int i /. float_of_int (n - 1) in
+      let aspect = min_aspect *. ((max_aspect /. min_aspect) ** frac) in
+      let width = sqrt (area *. aspect) in
+      let height = area /. width in
+      (width, height)
+    in
+    List.init n pick

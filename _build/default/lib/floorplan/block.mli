@@ -1,0 +1,27 @@
+(** Circuit blocks to be floorplanned.
+
+    Hard blocks have a fixed outline (and, in this planner, only
+    pre-allocated repeater/flip-flop sites); soft blocks have a fixed
+    area but a flexible aspect ratio chosen during floorplanning, and
+    accept repeaters/flip-flops up to their capacity headroom. *)
+
+type shape =
+  | Hard of { width : float; height : float }
+  | Soft of { area : float; min_aspect : float; max_aspect : float }
+      (** aspect = width / height; bounds must satisfy
+          [0 < min_aspect <= max_aspect] *)
+
+type t = { name : string; shape : shape }
+
+val hard : name:string -> width:float -> height:float -> t
+val soft : ?min_aspect:float -> ?max_aspect:float -> name:string -> float -> t
+(** [soft ~name area]; default aspect bounds [1/3 .. 3]. *)
+
+val area : t -> float
+
+val is_soft : t -> bool
+
+val shapes : t -> n_choices:int -> (float * float) list
+(** Candidate (width, height) outlines: the fixed one for a hard
+    block, [n_choices] aspect ratios geometrically spaced across the
+    allowed range for a soft block. *)

@@ -1,0 +1,53 @@
+type placement = { block : Block.t; rect : Lacr_geometry.Rect.t }
+
+type t = {
+  placements : placement array;
+  chip : Lacr_geometry.Rect.t;
+}
+
+let of_packing ?(whitespace = 0.15) blocks (packing : Sequence_pair.packing) =
+  let n = Array.length blocks in
+  if Array.length packing.Sequence_pair.rects <> n then
+    invalid_arg "Floorplan.of_packing: arity mismatch";
+  let w = packing.Sequence_pair.width and h = packing.Sequence_pair.height in
+  let chip_w = w *. (1.0 +. whitespace) and chip_h = h *. (1.0 +. whitespace) in
+  let dx = (chip_w -. w) /. 2.0 and dy = (chip_h -. h) /. 2.0 in
+  let shift (r : Lacr_geometry.Rect.t) =
+    Lacr_geometry.Rect.make ~x:(r.Lacr_geometry.Rect.x +. dx) ~y:(r.Lacr_geometry.Rect.y +. dy)
+      ~w:r.Lacr_geometry.Rect.w ~h:r.Lacr_geometry.Rect.h
+  in
+  let placements =
+    Array.init n (fun i -> { block = blocks.(i); rect = shift packing.Sequence_pair.rects.(i) })
+  in
+  { placements; chip = Lacr_geometry.Rect.make ~x:0.0 ~y:0.0 ~w:chip_w ~h:chip_h }
+
+let block_at t point =
+  let rec scan i =
+    if i >= Array.length t.placements then None
+    else if Lacr_geometry.Rect.contains t.placements.(i).rect point then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let covered_area t =
+  Array.fold_left (fun acc p -> acc +. Lacr_geometry.Rect.area p.rect) 0.0 t.placements
+
+let dead_area t = Lacr_geometry.Rect.area t.chip -. covered_area t
+
+let utilization t = covered_area t /. Lacr_geometry.Rect.area t.chip
+
+let expand_soft_blocks t ~grow =
+  Array.map
+    (fun p ->
+      let b = p.block in
+      match b.Block.shape with
+      | Block.Hard _ -> b
+      | Block.Soft { area; min_aspect; max_aspect } ->
+        let factor = 1.0 +. grow b.Block.name in
+        if factor <= 1.0 then b
+        else
+          {
+            b with
+            Block.shape = Block.Soft { area = area *. factor; min_aspect; max_aspect };
+          })
+    t.placements

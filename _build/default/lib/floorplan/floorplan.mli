@@ -1,0 +1,33 @@
+(** Floorplan results: placed blocks inside a chip outline.
+
+    The chip outline is the packing bounding box inflated by a
+    whitespace margin, leaving explicit channel/dead regions that the
+    tile graph later classifies as high-capacity repeater/flip-flop
+    area (paper §4, Figure 2). *)
+
+type placement = { block : Block.t; rect : Lacr_geometry.Rect.t }
+
+type t = {
+  placements : placement array;
+  chip : Lacr_geometry.Rect.t;  (** origin (0,0) *)
+}
+
+val of_packing :
+  ?whitespace:float -> Block.t array -> Sequence_pair.packing -> t
+(** [whitespace] (default 0.15) inflates the chip outline beyond the
+    packing bounding box, centring the packed blocks. *)
+
+val block_at : t -> Lacr_geometry.Point.t -> int option
+(** Index of the placement containing the point, if any. *)
+
+val dead_area : t -> float
+(** Chip area not covered by blocks. *)
+
+val utilization : t -> float
+(** Covered fraction of the chip. *)
+
+val expand_soft_blocks : t -> grow:(string -> float) -> Block.t array
+(** For the second planning iteration (paper §5): returns a fresh
+    block array in which each soft block's area is multiplied by
+    [1 + grow name] ([grow] returning 0 keeps a block unchanged).
+    Hard blocks are never resized. *)

@@ -1,0 +1,89 @@
+type t = { pos : int array; neg : int array }
+
+let identity n = { pos = Array.init n (fun i -> i); neg = Array.init n (fun i -> i) }
+
+let random rng n =
+  let sp = identity n in
+  Lacr_util.Rng.shuffle rng sp.pos;
+  Lacr_util.Rng.shuffle rng sp.neg;
+  sp
+
+let is_permutation arr =
+  let n = Array.length arr in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then false
+      else begin
+        seen.(v) <- true;
+        true
+      end)
+    arr
+
+let validate t =
+  if Array.length t.pos <> Array.length t.neg then Error "sequence length mismatch"
+  else if not (is_permutation t.pos) then Error "pos is not a permutation"
+  else if not (is_permutation t.neg) then Error "neg is not a permutation"
+  else Ok ()
+
+type packing = {
+  rects : Lacr_geometry.Rect.t array;
+  width : float;
+  height : float;
+}
+
+(* Longest-path packing.  With pos ranks p and neg ranks q:
+   a left-of b  iff p(a) < p(b) and q(a) < q(b);
+   a below   b  iff p(a) > p(b) and q(a) < q(b).
+   Processing blocks in neg order makes every left-of/below
+   predecessor already placed. *)
+let pack t ~dims =
+  let n = Array.length t.pos in
+  if Array.length dims <> n then invalid_arg "Sequence_pair.pack: dims arity";
+  let rank_pos = Array.make n 0 and rank_neg = Array.make n 0 in
+  Array.iteri (fun idx b -> rank_pos.(b) <- idx) t.pos;
+  Array.iteri (fun idx b -> rank_neg.(b) <- idx) t.neg;
+  let x = Array.make n 0.0 and y = Array.make n 0.0 in
+  let width = ref 0.0 and height = ref 0.0 in
+  for qi = 0 to n - 1 do
+    let b = t.neg.(qi) in
+    let bx = ref 0.0 and by = ref 0.0 in
+    for qj = 0 to qi - 1 do
+      let a = t.neg.(qj) in
+      let wa, ha = dims.(a) in
+      if rank_pos.(a) < rank_pos.(b) then begin
+        (* a left of b *)
+        if x.(a) +. wa > !bx then bx := x.(a) +. wa
+      end
+      else if y.(a) +. ha > !by then by := y.(a) +. ha (* a below b *)
+    done;
+    x.(b) <- !bx;
+    y.(b) <- !by;
+    let wb, hb = dims.(b) in
+    if !bx +. wb > !width then width := !bx +. wb;
+    if !by +. hb > !height then height := !by +. hb
+  done;
+  let rects =
+    Array.init n (fun b ->
+        let w, h = dims.(b) in
+        Lacr_geometry.Rect.make ~x:x.(b) ~y:y.(b) ~w ~h)
+  in
+  { rects; width = !width; height = !height }
+
+let swap_array arr i j =
+  let copy = Array.copy arr in
+  let tmp = copy.(i) in
+  copy.(i) <- copy.(j);
+  copy.(j) <- tmp;
+  copy
+
+let swap_pos t i j = { t with pos = swap_array t.pos i j }
+
+let swap_both t i j =
+  let a = t.pos.(i) and b = t.pos.(j) in
+  let find arr v =
+    let rec go idx = if arr.(idx) = v then idx else go (idx + 1) in
+    go 0
+  in
+  let ni = find t.neg a and nj = find t.neg b in
+  { pos = swap_array t.pos i j; neg = swap_array t.neg ni nj }

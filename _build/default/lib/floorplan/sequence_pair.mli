@@ -1,0 +1,35 @@
+(** Sequence-pair floorplan representation (Murata et al.).
+
+    A pair of permutations [(pos, neg)] of the block indices encodes
+    relative positions: block [a] is left of [b] iff [a] precedes [b]
+    in both sequences; [a] is below [b] iff [a] follows [b] in [pos]
+    and precedes it in [neg].  Packing evaluates the implied
+    horizontal/vertical constraint graphs by longest path (O(n^2),
+    fine for block counts in the tens). *)
+
+type t = { pos : int array; neg : int array }
+
+val identity : int -> t
+
+val random : Lacr_util.Rng.t -> int -> t
+
+val validate : t -> (unit, string) result
+(** Both arrays must be permutations of the same [0 .. n-1]. *)
+
+type packing = {
+  rects : Lacr_geometry.Rect.t array;  (** placement per block *)
+  width : float;
+  height : float;
+}
+
+val pack : t -> dims:(float * float) array -> packing
+(** [dims.(i)] is block [i]'s chosen (width, height) outline.  The
+    packing is non-overlapping by construction. *)
+
+(** {1 Annealing moves} (all return fresh pairs) *)
+
+val swap_pos : t -> int -> int -> t
+(** Swap the elements at two indices of [pos]. *)
+
+val swap_both : t -> int -> int -> t
+(** Swap the same {e block pair} in both sequences. *)

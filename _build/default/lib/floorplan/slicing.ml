@@ -1,0 +1,292 @@
+module Rect = Lacr_geometry.Rect
+
+type element =
+  | Operand of int
+  | H
+  | V
+
+type expression = element array
+
+let initial n =
+  if n <= 0 then invalid_arg "Slicing.initial: no blocks";
+  let buf = ref [ Operand 0 ] in
+  for b = 1 to n - 1 do
+    buf := V :: Operand b :: !buf
+  done;
+  Array.of_list (List.rev !buf)
+
+let is_normalized expr =
+  let n_operands = ref 0 and n_operators = ref 0 in
+  let ok = ref true in
+  let prev_op = ref None in
+  Array.iter
+    (fun e ->
+      match e with
+      | Operand _ ->
+        incr n_operands;
+        prev_op := None
+      | H | V ->
+        incr n_operators;
+        (* Balloting: strictly fewer operators than operands at every
+           prefix. *)
+        if !n_operators >= !n_operands then ok := false;
+        (match !prev_op with
+        | Some p when p = e -> ok := false (* not normalized *)
+        | Some _ | None -> ());
+        prev_op := Some e)
+    expr;
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      match e with
+      | Operand b -> if Hashtbl.mem seen b then ok := false else Hashtbl.add seen b ()
+      | H | V -> ())
+    expr;
+  !ok && !n_operators = !n_operands - 1 && !n_operands = Hashtbl.length seen
+
+type packing = {
+  rects : Rect.t array;
+  width : float;
+  height : float;
+}
+
+(* A realization of a subtree: outline (w, h) plus how to reproduce it
+   (which child realizations were chosen). *)
+type curve_point = {
+  w : float;
+  h : float;
+  pick_left : int;  (* index into left child's curve; -1 for leaves *)
+  pick_right : int;
+}
+
+type node = {
+  kind : [ `Leaf of int | `Cut of element * node * node ];
+  curve : curve_point array;
+}
+
+(* Prune dominated outlines: sort by width ascending, keep strictly
+   decreasing heights. *)
+let prune points =
+  let sorted = List.sort (fun a b -> compare (a.w, a.h) (b.w, b.h)) points in
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+      (match acc with
+      | q :: _ when p.h >= q.h -. 1e-12 -> keep acc rest
+      | _ -> keep (p :: acc) rest)
+  in
+  Array.of_list (keep [] sorted)
+
+let combine op (left : node) (right : node) =
+  let points = ref [] in
+  Array.iteri
+    (fun i l ->
+      Array.iteri
+        (fun j r ->
+          let w, h =
+            match op with
+            | V -> (l.w +. r.w, max l.h r.h)
+            | H -> (max l.w r.w, l.h +. r.h)
+            | Operand _ -> invalid_arg "Slicing.combine: operand"
+          in
+          points := { w; h; pick_left = i; pick_right = j } :: !points)
+        right.curve)
+    left.curve;
+  { kind = `Cut (op, left, right); curve = prune !points }
+
+let build_tree expr ~shapes =
+  let stack = ref [] in
+  Array.iter
+    (fun e ->
+      match e with
+      | Operand b ->
+        let curve =
+          shapes.(b)
+          |> List.map (fun (w, h) -> { w; h; pick_left = -1; pick_right = -1 })
+          |> prune
+        in
+        if Array.length curve = 0 then invalid_arg "Slicing.pack: block with no shapes";
+        stack := { kind = `Leaf b; curve } :: !stack
+      | (H | V) as op ->
+        (match !stack with
+        | right :: left :: rest -> stack := combine op left right :: rest
+        | _ -> invalid_arg "Slicing.pack: malformed expression"))
+    expr;
+  match !stack with
+  | [ root ] -> root
+  | _ -> invalid_arg "Slicing.pack: malformed expression"
+
+let pack expr ~shapes =
+  let n_blocks = Array.length shapes in
+  let root = build_tree expr ~shapes in
+  (* Minimum-area root realization. *)
+  let best = ref 0 in
+  Array.iteri
+    (fun i p -> if p.w *. p.h < root.curve.(!best).w *. root.curve.(!best).h then best := i)
+    root.curve;
+  let rects = Array.make n_blocks (Rect.make ~x:0.0 ~y:0.0 ~w:1.0 ~h:1.0) in
+  (* Recover positions: place each subtree's chosen realization at its
+     origin. *)
+  let rec place (node : node) choice ~x ~y =
+    let p = node.curve.(choice) in
+    match node.kind with
+    | `Leaf b -> rects.(b) <- Rect.make ~x ~y ~w:p.w ~h:p.h
+    | `Cut (op, left, right) ->
+      let lp = left.curve.(p.pick_left) in
+      place left p.pick_left ~x ~y;
+      (match op with
+      | V -> place right p.pick_right ~x:(x +. lp.w) ~y
+      | H -> place right p.pick_right ~x ~y:(y +. lp.h)
+      | Operand _ -> assert false)
+  in
+  place root !best ~x:0.0 ~y:0.0;
+  { rects; width = root.curve.(!best).w; height = root.curve.(!best).h }
+
+type options = {
+  initial_temperature : float;
+  cooling : float;
+  moves_per_stage : int;
+  stages : int;
+  area_weight : float;
+  wirelength_weight : float;
+  shape_choices : int;
+}
+
+let default_options =
+  {
+    initial_temperature = 1.0e3;
+    cooling = 0.92;
+    moves_per_stage = 60;
+    stages = 70;
+    area_weight = 1.0;
+    wirelength_weight = 0.5;
+    shape_choices = 5;
+  }
+
+type result = {
+  expression : expression;
+  packing : packing;
+  cost : float;
+}
+
+(* Wong-Liu moves, each returning None when it would break
+   normalization. *)
+let operand_positions expr =
+  let acc = ref [] in
+  Array.iteri (fun i e -> match e with Operand _ -> acc := i :: !acc | H | V -> ()) expr;
+  Array.of_list (List.rev !acc)
+
+let move_swap_operands rng expr =
+  let ops = operand_positions expr in
+  let n = Array.length ops in
+  if n < 2 then None
+  else begin
+    let k = Lacr_util.Rng.int rng (n - 1) in
+    let i = ops.(k) and j = ops.(k + 1) in
+    let copy = Array.copy expr in
+    let tmp = copy.(i) in
+    copy.(i) <- copy.(j);
+    copy.(j) <- tmp;
+    Some copy
+  end
+
+let move_complement_chain rng expr =
+  let chains = ref [] in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | H | V ->
+        let start_of_chain = i = 0 || (match expr.(i - 1) with Operand _ -> true | H | V -> false) in
+        if start_of_chain then chains := i :: !chains
+      | Operand _ -> ())
+    expr;
+  match !chains with
+  | [] -> None
+  | cs ->
+    let start = List.nth cs (Lacr_util.Rng.int rng (List.length cs)) in
+    let copy = Array.copy expr in
+    let rec flip i =
+      if i < Array.length copy then
+        match copy.(i) with
+        | H ->
+          copy.(i) <- V;
+          flip (i + 1)
+        | V ->
+          copy.(i) <- H;
+          flip (i + 1)
+        | Operand _ -> ()
+    in
+    flip start;
+    Some copy
+
+let move_swap_operand_operator rng expr =
+  (* Swap an adjacent (operand, operator) or (operator, operand) pair
+     when the result is still a normalized expression. *)
+  let n = Array.length expr in
+  let candidates = ref [] in
+  for i = 0 to n - 2 do
+    match (expr.(i), expr.(i + 1)) with
+    | Operand _, (H | V) | (H | V), Operand _ -> candidates := i :: !candidates
+    | _ -> ()
+  done;
+  match !candidates with
+  | [] -> None
+  | cs ->
+    let i = List.nth cs (Lacr_util.Rng.int rng (List.length cs)) in
+    let copy = Array.copy expr in
+    let tmp = copy.(i) in
+    copy.(i) <- copy.(i + 1);
+    copy.(i + 1) <- tmp;
+    if is_normalized copy then Some copy else None
+
+let cost_of options nets (packing : packing) =
+  let area = packing.width *. packing.height in
+  let centers = Array.map Rect.center packing.rects in
+  let wirelength =
+    List.fold_left
+      (fun acc { Annealer.pins; weight } ->
+        acc +. (weight *. Rect.hpwl (Array.to_list (Array.map (fun b -> centers.(b)) pins))))
+      0.0 nets
+  in
+  (options.area_weight *. area) +. (options.wirelength_weight *. wirelength)
+
+let floorplan ?(options = default_options) rng blocks nets =
+  let n = Array.length blocks in
+  if n = 0 then invalid_arg "Slicing.floorplan: no blocks";
+  let shapes =
+    Array.map (fun b -> Block.shapes b ~n_choices:options.shape_choices) blocks
+  in
+  let expr = ref (initial n) in
+  let evaluate e =
+    let packing = pack e ~shapes in
+    (packing, cost_of options nets packing)
+  in
+  let packing0, cost0 = evaluate !expr in
+  let current = ref cost0 in
+  let best = ref { expression = !expr; packing = packing0; cost = cost0 } in
+  let temperature = ref options.initial_temperature in
+  for _stage = 1 to options.stages do
+    for _move = 1 to options.moves_per_stage do
+      let proposal =
+        match Lacr_util.Rng.int rng 3 with
+        | 0 -> move_swap_operands rng !expr
+        | 1 -> move_complement_chain rng !expr
+        | _ -> move_swap_operand_operator rng !expr
+      in
+      match proposal with
+      | None -> ()
+      | Some candidate ->
+        let packing, cost = evaluate candidate in
+        let accept =
+          cost <= !current
+          || Lacr_util.Rng.float rng 1.0 < exp ((!current -. cost) /. !temperature)
+        in
+        if accept then begin
+          expr := candidate;
+          current := cost;
+          if cost < !best.cost then best := { expression = candidate; packing; cost }
+        end
+    done;
+    temperature := !temperature *. options.cooling
+  done;
+  !best

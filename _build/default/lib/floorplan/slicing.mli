@@ -1,0 +1,60 @@
+(** Slicing-tree floorplanning with normalized Polish expressions
+    (Wong-Liu) and Stockmeyer shape curves.
+
+    An alternative to the sequence-pair annealer with the classical
+    restriction to slicing structures: every floorplan is a recursive
+    horizontal/vertical cut.  Slicing floorplans pack soft blocks very
+    well (shape curves explore all aspect combinations in one
+    evaluation), at the cost of never producing non-slicing
+    arrangements.  The planner exposes both engines; an ablation bench
+    compares them. *)
+
+type element =
+  | Operand of int  (** block index *)
+  | H  (** horizontal cut: top operand above bottom operand *)
+  | V  (** vertical cut: operands side by side *)
+
+type expression = element array
+
+val initial : int -> expression
+(** [b0 b1 V b2 V ...] — all blocks in a row. *)
+
+val is_normalized : expression -> bool
+(** Valid postfix Polish expression over each block exactly once, with
+    no two consecutive identical operators. *)
+
+type packing = {
+  rects : Lacr_geometry.Rect.t array;
+  width : float;
+  height : float;
+}
+
+val pack : expression -> shapes:(float * float) list array -> packing
+(** Stockmeyer evaluation: combine per-subtree shape curves (dominated
+    points pruned), choose the minimum-area root realization, then
+    recover block positions top-down.  [shapes.(b)] must be
+    non-empty.  The packing never overlaps. *)
+
+type options = {
+  initial_temperature : float;
+  cooling : float;
+  moves_per_stage : int;
+  stages : int;
+  area_weight : float;
+  wirelength_weight : float;
+  shape_choices : int;
+}
+
+val default_options : options
+
+type result = {
+  expression : expression;
+  packing : packing;
+  cost : float;
+}
+
+val floorplan :
+  ?options:options -> Lacr_util.Rng.t -> Block.t array -> Annealer.net list -> result
+(** Simulated annealing over normalized Polish expressions with the
+    Wong-Liu move set (operand swap, chain complement, operand/operator
+    swap).  Deterministic given the generator state. *)

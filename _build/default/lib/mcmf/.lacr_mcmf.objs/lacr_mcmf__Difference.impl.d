@@ -1,0 +1,1 @@
+lib/mcmf/difference.ml: Array Float List Mcmf

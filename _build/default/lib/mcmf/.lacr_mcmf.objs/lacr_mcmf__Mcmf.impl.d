@@ -1,0 +1,1 @@
+lib/mcmf/mcmf.ml: Array Lacr_util Printf Queue

@@ -1,0 +1,1 @@
+lib/mcmf/mcmf.mli:

@@ -1,0 +1,45 @@
+(** Systems of difference constraints [x(a) - x(b) <= c].
+
+    Two services:
+    - {!feasible}: Bellman-Ford feasibility / witness assignment, used
+      by the clock-period feasibility test of min-period retiming;
+    - {!optimize}: minimize a linear objective over the system by LP
+      duality through {!Mcmf}, used by (weighted) min-area retiming.
+
+    Constraint right-hand sides are integers (flip-flop counts);
+    objective coefficients are reals (tile-weighted areas). *)
+
+type constr = { a : int; b : int; bound : int }
+(** The constraint [x(a) - x(b) <= bound]. *)
+
+val feasible : n:int -> constr list -> int array option
+(** [feasible ~n cs] returns a satisfying integer assignment (the
+    Bellman-Ford shortest-path witness, each value in
+    [\[-n*max_bound, 0\]]) or [None] when the system contains a
+    negative cycle. *)
+
+val feasible_arrays :
+  n:int -> a:int array -> b:int array -> bound:int array -> m:int -> int array option
+(** Allocation-free variant of {!feasible} over parallel arrays (the
+    first [m] entries are the system); used by the min-period binary
+    search where probes carry hundreds of thousands of constraints. *)
+
+type objective_error =
+  | Infeasible_constraints
+  | Unbounded_objective
+
+val optimize :
+  n:int -> objective:float array -> ?guard:int -> constr list -> (int array, objective_error) result
+(** [optimize ~n ~objective cs] minimizes [sum objective.(v) * x(v)]
+    subject to [cs], returning an optimal integral assignment
+    normalized so that [x(0) = 0].
+
+    [guard] (default [4 * n + 8]) adds box constraints
+    [|x(v) - x(0)| <= guard] so the LP is never unbounded in a
+    direction the caller does not care about; {!Unbounded_objective} is
+    reported only if an optimum pins against the guard, which callers
+    treat as a modelling error. *)
+
+val check : constr list -> int array -> bool
+(** [check cs x] verifies every constraint (used by tests and by the
+    retiming validator). *)

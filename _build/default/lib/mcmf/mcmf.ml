@@ -1,0 +1,293 @@
+(* Successive shortest paths with potentials.  Residual arcs are stored
+   in pairs: arc [2k] is the forward arc of handle [k], arc [2k+1] its
+   reverse.  Reduced costs [c + pi(u) - pi(v)] stay non-negative on
+   residual arcs, so the inner loop is a plain Dijkstra. *)
+
+type t = {
+  n : int;
+  mutable arc_dst : int array;  (* indexed by residual arc id *)
+  mutable arc_src : int array;
+  mutable arc_cap : float array;  (* remaining capacity *)
+  mutable arc_cost : float array;
+  mutable n_arcs : int;  (* residual arcs used *)
+  supply : float array;
+}
+
+let eps = 1e-7
+
+let create n =
+  {
+    n;
+    arc_dst = Array.make 16 0;
+    arc_src = Array.make 16 0;
+    arc_cap = Array.make 16 0.0;
+    arc_cost = Array.make 16 0.0;
+    n_arcs = 0;
+    supply = Array.make n 0.0;
+  }
+
+let ensure_room t =
+  let cap = Array.length t.arc_dst in
+  if t.n_arcs + 2 > cap then begin
+    let ncap = cap * 2 in
+    let extend arr fill =
+      let narr = Array.make ncap fill in
+      Array.blit arr 0 narr 0 t.n_arcs;
+      narr
+    in
+    t.arc_dst <- extend t.arc_dst 0;
+    t.arc_src <- extend t.arc_src 0;
+    t.arc_cap <- extend t.arc_cap 0.0;
+    t.arc_cost <- extend t.arc_cost 0.0
+  end
+
+(* No range validation: also used internally for the super-source,
+   whose index is one past the public node range. *)
+let append_arc t ~src ~dst ~capacity ~cost =
+  ensure_room t;
+  let fwd = t.n_arcs and bwd = t.n_arcs + 1 in
+  t.arc_src.(fwd) <- src;
+  t.arc_dst.(fwd) <- dst;
+  t.arc_cap.(fwd) <- capacity;
+  t.arc_cost.(fwd) <- cost;
+  t.arc_src.(bwd) <- dst;
+  t.arc_dst.(bwd) <- src;
+  t.arc_cap.(bwd) <- 0.0;
+  t.arc_cost.(bwd) <- -.cost;
+  t.n_arcs <- t.n_arcs + 2;
+  fwd / 2
+
+let add_arc t ~src ~dst ~capacity ~cost =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then invalid_arg "Mcmf.add_arc: node range";
+  if capacity < 0.0 then invalid_arg "Mcmf.add_arc: negative capacity";
+  append_arc t ~src ~dst ~capacity ~cost
+
+let add_supply t v amount =
+  if v < 0 || v >= t.n then invalid_arg "Mcmf.add_supply: node range";
+  t.supply.(v) <- t.supply.(v) +. amount
+
+type solution = { total_cost : float; potentials : float array; flow : float array }
+
+type error =
+  | Unbalanced of float
+  | Negative_cycle
+  | Infeasible
+
+let error_to_string = function
+  | Unbalanced x -> Printf.sprintf "supplies do not cancel (sum = %g)" x
+  | Negative_cycle -> "negative-cost cycle of uncapacitated arcs"
+  | Infeasible -> "excess supply cannot reach any deficit"
+
+(* Bellman-Ford over arcs with positive capacity, all nodes starting at
+   distance 0 (equivalent to a zero-cost virtual source): produces
+   initial potentials that make every residual reduced cost
+   non-negative, and detects negative cycles. *)
+let initial_potentials t ~n_nodes =
+  let dist = Array.make n_nodes 0.0 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= t.n do
+    changed := false;
+    incr rounds;
+    for a = 0 to t.n_arcs - 1 do
+      if t.arc_cap.(a) > eps then begin
+        let u = t.arc_src.(a) and v = t.arc_dst.(a) in
+        let nd = dist.(u) +. t.arc_cost.(a) in
+        if nd < dist.(v) -. 1e-12 then begin
+          dist.(v) <- nd;
+          changed := true
+        end
+      end
+    done
+  done;
+  if !changed then None else Some dist
+
+(* Compressed adjacency (CSR): the Dijkstra inner loop runs many times
+   per solve, so arc ids are packed into one flat array.  [n_nodes]
+   includes the internal super-source appended by [solve]. *)
+type csr = { row_start : int array; arc_ids : int array }
+
+let build_csr t ~n_nodes =
+  let counts = Array.make (n_nodes + 1) 0 in
+  for a = 0 to t.n_arcs - 1 do
+    counts.(t.arc_src.(a) + 1) <- counts.(t.arc_src.(a) + 1) + 1
+  done;
+  for v = 1 to n_nodes do
+    counts.(v) <- counts.(v) + counts.(v - 1)
+  done;
+  let arc_ids = Array.make (max 1 t.n_arcs) 0 in
+  let cursor = Array.copy counts in
+  for a = 0 to t.n_arcs - 1 do
+    let s = t.arc_src.(a) in
+    arc_ids.(cursor.(s)) <- a;
+    cursor.(s) <- cursor.(s) + 1
+  done;
+  { row_start = counts; arc_ids }
+
+(* Primal-dual with blocking flows.  Each phase runs one Dijkstra on
+   reduced costs from the super-source S to the super-sink T, updates
+   the potentials, then saturates the zero-reduced-cost subgraph with
+   a Dinic blocking flow.  Phases advance the dual strictly, and one
+   blocking flow serves every supply/demand pair reachable at the
+   current cost level — crucial here because weighted min-area
+   retiming instances give almost every node a non-zero supply. *)
+
+let dijkstra t csr pi ~source ~sink ~n_nodes =
+  let dist = Array.make n_nodes infinity in
+  let settled = Array.make n_nodes false in
+  let heap = Lacr_util.Heap.create () in
+  dist.(source) <- 0.0;
+  Lacr_util.Heap.push heap 0.0 source;
+  (try
+     let rec loop () =
+       match Lacr_util.Heap.pop heap with
+       | None -> ()
+       | Some (d, u) ->
+         if not settled.(u) then begin
+           settled.(u) <- true;
+           if u = sink then raise Exit;
+           for slot = csr.row_start.(u) to csr.row_start.(u + 1) - 1 do
+             let a = csr.arc_ids.(slot) in
+             if t.arc_cap.(a) > eps then begin
+               let v = t.arc_dst.(a) in
+               if not settled.(v) then begin
+                 let rc = t.arc_cost.(a) +. pi.(u) -. pi.(v) in
+                 let rc = if rc < 0.0 then 0.0 else rc in
+                 let nd = d +. rc in
+                 if nd < dist.(v) -. 1e-12 then begin
+                   dist.(v) <- nd;
+                   Lacr_util.Heap.push heap nd v
+                 end
+               end
+             end
+           done
+         end;
+         loop ()
+     in
+     loop ()
+   with Exit -> ());
+  dist
+
+(* Dinic blocking flow restricted to residual arcs of zero reduced
+   cost.  BFS levels orient the zero-cost subgraph (it contains two
+   cycles through reverse arcs, which levels break); the DFS uses
+   current-arc pointers. *)
+let blocking_flow t csr pi ~source ~sink ~n_nodes =
+  let admissible a =
+    t.arc_cap.(a) > eps
+    && abs_float (t.arc_cost.(a) +. pi.(t.arc_src.(a)) -. pi.(t.arc_dst.(a))) < 1e-9
+  in
+  let total_pushed = ref 0.0 in
+  let continue_phases = ref true in
+  while !continue_phases do
+    (* BFS levels over admissible arcs. *)
+    let level = Array.make n_nodes (-1) in
+    level.(source) <- 0;
+    let queue = Queue.create () in
+    Queue.add source queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      for slot = csr.row_start.(u) to csr.row_start.(u + 1) - 1 do
+        let a = csr.arc_ids.(slot) in
+        if admissible a then begin
+          let v = t.arc_dst.(a) in
+          if level.(v) < 0 then begin
+            level.(v) <- level.(u) + 1;
+            Queue.add v queue
+          end
+        end
+      done
+    done;
+    if level.(sink) < 0 then continue_phases := false
+    else begin
+      let cursor = Array.map (fun s -> s) (Array.sub csr.row_start 0 n_nodes) in
+      (* DFS pushing one augmenting path at a time (paths are short:
+         S -> ... -> T through the level graph). *)
+      let rec dfs u limit =
+        if u = sink then limit
+        else begin
+          let pushed = ref 0.0 in
+          while !pushed < limit -. eps && cursor.(u) < csr.row_start.(u + 1) do
+            let a = csr.arc_ids.(cursor.(u)) in
+            let v = t.arc_dst.(a) in
+            if admissible a && level.(v) = level.(u) + 1 then begin
+              let sent = dfs v (min (limit -. !pushed) t.arc_cap.(a)) in
+              if sent > eps then begin
+                t.arc_cap.(a) <- t.arc_cap.(a) -. sent;
+                t.arc_cap.(a lxor 1) <- t.arc_cap.(a lxor 1) +. sent;
+                pushed := !pushed +. sent
+              end
+              else cursor.(u) <- cursor.(u) + 1
+            end
+            else cursor.(u) <- cursor.(u) + 1
+          done;
+          !pushed
+        end
+      in
+      let sent = dfs source infinity in
+      if sent <= eps then continue_phases := false else total_pushed := !total_pushed +. sent
+    end
+  done;
+  !total_pushed
+
+let solve t =
+  let total_supply = Array.fold_left ( +. ) 0.0 t.supply in
+  if abs_float total_supply > 1e-5 then Error (Unbalanced total_supply)
+  else begin
+    (* Super-source S = t.n feeds every excess node; super-sink
+       T = t.n + 1 drains every deficit node; both at cost 0.  The
+       super arcs are appended before the Bellman-Ford bootstrap so
+       the initial potentials cover them too. *)
+    let source = t.n and sink = t.n + 1 in
+    let n_nodes = t.n + 2 in
+    let user_arcs = t.n_arcs in
+    let remaining = ref 0.0 in
+    Array.iteri
+      (fun v s ->
+        if s > eps then begin
+          ignore (append_arc t ~src:source ~dst:v ~capacity:s ~cost:0.0 : int);
+          remaining := !remaining +. s
+        end
+        else if s < -.eps then
+          ignore (append_arc t ~src:v ~dst:sink ~capacity:(-.s) ~cost:0.0 : int))
+      t.supply;
+    match initial_potentials t ~n_nodes with
+    | None -> Error Negative_cycle
+    | Some pi ->
+      let csr = build_csr t ~n_nodes in
+      let rec drive () =
+        if !remaining <= 1e-6 then Ok ()
+        else begin
+          let dist = dijkstra t csr pi ~source ~sink ~n_nodes in
+          if dist.(sink) = infinity then Error Infeasible
+          else begin
+            let dt = dist.(sink) in
+            for v = 0 to n_nodes - 1 do
+              let dv = if dist.(v) < dt then dist.(v) else dt in
+              if dv < infinity then pi.(v) <- pi.(v) +. dv
+            done;
+            let pushed = blocking_flow t csr pi ~source ~sink ~n_nodes in
+            if pushed <= eps then Error Infeasible
+            else begin
+              remaining := !remaining -. pushed;
+              drive ()
+            end
+          end
+        end
+      in
+      (match drive () with
+      | Error e -> Error e
+      | Ok () ->
+        let n_handles = user_arcs / 2 in
+        let flow = Array.init n_handles (fun k -> t.arc_cap.((2 * k) + 1)) in
+        (* Total cost from the realized flows (cheaper than tracking
+           during pushes). *)
+        let total_cost = ref 0.0 in
+        for k = 0 to n_handles - 1 do
+          total_cost := !total_cost +. (flow.(k) *. t.arc_cost.(2 * k))
+        done;
+        let potentials = Array.sub pi 0 t.n in
+        Ok { total_cost = !total_cost; potentials; flow })
+  end
+
+let flow_on sol handle = sol.flow.(handle)

@@ -1,0 +1,45 @@
+(** Minimum-cost flow via successive shortest paths with node
+    potentials (Johnson reduced costs).
+
+    This is the solver behind (weighted) minimum-area retiming: the
+    retiming LP is the dual of an uncapacitated min-cost flow, and the
+    optimal retiming labels are read off the node potentials (see
+    {!Lp_dual} and [Lacr_retime.Min_area]).
+
+    Capacities, costs and supplies are floats; costs may be negative
+    (Bellman-Ford bootstraps the initial potentials).  With integral
+    arc costs the returned potentials are integral. *)
+
+type t
+(** Mutable problem under construction. *)
+
+val create : int -> t
+(** [create n] prepares a problem over nodes [0 .. n-1]. *)
+
+val add_arc : t -> src:int -> dst:int -> capacity:float -> cost:float -> int
+(** Add a directed arc; returns an arc handle for {!flow_on}.
+    Use [infinity] for uncapacitated arcs. *)
+
+val add_supply : t -> int -> float -> unit
+(** Add to the node's supply (positive = source, negative = sink).
+    Total supply must cancel to ~0 at [solve] time. *)
+
+type solution = {
+  total_cost : float;
+  potentials : float array;
+      (** Optimal dual values [pi]; [y = -pi] solves
+          [max sum b(v) y(v)] s.t. [y(u) - y(v) <= cost(u,v)]. *)
+  flow : float array;  (** Flow per arc handle. *)
+}
+
+type error =
+  | Unbalanced of float  (** supplies do not cancel *)
+  | Negative_cycle  (** negative-cost cycle of uncapacitated arcs *)
+  | Infeasible  (** some supply cannot reach any deficit *)
+
+val solve : t -> (solution, error) result
+
+val flow_on : solution -> int -> float
+(** Flow on the arc handle returned by [add_arc]. *)
+
+val error_to_string : error -> string

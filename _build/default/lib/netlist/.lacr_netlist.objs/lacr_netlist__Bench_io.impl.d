@@ -1,0 +1,1 @@
+lib/netlist/bench_io.ml: Buffer Filename Gate List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/netlist/levelize.ml: Array Format List Queue Seqview

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Gate Hashtbl List Printf String

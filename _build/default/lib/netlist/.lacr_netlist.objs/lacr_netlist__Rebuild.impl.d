@@ -1,0 +1,1 @@
+lib/netlist/rebuild.ml: Array Hashtbl List Netlist Printf Seqview String

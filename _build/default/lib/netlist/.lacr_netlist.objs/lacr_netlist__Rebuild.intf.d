@@ -1,0 +1,1 @@
+lib/netlist/rebuild.mli: Netlist Seqview

@@ -1,0 +1,1 @@
+lib/netlist/seqview.ml: Array Gate Hashtbl List Netlist Printf

@@ -1,0 +1,1 @@
+lib/netlist/seqview.mli: Gate Netlist

@@ -1,0 +1,1 @@
+lib/netlist/sweep.ml: Hashtbl List Netlist

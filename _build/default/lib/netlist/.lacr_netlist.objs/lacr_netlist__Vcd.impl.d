@@ -1,0 +1,1 @@
+lib/netlist/vcd.ml: Array Buffer Char Hashtbl List Printf Seqview Sim String

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Buffer Char Gate List Netlist Printf String

@@ -1,0 +1,115 @@
+let strip s = String.trim s
+
+(* "INPUT(G0)" -> Some ("INPUT", "G0") ; "G5 = DFF(G10)" handled by caller *)
+let parse_call s =
+  match String.index_opt s '(' with
+  | None -> None
+  | Some lp ->
+    (match String.rindex_opt s ')' with
+    | None -> None
+    | Some rp when rp > lp ->
+      let head = strip (String.sub s 0 lp) in
+      let args = String.sub s (lp + 1) (rp - lp - 1) in
+      let parts = String.split_on_char ',' args |> List.map strip |> List.filter (( <> ) "") in
+      Some (head, parts)
+    | Some _ -> None)
+
+type statement =
+  | Stmt_input of string
+  | Stmt_output of string
+  | Stmt_def of string * string * string list  (** lhs, keyword, fan-ins *)
+
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = strip line in
+  if line = "" then Ok None
+  else
+    match String.index_opt line '=' with
+    | Some eq ->
+      let lhs = strip (String.sub line 0 eq) in
+      let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
+      (match parse_call rhs with
+      | Some (keyword, fanins) -> Ok (Some (Stmt_def (lhs, keyword, fanins)))
+      | None -> Error (Printf.sprintf "malformed definition %S" line))
+    | None ->
+      (match parse_call line with
+      | Some (head, [ arg ]) ->
+        (match String.uppercase_ascii head with
+        | "INPUT" -> Ok (Some (Stmt_input arg))
+        | "OUTPUT" -> Ok (Some (Stmt_output arg))
+        | other -> Error (Printf.sprintf "unknown directive %s" other))
+      | Some _ | None -> Error (Printf.sprintf "malformed line %S" line))
+
+let parse_string ~name text =
+  let builder = Netlist.Builder.create ~name in
+  let lines = String.split_on_char '\n' text in
+  let rec process lineno = function
+    | [] -> Netlist.Builder.finish builder
+    | line :: rest ->
+      (match parse_line line with
+      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+      | Ok None -> process (lineno + 1) rest
+      | Ok (Some stmt) ->
+        let outcome =
+          try
+            (match stmt with
+            | Stmt_input signal -> Netlist.Builder.add_input builder signal
+            | Stmt_output signal -> Netlist.Builder.mark_output builder signal
+            | Stmt_def (lhs, keyword, fanins) ->
+              (match String.uppercase_ascii keyword with
+              | "DFF" ->
+                (match fanins with
+                | [ data ] -> Netlist.Builder.add_dff builder lhs ~data
+                | _ -> failwith "DFF takes exactly one fan-in")
+              | kw ->
+                (match Gate.of_string kw with
+                | Some kind -> Netlist.Builder.add_gate builder lhs kind fanins
+                | None -> failwith (Printf.sprintf "unknown gate kind %s" kw))));
+            Ok ()
+          with Failure msg | Invalid_argument msg -> Error msg
+        in
+        (match outcome with
+        | Ok () -> process (lineno + 1) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)))
+  in
+  process 1 lines
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let base = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name:base text
+
+let to_string netlist =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Netlist.name netlist));
+  let emit_input (signal, def) =
+    match def with
+    | Netlist.Input -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" signal)
+    | Netlist.Dff _ | Netlist.Gate _ -> ()
+  in
+  List.iter emit_input (Netlist.signals netlist);
+  List.iter
+    (fun out -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" out))
+    (Netlist.outputs netlist);
+  let emit_def (signal, def) =
+    match def with
+    | Netlist.Input -> ()
+    | Netlist.Dff data -> Buffer.add_string buf (Printf.sprintf "%s = DFF(%s)\n" signal data)
+    | Netlist.Gate (kind, fanins) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s(%s)\n" signal (Gate.to_string kind) (String.concat ", " fanins))
+  in
+  List.iter emit_def (Netlist.signals netlist);
+  Buffer.contents buf
+
+let write_file path netlist =
+  let oc = open_out path in
+  output_string oc (to_string netlist);
+  close_out oc

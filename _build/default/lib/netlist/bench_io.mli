@@ -1,0 +1,26 @@
+(** ISCAS89 `.bench` format reader and writer.
+
+    Grammar (one statement per line):
+    {v
+    # comment
+    INPUT(name)
+    OUTPUT(name)
+    name = DFF(fanin)
+    name = GATE(fanin1, fanin2, ...)
+    v}
+    Blank lines and whitespace are ignored; gate keywords are
+    case-insensitive ([BUF]/[BUFF] and [NOT]/[INV] are synonyms). *)
+
+val parse_string : name:string -> string -> (Netlist.t, string) result
+(** Parse a full `.bench` document.  Errors carry a line number. *)
+
+val parse_file : string -> (Netlist.t, string) result
+(** [parse_file path] uses the file's basename (without extension) as
+    the circuit name. *)
+
+val to_string : Netlist.t -> string
+(** Render back to `.bench` syntax.  [parse_string (to_string n)]
+    reproduces [n] up to statement ordering conventions (inputs first,
+    then outputs, then definitions — the order this writer emits). *)
+
+val write_file : string -> Netlist.t -> unit

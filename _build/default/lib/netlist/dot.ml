@@ -1,0 +1,26 @@
+let of_seqview (view : Seqview.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  rankdir=LR;\n" view.Seqview.circuit);
+  let emit_unit i (info : Seqview.unit_info) =
+    let shape =
+      match info.Seqview.kind with
+      | Seqview.Primary_input -> "box"
+      | Seqview.Primary_output -> "doublecircle"
+      | Seqview.Logic _ -> "ellipse"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\\nd=%.2f\" shape=%s];\n" i info.Seqview.uname
+         info.Seqview.delay shape)
+  in
+  Array.iteri emit_unit view.Seqview.units;
+  let emit_edge (e : Seqview.edge) =
+    if e.Seqview.weight = 0 then
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" e.Seqview.src e.Seqview.dst)
+    else
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%d\" style=bold];\n" e.Seqview.src e.Seqview.dst
+           e.Seqview.weight)
+  in
+  Array.iter emit_edge view.Seqview.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

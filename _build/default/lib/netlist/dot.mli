@@ -1,0 +1,7 @@
+(** Graphviz export of the sequential view, for debugging and
+    documentation.  Edge labels show flip-flop counts; interconnect
+    units added later by the planner are not part of this view. *)
+
+val of_seqview : Seqview.t -> string
+(** A `digraph` document; primary inputs are boxes, outputs are
+    double circles, logic units are ellipses. *)

@@ -1,0 +1,56 @@
+type kind =
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Not
+  | Buf
+  | Xor
+  | Xnor
+
+let all_kinds = [ And; Nand; Or; Nor; Not; Buf; Xor; Xnor ]
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "NOT" | "INV" -> Some Not
+  | "BUF" | "BUFF" -> Some Buf
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | _ -> None
+
+let to_string = function
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Not -> "NOT"
+  | Buf -> "BUFF"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+
+(* RT-level delays: the experiments deliberately treat gates as chunky
+   functional units (paper §5), so base delays sit in the 0.3-0.9 ns
+   range rather than tens of picoseconds. *)
+let base_delay = function
+  | Not | Buf -> 0.30
+  | Nand | Nor -> 0.45
+  | And | Or -> 0.55
+  | Xor | Xnor -> 0.90
+
+let delay kind ~fanin =
+  let extra = 0.08 *. float_of_int (max 0 (fanin - 2)) in
+  base_delay kind +. extra
+
+let base_area = function
+  | Not | Buf -> 1.0
+  | Nand | Nor -> 1.5
+  | And | Or -> 2.0
+  | Xor | Xnor -> 3.0
+
+let area kind ~fanin = base_area kind +. (0.5 *. float_of_int (max 0 (fanin - 2)))
+
+let equal (a : kind) b = a = b

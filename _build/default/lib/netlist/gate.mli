@@ -1,0 +1,33 @@
+(** Functional-unit kinds and their RT-level delay/area models.
+
+    Following the paper's experimental setup (§5), gate-level ISCAS89
+    elements are treated as RT-level functional units "with large area
+    and delay": each kind carries a nominal delay in nanoseconds and an
+    area in flip-flop-equivalent units (the same unit used for tile
+    capacities). *)
+
+type kind =
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Not
+  | Buf
+  | Xor
+  | Xnor
+
+val all_kinds : kind list
+
+val of_string : string -> kind option
+(** Case-insensitive parse of a `.bench` gate keyword. *)
+
+val to_string : kind -> string
+(** Upper-case `.bench` keyword. *)
+
+val delay : kind -> fanin:int -> float
+(** Nominal unit delay in ns; grows mildly with fan-in. *)
+
+val area : kind -> fanin:int -> float
+(** Area in flip-flop-equivalents. *)
+
+val equal : kind -> kind -> bool

@@ -1,0 +1,78 @@
+type t = {
+  level : int array;
+  depth : int;
+  per_level : int array;
+}
+
+let compute (view : Seqview.t) =
+  let n = Seqview.num_units view in
+  let indeg = Array.make n 0 in
+  let zero_out = Array.make n [] in
+  Array.iter
+    (fun (e : Seqview.edge) ->
+      if e.Seqview.weight = 0 then begin
+        indeg.(e.Seqview.dst) <- indeg.(e.Seqview.dst) + 1;
+        zero_out.(e.Seqview.src) <- e.Seqview.dst :: zero_out.(e.Seqview.src)
+      end)
+    view.Seqview.edges;
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let level = Array.make n 0 in
+  let processed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr processed;
+    List.iter
+      (fun w ->
+        if level.(v) + 1 > level.(w) then level.(w) <- level.(v) + 1;
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      zero_out.(v)
+  done;
+  if !processed < n then Error "combinational cycle"
+  else begin
+    let depth = Array.fold_left max 0 level in
+    let per_level = Array.make (depth + 1) 0 in
+    Array.iter (fun l -> per_level.(l) <- per_level.(l) + 1) level;
+    Ok { level; depth; per_level }
+  end
+
+type stats = {
+  units : int;
+  edges : int;
+  registers : int;
+  combinational_depth : int;
+  avg_fanin : float;
+  max_fanin : int;
+  max_fanout : int;
+  sequential_edges : int;
+}
+
+let stats view =
+  match compute view with
+  | Error _ as e -> e
+  | Ok lv ->
+    let n = Seqview.num_units view in
+    let m = Seqview.num_edges view in
+    Ok
+      {
+        units = n;
+        edges = m;
+        registers = Seqview.total_ffs view;
+        combinational_depth = lv.depth;
+        avg_fanin = (if n = 0 then 0.0 else float_of_int m /. float_of_int n);
+        max_fanin = Seqview.max_fanin view;
+        max_fanout = Seqview.max_fanout view;
+        sequential_edges =
+          Array.fold_left
+            (fun acc (e : Seqview.edge) -> if e.Seqview.weight > 0 then acc + 1 else acc)
+            0 view.Seqview.edges;
+      }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "units=%d edges=%d registers=%d depth=%d avg_fanin=%.2f max_fanin=%d max_fanout=%d seq_edges=%d"
+    s.units s.edges s.registers s.combinational_depth s.avg_fanin s.max_fanin s.max_fanout
+    s.sequential_edges

@@ -1,0 +1,32 @@
+(** Combinational levelization and structural statistics of the
+    sequential view.
+
+    Level 0 holds the primary inputs and every unit whose fan-in
+    arrives only through registers; a unit's level is one more than
+    the deepest zero-weight (purely combinational) fan-in.  The
+    levelization drives depth statistics and is the natural evaluation
+    order for the simulator's combinational pass. *)
+
+type t = {
+  level : int array;  (** per unit *)
+  depth : int;  (** max level *)
+  per_level : int array;  (** unit count per level, length [depth+1] *)
+}
+
+val compute : Seqview.t -> (t, string) result
+(** Fails on a combinational cycle. *)
+
+type stats = {
+  units : int;
+  edges : int;
+  registers : int;  (** per-edge flip-flop count (the paper's N_F) *)
+  combinational_depth : int;
+  avg_fanin : float;
+  max_fanin : int;
+  max_fanout : int;
+  sequential_edges : int;  (** edges with at least one register *)
+}
+
+val stats : Seqview.t -> (stats, string) result
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,91 @@
+type definition =
+  | Input
+  | Dff of string
+  | Gate of Gate.kind * string list
+
+type t = {
+  name : string;
+  signals : (string * definition) list;
+  index : (string, definition) Hashtbl.t;
+  outputs : string list;
+}
+
+let name t = t.name
+let signals t = t.signals
+let outputs t = t.outputs
+
+let definition t signal = Hashtbl.find t.index signal
+
+let mem t signal = Hashtbl.mem t.index signal
+
+let num_signals t = List.length t.signals
+let num_outputs t = List.length t.outputs
+
+let count_if pred t = List.length (List.filter (fun (_, d) -> pred d) t.signals)
+
+let num_inputs = count_if (function Input -> true | Dff _ | Gate _ -> false)
+let num_dffs = count_if (function Dff _ -> true | Input | Gate _ -> false)
+let num_gates = count_if (function Gate _ -> true | Input | Dff _ -> false)
+
+let check_structure ~signals ~index ~outputs =
+  let problems = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let check_ref owner signal =
+    if not (Hashtbl.mem index signal) then fail "%s references undefined signal %s" owner signal
+  in
+  let check_signal (sig_name, def) =
+    match def with
+    | Input -> ()
+    | Dff data -> check_ref sig_name data
+    | Gate (_, []) -> fail "gate %s has no fan-in" sig_name
+    | Gate (_, fanins) -> List.iter (check_ref sig_name) fanins
+  in
+  List.iter check_signal signals;
+  List.iter (check_ref "OUTPUT list") outputs;
+  let seen = Hashtbl.create 16 in
+  let check_dup out =
+    if Hashtbl.mem seen out then fail "duplicate output %s" out else Hashtbl.add seen out ()
+  in
+  List.iter check_dup outputs;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " (List.rev ps))
+
+let validate t = check_structure ~signals:t.signals ~index:t.index ~outputs:t.outputs
+
+let equal a b =
+  a.name = b.name && a.outputs = b.outputs
+  && List.length a.signals = List.length b.signals
+  && List.for_all2 (fun (n1, d1) (n2, d2) -> n1 = n2 && d1 = d2) a.signals b.signals
+
+module Builder = struct
+  type builder = {
+    bname : string;
+    mutable rev_signals : (string * definition) list;
+    bindex : (string, definition) Hashtbl.t;
+    mutable rev_outputs : string list;
+  }
+
+  type t = builder
+
+  let create ~name = { bname = name; rev_signals = []; bindex = Hashtbl.create 64; rev_outputs = [] }
+
+  let add b signal def =
+    if Hashtbl.mem b.bindex signal then
+      invalid_arg (Printf.sprintf "Netlist.Builder: duplicate signal %s" signal);
+    Hashtbl.add b.bindex signal def;
+    b.rev_signals <- (signal, def) :: b.rev_signals
+
+  let add_input b signal = add b signal Input
+  let add_dff b signal ~data = add b signal (Dff data)
+  let add_gate b signal kind fanins = add b signal (Gate (kind, fanins))
+
+  let mark_output b signal = b.rev_outputs <- signal :: b.rev_outputs
+
+  let finish b =
+    let signals = List.rev b.rev_signals in
+    let outputs = List.rev b.rev_outputs in
+    match check_structure ~signals ~index:b.bindex ~outputs with
+    | Error _ as e -> e
+    | Ok () -> Ok { name = b.bname; signals; index = b.bindex; outputs }
+end

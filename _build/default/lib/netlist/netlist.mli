@@ -1,0 +1,67 @@
+(** Raw sequential netlists in ISCAS89 style.
+
+    A netlist is a set of named signals.  Each signal is either a
+    primary input, the output of a D flip-flop (single data fan-in), or
+    the output of a combinational gate.  A subset of signals is marked
+    as primary outputs.  This mirrors the `.bench` format exactly; the
+    retiming-oriented view (functional units + flip-flop-weighted
+    edges) lives in {!Seqview}. *)
+
+type definition =
+  | Input
+  | Dff of string  (** data fan-in signal name *)
+  | Gate of Gate.kind * string list  (** fan-in signal names *)
+
+type t
+
+val name : t -> string
+(** Circuit name (e.g. ["s27"]). *)
+
+val signals : t -> (string * definition) list
+(** All signals in insertion order. *)
+
+val outputs : t -> string list
+(** Primary-output signal names, in declaration order. *)
+
+val definition : t -> string -> definition
+(** @raise Not_found for an unknown signal. *)
+
+val mem : t -> string -> bool
+
+val num_signals : t -> int
+val num_inputs : t -> int
+val num_outputs : t -> int
+val num_dffs : t -> int
+val num_gates : t -> int
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type netlist := t
+  type t
+
+  val create : name:string -> t
+
+  val add_input : t -> string -> unit
+  (** @raise Invalid_argument on duplicate signal names. *)
+
+  val add_dff : t -> string -> data:string -> unit
+  val add_gate : t -> string -> Gate.kind -> string list -> unit
+
+  val mark_output : t -> string -> unit
+  (** May reference a signal defined later; resolved at [finish]. *)
+
+  val finish : t -> (netlist, string) result
+  (** Validates: all fan-in names defined, outputs defined, gates have
+      at least one fan-in, no duplicate outputs. *)
+end
+
+(** {1 Validation} *)
+
+val validate : t -> (unit, string) result
+(** Structural checks (same as [Builder.finish] performs); useful after
+    parsing. *)
+
+val equal : t -> t -> bool
+(** Structural equality: same name, same signals with equal definitions
+    in the same order, same outputs. *)

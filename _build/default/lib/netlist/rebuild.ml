@@ -1,0 +1,97 @@
+(* Mirrors the edge-creation order of Seqview.of_netlist: gate signals
+   in declaration order with their fan-ins in order, then one edge per
+   primary output.  Each connection of weight w is realized as a fresh
+   chain of w DFFs from the driver signal. *)
+
+let trace_driver netlist signal =
+  let rec walk signal =
+    match Netlist.definition netlist signal with
+    | Netlist.Input | Netlist.Gate _ -> signal
+    | Netlist.Dff data -> walk data
+  in
+  walk signal
+
+let with_weights netlist (view : Seqview.t) weights =
+  if Array.length weights <> Seqview.num_edges view then
+    Error "Rebuild.with_weights: weights arity mismatch"
+  else if Array.exists (fun w -> w < 0) weights then
+    Error "Rebuild.with_weights: negative weight"
+  else begin
+    let collision =
+      List.exists
+        (fun (name, _) -> String.length name >= 2 && String.sub name 0 2 = "rt")
+        (Netlist.signals netlist)
+    in
+    if collision then Error "Rebuild.with_weights: signal names clash with the rt prefix"
+    else begin
+      let builder = Netlist.Builder.create ~name:(Netlist.name netlist ^ "_retimed") in
+      let next_chain = ref 0 in
+      let edge_cursor = ref 0 in
+      (* Maximum register sharing (Leiserson-Saxe): one DFF chain per
+         driver, grown on demand; a consumer needing latency [w] taps
+         the chain at depth [w].  [chains] maps driver signal to its
+         chain, deepest stage first. *)
+      let chains : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+      let chain driver w =
+        let existing = try Hashtbl.find chains driver with Not_found -> [] in
+        let depth = List.length existing in
+        let rec extend stages d =
+          if d >= w then stages
+          else begin
+            let name = Printf.sprintf "rt%d" !next_chain in
+            incr next_chain;
+            let source = match stages with s :: _ -> s | [] -> driver in
+            Netlist.Builder.add_dff builder name ~data:source;
+            extend (name :: stages) (d + 1)
+          end
+        in
+        let stages = extend existing depth in
+        Hashtbl.replace chains driver stages;
+        if w = 0 then driver else List.nth stages (List.length stages - w)
+      in
+      let connect fanin_signal =
+        let driver = trace_driver netlist fanin_signal in
+        let w = weights.(!edge_cursor) in
+        incr edge_cursor;
+        chain driver w
+      in
+      (* Pass 1: declare inputs (they need no rewiring). *)
+      List.iter
+        (fun (signal, def) ->
+          match def with
+          | Netlist.Input -> Netlist.Builder.add_input builder signal
+          | Netlist.Dff _ | Netlist.Gate _ -> ())
+        (Netlist.signals netlist);
+      (* Pass 2: gates with rewritten fan-ins, in declaration order
+         (matching the view's edge order). *)
+      List.iter
+        (fun (signal, def) ->
+          match def with
+          | Netlist.Input | Netlist.Dff _ -> ()
+          | Netlist.Gate (kind, fanins) ->
+            let rewired = List.map connect fanins in
+            Netlist.Builder.add_gate builder signal kind rewired)
+        (Netlist.signals netlist);
+      (* Pass 3: outputs (one view edge each, in declaration order). *)
+      List.iter
+        (fun out -> Netlist.Builder.mark_output builder (connect out))
+        (Netlist.outputs netlist);
+      if !edge_cursor <> Array.length weights then
+        Error "Rebuild.with_weights: internal edge-order mismatch"
+      else Netlist.Builder.finish builder
+    end
+  end
+
+let of_labels netlist (view : Seqview.t) labels =
+  if Array.length labels < Seqview.num_units view then
+    Error "Rebuild.of_labels: labels arity mismatch"
+  else begin
+    let weights =
+      Array.map
+        (fun (e : Seqview.edge) ->
+          e.Seqview.weight + labels.(e.Seqview.dst) - labels.(e.Seqview.src))
+        view.Seqview.edges
+    in
+    if Array.exists (fun w -> w < 0) weights then Error "Rebuild.of_labels: illegal retiming"
+    else with_weights netlist view weights
+  end

@@ -1,0 +1,27 @@
+(** Materializing a retiming back into a netlist.
+
+    A retiming changes the flip-flop count of every sequential-view
+    edge; this module rebuilds a concrete ISCAS89-style netlist with
+    explicit DFF chains matching a given weight vector, so retimed
+    circuits can be written back to `.bench` and consumed by other
+    tools.
+
+    The reconstruction relies on {!Seqview.of_netlist}'s deterministic
+    edge ordering (gates in declaration order, fan-ins in declaration
+    order, then outputs in declaration order), which is part of that
+    function's contract. *)
+
+val with_weights : Netlist.t -> Seqview.t -> int array -> (Netlist.t, string) result
+(** [with_weights netlist view weights] rebuilds [netlist] with
+    [weights.(i)] flip-flops on sequential-view edge [i] (the original
+    DFFs are discarded; fresh ones named ["rt<k>"] are inserted).
+    Registers are maximally shared across fan-out (Leiserson-Saxe):
+    one chain per driver, each consumer tapping at its own depth, so
+    the DFF count is [sum over drivers of max fan-out weight] rather
+    than the per-edge sum.  Fails on arity mismatch, negative weights,
+    or a name collision with the ["rt"] prefix. *)
+
+val of_labels : Netlist.t -> Seqview.t -> int array -> (Netlist.t, string) result
+(** [of_labels netlist view labels] applies a retiming labelling over
+    the view's units: edge [i] gets
+    [w(i) + labels.(dst) - labels.(src)] flip-flops. *)

@@ -1,0 +1,156 @@
+type t = {
+  view : Seqview.t;
+  weights : int array;
+  regs : bool array array;  (* per edge: index 0 = output (oldest) side *)
+  values : bool array;  (* per unit: current combinational output *)
+  comb_order : int array;  (* unit evaluation order (0-weight topological) *)
+  fanin_edges : int list array;  (* per unit: edge ids feeding it *)
+}
+
+let gate_eval kind values =
+  let conj = List.fold_left ( && ) true values in
+  let disj = List.fold_left ( || ) false values in
+  let parity = List.fold_left ( <> ) false values in
+  let first = match values with v :: _ -> v | [] -> false in
+  match kind with
+  | Gate.And -> conj
+  | Gate.Nand -> not conj
+  | Gate.Or -> disj
+  | Gate.Nor -> not disj
+  | Gate.Not -> not first
+  | Gate.Buf -> first
+  | Gate.Xor -> parity
+  | Gate.Xnor -> not parity
+
+(* Kahn order over the current zero-weight edges; fails on a
+   combinational cycle. *)
+let combinational_order (view : Seqview.t) weights =
+  let n = Seqview.num_units view in
+  let indeg = Array.make n 0 in
+  let out = Array.make n [] in
+  Array.iteri
+    (fun i (e : Seqview.edge) ->
+      if weights.(i) = 0 then begin
+        indeg.(e.Seqview.dst) <- indeg.(e.Seqview.dst) + 1;
+        out.(e.Seqview.src) <- e.Seqview.dst :: out.(e.Seqview.src)
+      end)
+    view.Seqview.edges;
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = Array.make n 0 in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!filled) <- v;
+    incr filled;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      out.(v)
+  done;
+  if !filled < n then failwith "Sim: combinational cycle";
+  order
+
+let create ?weights (view : Seqview.t) =
+  let n_edges = Seqview.num_edges view in
+  let weights =
+    match weights with
+    | None -> Array.map (fun (e : Seqview.edge) -> e.Seqview.weight) view.Seqview.edges
+    | Some w ->
+      if Array.length w <> n_edges then invalid_arg "Sim.create: weights arity";
+      Array.iter (fun x -> if x < 0 then invalid_arg "Sim.create: negative weight") w;
+      Array.copy w
+  in
+  let regs = Array.map (fun w -> Array.make w false) weights in
+  let fanin_edges = Array.make (Seqview.num_units view) [] in
+  Array.iteri
+    (fun i (e : Seqview.edge) -> fanin_edges.(e.Seqview.dst) <- i :: fanin_edges.(e.Seqview.dst))
+    view.Seqview.edges;
+  (* Reverse so fan-in order matches edge declaration order. *)
+  Array.iteri (fun v lst -> fanin_edges.(v) <- List.rev lst) fanin_edges;
+  {
+    view;
+    weights;
+    regs;
+    values = Array.make (Seqview.num_units view) false;
+    comb_order = combinational_order view weights;
+    fanin_edges;
+  }
+
+let reset t = Array.iter (fun bank -> Array.fill bank 0 (Array.length bank) false) t.regs
+
+let total_registers t = Array.fold_left ( + ) 0 t.weights
+
+(* Value arriving at an edge's sink: register output when the edge is
+   sequential, the driver's fresh value when purely combinational. *)
+let edge_value t i =
+  if t.weights.(i) > 0 then t.regs.(i).(0)
+  else t.values.((t.view.Seqview.edges.(i)).Seqview.src)
+
+let step t inputs =
+  let pis = t.view.Seqview.primary_inputs in
+  if Array.length inputs <> List.length pis then invalid_arg "Sim.step: input arity";
+  List.iteri (fun k v -> t.values.(v) <- inputs.(k)) pis;
+  (* Combinational propagation. *)
+  Array.iter
+    (fun v ->
+      match t.view.Seqview.units.(v).Seqview.kind with
+      | Seqview.Primary_input -> ()
+      | Seqview.Primary_output | Seqview.Logic _ ->
+        let fanin_values = List.map (edge_value t) t.fanin_edges.(v) in
+        (match t.view.Seqview.units.(v).Seqview.kind with
+        | Seqview.Primary_output ->
+          t.values.(v) <- (match fanin_values with x :: _ -> x | [] -> false)
+        | Seqview.Logic kind -> t.values.(v) <- gate_eval kind fanin_values
+        | Seqview.Primary_input -> ()))
+    t.comb_order;
+  let outputs =
+    Array.of_list (List.map (fun v -> t.values.(v)) t.view.Seqview.primary_outputs)
+  in
+  (* Clock edge: shift every register bank, capturing the driver. *)
+  Array.iteri
+    (fun i bank ->
+      let w = Array.length bank in
+      if w > 0 then begin
+        for k = 0 to w - 2 do
+          bank.(k) <- bank.(k + 1)
+        done;
+        bank.(w - 1) <- t.values.((t.view.Seqview.edges.(i)).Seqview.src)
+      end)
+    t.regs;
+  outputs
+
+let run t trace = List.map (step t) trace
+
+let warmup_bound t =
+  let n = Seqview.num_units t.view in
+  (* Longest register-count path when the edge graph is acyclic;
+     otherwise fall back to the total register count. *)
+  let indeg = Array.make n 0 in
+  Array.iter
+    (fun (e : Seqview.edge) -> indeg.(e.Seqview.dst) <- indeg.(e.Seqview.dst) + 1)
+    t.view.Seqview.edges;
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let depth = Array.make n 0 in
+  let processed = ref 0 in
+  let out = Array.make n [] in
+  Array.iteri
+    (fun i (e : Seqview.edge) -> out.(e.Seqview.src) <- (i, e.Seqview.dst) :: out.(e.Seqview.src))
+    t.view.Seqview.edges;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr processed;
+    List.iter
+      (fun (i, w) ->
+        if depth.(v) + t.weights.(i) > depth.(w) then depth.(w) <- depth.(v) + t.weights.(i);
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      out.(v)
+  done;
+  if !processed < n then total_registers t else Array.fold_left max 0 depth

@@ -1,0 +1,40 @@
+(** Cycle-accurate two-valued simulation of the sequential view.
+
+    Registers live on edges (the {!Seqview} convention): an edge of
+    weight [w] behaves as a [w]-deep shift register between its driver
+    and sink.  Because a retiming only changes edge weights, the same
+    simulator executes a circuit {e as retimed} by overriding the
+    weight vector — which is how the test suite checks functional
+    equivalence of retimed circuits (outputs must agree after the
+    pipeline warm-up on feed-forward circuits, the classically sound
+    case; feedback circuits would additionally need initial-state
+    justification, which planning-level retiming does not compute). *)
+
+type t
+
+val create : ?weights:int array -> Seqview.t -> t
+(** [weights] overrides the per-edge flip-flop counts (same indexing
+    as [view.edges]); all registers initialize to [false].
+    @raise Invalid_argument on arity mismatch or a negative weight. *)
+
+val reset : t -> unit
+(** All registers back to [false]. *)
+
+val step : t -> bool array -> bool array
+(** [step t inputs] evaluates one clock cycle: combinational
+    propagation from the given primary-input values (ordered as
+    [view.primary_inputs]), returns the primary-output values (ordered
+    as [view.primary_outputs]), then advances every register.
+    @raise Invalid_argument on input arity mismatch.
+    @raise Failure on a combinational cycle. *)
+
+val run : t -> bool array list -> bool array list
+(** Fold {!step} over an input trace (does not reset first). *)
+
+val total_registers : t -> int
+
+val warmup_bound : t -> int
+(** Cycles after which a feed-forward circuit's outputs no longer
+    depend on initial register contents: the maximum register count
+    over source-to-output paths (computed on the weighted DAG of
+    non-feedback edges; conservative). *)

@@ -1,0 +1,38 @@
+type outcome = {
+  netlist : Netlist.t;
+  removed_gates : int;
+  removed_dffs : int;
+}
+
+let sweep netlist =
+  (* Mark backwards from the outputs across gate fan-ins and latch
+     data inputs. *)
+  let live = Hashtbl.create 64 in
+  let rec mark signal =
+    if not (Hashtbl.mem live signal) then begin
+      Hashtbl.add live signal ();
+      match Netlist.definition netlist signal with
+      | Netlist.Input -> ()
+      | Netlist.Dff data -> mark data
+      | Netlist.Gate (_, fanins) -> List.iter mark fanins
+    end
+  in
+  List.iter mark (Netlist.outputs netlist);
+  let builder = Netlist.Builder.create ~name:(Netlist.name netlist) in
+  let removed_gates = ref 0 and removed_dffs = ref 0 in
+  List.iter
+    (fun (signal, def) ->
+      match def with
+      | Netlist.Input -> Netlist.Builder.add_input builder signal
+      | Netlist.Dff data ->
+        if Hashtbl.mem live signal then Netlist.Builder.add_dff builder signal ~data
+        else incr removed_dffs
+      | Netlist.Gate (kind, fanins) ->
+        if Hashtbl.mem live signal then Netlist.Builder.add_gate builder signal kind fanins
+        else incr removed_gates)
+    (Netlist.signals netlist);
+  List.iter (Netlist.Builder.mark_output builder) (Netlist.outputs netlist);
+  match Netlist.Builder.finish builder with
+  | Error msg -> Error msg
+  | Ok swept ->
+    Ok ({ netlist = swept; removed_gates = !removed_gates; removed_dffs = !removed_dffs } : outcome)

@@ -1,0 +1,16 @@
+(** Dead-logic sweeping.
+
+    Removes every signal (gate or flip-flop) from which no primary
+    output is reachable — typical fallout of synthesis experiments and
+    of the synthetic generator's unused state bits.  Primary inputs
+    are always kept (they are the interface, used or not). *)
+
+type outcome = {
+  netlist : Netlist.t;
+  removed_gates : int;
+  removed_dffs : int;
+}
+
+val sweep : Netlist.t -> (outcome, string) result
+(** The swept netlist validates and preserves behaviour on all primary
+    outputs (removed logic was unobservable by construction). *)

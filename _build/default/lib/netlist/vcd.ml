@@ -1,0 +1,80 @@
+type signal = { name : string; code : string }
+
+type t = {
+  ins : signal array;
+  outs : signal array;
+  mutable cycles : (bool array * bool array) list;  (* reversed *)
+  mutable n_cycles : int;
+}
+
+(* VCD identifier codes: printable ASCII 33..126, shortest first. *)
+let code_of_index i =
+  let alphabet = 94 in
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod alphabet)) in
+    let acc = String.make 1 c ^ acc in
+    if i < alphabet then acc else go ((i / alphabet) - 1) acc
+  in
+  go i ""
+
+let create (view : Seqview.t) =
+  let signal k v = { name = Seqview.unit_name view v; code = code_of_index k } in
+  let ins = Array.of_list view.Seqview.primary_inputs in
+  let outs = Array.of_list view.Seqview.primary_outputs in
+  let n_ins = Array.length ins in
+  {
+    ins = Array.mapi signal ins;
+    outs = Array.mapi (fun k v -> signal (n_ins + k) v) outs;
+    cycles = [];
+    n_cycles = 0;
+  }
+
+let record t ~inputs ~outputs =
+  if Array.length inputs <> Array.length t.ins then invalid_arg "Vcd.record: input arity";
+  if Array.length outputs <> Array.length t.outs then invalid_arg "Vcd.record: output arity";
+  t.cycles <- (Array.copy inputs, Array.copy outputs) :: t.cycles;
+  t.n_cycles <- t.n_cycles + 1
+
+let run_and_record t sim trace =
+  List.map
+    (fun inputs ->
+      let outputs = Sim.step sim inputs in
+      record t ~inputs ~outputs;
+      outputs)
+    trace
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$date reproducible $end\n";
+  Buffer.add_string buf "$version lacr simulator $end\n";
+  Buffer.add_string buf "$timescale 1ns $end\n";
+  Buffer.add_string buf "$scope module circuit $end\n";
+  let declare s = Buffer.add_string buf (Printf.sprintf "$var wire 1 %s %s $end\n" s.code s.name) in
+  Array.iter declare t.ins;
+  Array.iter declare t.outs;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let previous = Hashtbl.create 16 in
+  let emit time (inputs, outputs) =
+    Buffer.add_string buf (Printf.sprintf "#%d\n" time);
+    let dump signals values =
+      Array.iteri
+        (fun k s ->
+          let v = values.(k) in
+          match Hashtbl.find_opt previous s.code with
+          | Some old when old = v -> ()
+          | Some _ | None ->
+            Hashtbl.replace previous s.code v;
+            Buffer.add_string buf (Printf.sprintf "%c%s\n" (if v then '1' else '0') s.code))
+        signals
+    in
+    dump t.ins inputs;
+    dump t.outs outputs
+  in
+  List.iteri emit (List.rev t.cycles);
+  Buffer.add_string buf (Printf.sprintf "#%d\n" t.n_cycles);
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

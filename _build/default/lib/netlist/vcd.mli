@@ -1,0 +1,22 @@
+(** Value-change-dump (VCD) export of simulation traces.
+
+    Records the primary inputs and outputs of a {!Sim} run as a
+    standard VCD document (IEEE 1364 §18) that waveform viewers like
+    GTKWave open directly.  One timestep per clock cycle. *)
+
+type t
+
+val create : Seqview.t -> t
+(** Declares one scalar wire per primary input and output. *)
+
+val record : t -> inputs:bool array -> outputs:bool array -> unit
+(** Append one cycle.  @raise Invalid_argument on arity mismatch. *)
+
+val run_and_record : t -> Sim.t -> bool array list -> bool array list
+(** Drive the simulator over a trace, recording every cycle; returns
+    the outputs like {!Sim.run}. *)
+
+val to_string : t -> string
+(** The complete VCD document for the cycles recorded so far. *)
+
+val write_file : string -> t -> unit

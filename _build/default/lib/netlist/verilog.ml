@@ -1,0 +1,86 @@
+let sanitize name =
+  let buf = Buffer.create (String.length name + 1) in
+  if String.length name > 0 then begin
+    match name.[0] with
+    | '0' .. '9' -> Buffer.add_char buf '_'
+    | _ -> ()
+  end;
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_string buf (Printf.sprintf "_%02x" (Char.code c)))
+    name;
+  Buffer.contents buf
+
+let gate_expr kind operands =
+  let infix op = String.concat (Printf.sprintf " %s " op) operands in
+  match (kind, operands) with
+  | Gate.Buf, [ a ] -> a
+  | Gate.Not, [ a ] -> "~" ^ a
+  | Gate.Buf, _ | Gate.Not, _ ->
+    (* Multi-input buffers/inverters take their first operand, the
+       simulator's convention. *)
+    (match operands with
+    | a :: _ -> if kind = Gate.Not then "~" ^ a else a
+    | [] -> "1'b0")
+  | Gate.And, _ -> infix "&"
+  | Gate.Nand, _ -> Printf.sprintf "~(%s)" (infix "&")
+  | Gate.Or, _ -> infix "|"
+  | Gate.Nor, _ -> Printf.sprintf "~(%s)" (infix "|")
+  | Gate.Xor, _ -> infix "^"
+  | Gate.Xnor, _ -> Printf.sprintf "~(%s)" (infix "^")
+
+let to_string netlist =
+  let buf = Buffer.create 4096 in
+  let inputs =
+    List.filter_map
+      (fun (s, def) -> match def with Netlist.Input -> Some s | Netlist.Dff _ | Netlist.Gate _ -> None)
+      (Netlist.signals netlist)
+  in
+  let outputs = Netlist.outputs netlist in
+  let ports =
+    [ "clk" ] @ List.map sanitize inputs
+    @ List.map (fun o -> sanitize o ^ "_out") outputs
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s (%s);\n" (sanitize (Netlist.name netlist))
+       (String.concat ", " ports));
+  Buffer.add_string buf "  input clk;\n";
+  List.iter (fun i -> Buffer.add_string buf (Printf.sprintf "  input %s;\n" (sanitize i))) inputs;
+  List.iter
+    (fun o -> Buffer.add_string buf (Printf.sprintf "  output %s_out;\n" (sanitize o)))
+    outputs;
+  (* Wires for gates, regs for flip-flops. *)
+  List.iter
+    (fun (s, def) ->
+      match def with
+      | Netlist.Input -> ()
+      | Netlist.Gate _ -> Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (sanitize s))
+      | Netlist.Dff _ -> Buffer.add_string buf (Printf.sprintf "  reg %s;\n" (sanitize s)))
+    (Netlist.signals netlist);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (s, def) ->
+      match def with
+      | Netlist.Input -> ()
+      | Netlist.Gate (kind, fanins) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  assign %s = %s;\n" (sanitize s)
+             (gate_expr kind (List.map sanitize fanins)))
+      | Netlist.Dff data ->
+        Buffer.add_string buf
+          (Printf.sprintf "  always @(posedge clk) %s <= %s;\n" (sanitize s) (sanitize data)))
+    (Netlist.signals netlist);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun o ->
+      Buffer.add_string buf (Printf.sprintf "  assign %s_out = %s;\n" (sanitize o) (sanitize o)))
+    outputs;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_file path netlist =
+  let oc = open_out path in
+  output_string oc (to_string netlist);
+  close_out oc

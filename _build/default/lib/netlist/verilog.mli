@@ -1,0 +1,17 @@
+(** Structural Verilog export.
+
+    Emits a synthesizable gate-level module for a netlist: one wire
+    per signal, primitive gate instantiations, and a positive-edge
+    DFF always-block per register.  Signal names are sanitized to
+    Verilog identifiers (alphanumerics and underscore; a leading
+    digit gets an underscore prefix); sanitization is injective for
+    ISCAS-style names.  Useful for pushing retimed netlists (see
+    {!Rebuild}) into downstream simulators and synthesis tools. *)
+
+val to_string : Netlist.t -> string
+(** The full module text ([module <name>(...); ... endmodule]). *)
+
+val write_file : string -> Netlist.t -> unit
+
+val sanitize : string -> string
+(** The identifier mapping used by the writer (exposed for tests). *)

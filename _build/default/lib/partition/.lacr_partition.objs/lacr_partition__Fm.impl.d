@@ -1,0 +1,1 @@
+lib/partition/fm.ml: Array Lacr_util List

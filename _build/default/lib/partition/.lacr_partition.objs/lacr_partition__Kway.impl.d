@@ -1,0 +1,1 @@
+lib/partition/kway.ml: Array Fm Hashtbl Lacr_netlist List

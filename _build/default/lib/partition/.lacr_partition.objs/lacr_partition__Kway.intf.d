@@ -1,0 +1,1 @@
+lib/partition/kway.mli: Fm Lacr_netlist Lacr_util

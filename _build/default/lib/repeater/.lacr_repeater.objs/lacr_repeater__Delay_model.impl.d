@@ -1,0 +1,1 @@
+lib/repeater/delay_model.ml:

@@ -1,0 +1,1 @@
+lib/repeater/insertion.ml: Array Delay_model Lacr_tilegraph List

@@ -1,0 +1,1 @@
+lib/repeater/insertion.mli: Delay_model Lacr_tilegraph

@@ -1,0 +1,29 @@
+type t = {
+  unit_wire_delay : float;
+  repeater_delay : float;
+  repeater_area : float;
+  ff_area : float;
+  ff_insertion_delay : float;
+  l_max : float;
+}
+
+let default =
+  {
+    unit_wire_delay = 0.45;
+    repeater_delay = 0.05;
+    repeater_area = 0.2;
+    ff_area = 1.0;
+    ff_insertion_delay = 0.12;
+    l_max = 4.5;
+  }
+
+let segment_delay t length = t.repeater_delay +. (t.unit_wire_delay *. length)
+
+let validate t =
+  if t.unit_wire_delay <= 0.0 then Error "unit_wire_delay must be positive"
+  else if t.repeater_delay < 0.0 then Error "repeater_delay must be non-negative"
+  else if t.repeater_area < 0.0 then Error "repeater_area must be non-negative"
+  else if t.ff_area <= 0.0 then Error "ff_area must be positive"
+  else if t.ff_insertion_delay < 0.0 then Error "ff_insertion_delay must be non-negative"
+  else if t.l_max <= 0.0 then Error "l_max must be positive"
+  else Ok ()

@@ -1,0 +1,26 @@
+(** Technology and delay model for global interconnect.
+
+    A synthetic 2003-era (~130 nm) global-wire model: repeaters every
+    [l_max] millimetres keep wire delay linear in length, so a
+    repeater-driven segment of length L contributes
+    [repeater_delay + unit_wire_delay * L].  [l_max] is the paper's
+    maximum repeater interval, set by signal integrity rather than
+    delay (paper §2).  Areas are measured in flip-flop equivalents,
+    the unit used by tile capacities. *)
+
+type t = {
+  unit_wire_delay : float;  (** ns per mm of buffered wire *)
+  repeater_delay : float;  (** ns, intrinsic repeater delay *)
+  repeater_area : float;  (** FF-equivalents per repeater *)
+  ff_area : float;  (** area of one flip-flop, the capacity unit *)
+  ff_insertion_delay : float;  (** ns of clk-to-q + setup charged per FF stage *)
+  l_max : float;  (** mm, max distance between consecutive repeaters *)
+}
+
+val default : t
+
+val segment_delay : t -> float -> float
+(** [segment_delay model length_mm] for one repeater-driven segment;
+    includes the driving repeater's delay. *)
+
+val validate : t -> (unit, string) result

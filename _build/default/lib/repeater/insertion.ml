@@ -1,0 +1,133 @@
+module Tilegraph = Lacr_tilegraph.Tilegraph
+module Occupancy = Lacr_tilegraph.Occupancy
+
+type segment = {
+  cells : int list;
+  length : float;
+  delay : float;
+  start_tile : int;
+}
+
+type buffered_path = {
+  path : int list;
+  repeater_cells : int list;
+  segments : segment list;
+}
+
+(* Cost of parking one repeater in a tile: channels are the natural
+   home, soft blocks acceptable, hard-block sites a last resort
+   (paper §4: channel/dead tiles have high capacity, hard blocks very
+   low).  On top of the kind preference the cost grows quadratically
+   with the tile's utilization and becomes steep once the repeater
+   would overflow — overflow stays allowed (the planner reports
+   violations rather than failing). *)
+let site_cost occupancy model tile =
+  let tg = Occupancy.tilegraph occupancy in
+  let info = (Tilegraph.tiles tg).(tile) in
+  let base =
+    match info.Tilegraph.kind with
+    | Tilegraph.Channel -> 1.0
+    | Tilegraph.Soft_merged _ -> 2.0
+    | Tilegraph.Hard_cell _ -> 4.0
+  in
+  let need = model.Delay_model.repeater_area in
+  (* Soft blocks keep half their headroom reserved for (relocated)
+     flip-flops: repeaters price against the other half only, so a
+     block's register room is never silently consumed by buffering. *)
+  let budget_fraction =
+    match info.Tilegraph.kind with
+    | Tilegraph.Soft_merged _ -> 0.5
+    | Tilegraph.Channel | Tilegraph.Hard_cell _ -> 1.0
+  in
+  let capacity = max 1e-6 (info.Tilegraph.capacity *. budget_fraction) in
+  let utilization = (Occupancy.used occupancy tile +. need) /. capacity in
+  if utilization <= 1.0 then base +. (6.0 *. utilization *. utilization)
+  else base +. 6.0 +. (200.0 *. (utilization -. 1.0))
+
+let prefix_distances tg path =
+  let pitch_x, pitch_y = Tilegraph.cell_pitch tg in
+  let nx, _ = Tilegraph.grid_dims tg in
+  let arr = Array.of_list path in
+  let n = Array.length arr in
+  let dist = Array.make n 0.0 in
+  for i = 1 to n - 1 do
+    let step = if arr.(i - 1) / nx = arr.(i) / nx then pitch_x else pitch_y in
+    dist.(i) <- dist.(i - 1) +. step
+  done;
+  (arr, dist)
+
+let insert model occupancy ~path =
+  match path with
+  | [] | [ _ ] -> { path; repeater_cells = []; segments = [] }
+  | _ ->
+    let tg = Occupancy.tilegraph occupancy in
+    let cells, dist = prefix_distances tg path in
+    let n = Array.length cells in
+    let total = dist.(n - 1) in
+    let l_max = model.Delay_model.l_max in
+    let chosen =
+      if total <= l_max then []
+      else begin
+        (* dp.(i): cheapest way to place repeaters on cells 1..i with
+           the last repeater at cell i, every gap (including from the
+           source at index 0) within l_max. *)
+        let dp = Array.make n infinity in
+        let back = Array.make n (-1) in
+        for i = 1 to n - 1 do
+          let cost_i = site_cost occupancy model (Tilegraph.tile_of_cell tg cells.(i)) in
+          if dist.(i) <= l_max then dp.(i) <- cost_i;
+          for j = 1 to i - 1 do
+            if dist.(i) -. dist.(j) <= l_max && dp.(j) +. cost_i < dp.(i) then begin
+              dp.(i) <- dp.(j) +. cost_i;
+              back.(i) <- j
+            end
+          done
+        done;
+        (* Best terminal repeater: within l_max of the sink. *)
+        let best = ref (-1) in
+        for i = 1 to n - 2 do
+          if total -. dist.(i) <= l_max && (!best < 0 || dp.(i) < dp.(!best)) then best := i
+        done;
+        if !best < 0 then begin
+          (* A single cell step exceeding l_max (coarse grids): place a
+             repeater on every interior cell — best effort. *)
+          List.init (n - 2) (fun i -> i + 1)
+        end
+        else begin
+          let rec unwind i acc = if i < 0 then acc else unwind back.(i) (i :: acc) in
+          unwind !best []
+        end
+      end
+    in
+    (* Reserve area for each chosen repeater. *)
+    List.iter
+      (fun i ->
+        Occupancy.reserve occupancy
+          ~tile:(Tilegraph.tile_of_cell tg cells.(i))
+          ~amount:model.Delay_model.repeater_area)
+      chosen;
+    (* Cut the path into segments at the chosen indices. *)
+    let cut_points = (0 :: chosen) @ [ n - 1 ] in
+    let rec segments_of = function
+      | a :: (b :: _ as rest) ->
+        let seg_cells = Array.to_list (Array.sub cells a (b - a + 1)) in
+        let length = dist.(b) -. dist.(a) in
+        {
+          cells = seg_cells;
+          length;
+          delay = Delay_model.segment_delay model length;
+          start_tile = Tilegraph.tile_of_cell tg cells.(a);
+        }
+        :: segments_of rest
+      | [ _ ] | [] -> []
+    in
+    {
+      path;
+      repeater_cells = List.map (fun i -> cells.(i)) chosen;
+      segments = segments_of cut_points;
+    }
+
+let max_gap _tg bp =
+  List.fold_left (fun acc seg -> max acc seg.length) 0.0 bp.segments
+
+let total_delay bp = List.fold_left (fun acc seg -> acc +. seg.delay) 0.0 bp.segments

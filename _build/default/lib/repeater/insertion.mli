@@ -1,0 +1,40 @@
+(** Repeater insertion along routed driver-to-sink paths (paper §4.1).
+
+    A dynamic program over the cells of a routed path chooses repeater
+    positions such that no two consecutive repeaters (or the path
+    endpoints) are more than [l_max] apart, minimizing a cost that
+    prices each candidate cell by the scarcity of its tile's remaining
+    area — cheap where channels are empty, expensive where a tile is
+    nearly full, very expensive (but never forbidden: the planner must
+    make progress and report violations instead) where it would
+    overflow.  Chosen repeaters reserve area in the shared
+    {!Lacr_tilegraph.Occupancy.t}. *)
+
+type segment = {
+  cells : int list;
+      (** inclusive cell run of this segment, in path order *)
+  length : float;  (** mm *)
+  delay : float;  (** ns, repeater + wire *)
+  start_tile : int;
+      (** tile of the segment's first cell — the position [P(v)]
+          charged for a flip-flop retimed onto this unit's output *)
+}
+
+type buffered_path = {
+  path : int list;
+  repeater_cells : int list;  (** interior repeaters, in path order *)
+  segments : segment list;
+      (** consecutive; empty when the path is a single cell *)
+}
+
+val insert :
+  Delay_model.t -> Lacr_tilegraph.Occupancy.t -> path:int list -> buffered_path
+(** The path must be an inclusive cell sequence from a maze route.
+    Repeater area is reserved in the occupancy as a side effect. *)
+
+val max_gap : Lacr_tilegraph.Tilegraph.t -> buffered_path -> float
+(** Longest segment length (0 for unsegmented paths) — tests assert
+    this never exceeds [l_max] when the path is coverable. *)
+
+val total_delay : buffered_path -> float
+(** Sum of segment delays. *)

@@ -1,0 +1,1 @@
+lib/retime/constraints.ml: Array Graph Lacr_mcmf List Paths

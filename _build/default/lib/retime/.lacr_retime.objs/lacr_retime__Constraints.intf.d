@@ -1,0 +1,1 @@
+lib/retime/constraints.mli: Graph Lacr_mcmf Paths

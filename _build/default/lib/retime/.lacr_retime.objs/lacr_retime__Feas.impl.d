@@ -1,0 +1,1 @@
+lib/retime/feas.ml: Array Feasibility Graph List Paths Queue

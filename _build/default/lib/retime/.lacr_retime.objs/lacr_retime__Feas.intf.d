@@ -1,0 +1,1 @@
+lib/retime/feas.mli: Feasibility Graph Paths

@@ -1,0 +1,1 @@
+lib/retime/feasibility.ml: Array Constraints Graph Lacr_mcmf List Paths

@@ -1,0 +1,1 @@
+lib/retime/feasibility.mli: Graph Lacr_mcmf Paths

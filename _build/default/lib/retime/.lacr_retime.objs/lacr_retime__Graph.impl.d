@@ -1,0 +1,1 @@
+lib/retime/graph.ml: Array Lacr_mcmf Lacr_netlist List Printf Queue

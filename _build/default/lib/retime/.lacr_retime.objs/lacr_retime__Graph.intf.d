@@ -1,0 +1,1 @@
+lib/retime/graph.mli: Lacr_mcmf Lacr_netlist

@@ -1,0 +1,1 @@
+lib/retime/min_area.ml: Array Constraints Graph Lacr_mcmf List

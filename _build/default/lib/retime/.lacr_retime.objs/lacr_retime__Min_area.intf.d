@@ -1,0 +1,1 @@
+lib/retime/min_area.mli: Constraints Graph Stdlib

@@ -1,0 +1,1 @@
+lib/retime/paths.ml: Array Graph Lacr_util List Queue

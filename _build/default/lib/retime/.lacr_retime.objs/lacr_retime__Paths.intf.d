@@ -1,0 +1,1 @@
+lib/retime/paths.mli: Graph

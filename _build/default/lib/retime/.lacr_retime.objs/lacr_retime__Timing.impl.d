@@ -1,0 +1,1 @@
+lib/retime/timing.ml: Array Format Graph List Queue

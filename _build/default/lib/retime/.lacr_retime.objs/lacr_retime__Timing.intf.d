@@ -1,0 +1,1 @@
+lib/retime/timing.mli: Format Graph

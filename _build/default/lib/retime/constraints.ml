@@ -1,0 +1,152 @@
+type t = {
+  period : float;
+  constraints : Lacr_mcmf.Difference.constr list;
+  n_edge : int;
+  n_period : int;
+}
+
+let epsilon = 1e-9
+
+let edge_constraints g =
+  Array.to_list (Graph.edges g)
+  |> List.map (fun (e : Graph.edge) ->
+         { Lacr_mcmf.Difference.a = e.Graph.src; b = e.Graph.dst; bound = e.Graph.weight })
+
+let period_constraints wd ~period =
+  let acc = ref [] in
+  Paths.iter_pairs wd (fun u v w_uv d_uv ->
+      (* Self pairs carry W(u,u) = 0, so a too-slow vertex produces the
+         infeasible bound -1; other self constraints are trivial and
+         skipped. *)
+      if d_uv > period +. epsilon && (u <> v || w_uv = 0) then
+        acc := { Lacr_mcmf.Difference.a = u; b = v; bound = w_uv - 1 } :: !acc);
+  !acc
+
+(* Per-source dominance pruning (Maheshwari-Sapatnekar flavour): a
+   period constraint r(u) - r(v) <= W(u,v) - 1 is implied by a kept
+   constraint r(u) - r(x) <= W(u,x) - 1 together with the edge-derived
+   bound r(x) - r(v) <= W(x,v) whenever
+   W(u,x) + W(x,v) <= W(u,v).  Scanning targets by ascending W keeps
+   the retained set small (typically the W-frontier of each source). *)
+let pruned_period_constraints (wd : Paths.wd) ~period =
+  let n = Array.length wd.Paths.w in
+  (* Source-side pass: per source u, scanning targets by ascending
+     W(u,v), drop v when a kept x gives W(u,x) + W(x,v) <= W(u,v). *)
+  let survivors = Array.make n [] in
+  for u = 0 to n - 1 do
+    let wrow = wd.Paths.w.(u) and drow = wd.Paths.d.(u) in
+    let candidates = ref [] in
+    for v = 0 to n - 1 do
+      if wrow.(v) <> max_int && drow.(v) > period +. epsilon && (u <> v || wrow.(v) = 0) then
+        candidates := v :: !candidates
+    done;
+    let sorted = List.sort (fun a b -> compare wrow.(a) wrow.(b)) !candidates in
+    let kept = ref [] in
+    let consider v =
+      let implied =
+        List.exists
+          (fun x ->
+            let wxv = wd.Paths.w.(x).(v) in
+            wxv <> max_int && wrow.(x) + wxv <= wrow.(v))
+          !kept
+      in
+      if not implied then kept := v :: !kept
+    in
+    List.iter consider sorted;
+    survivors.(u) <- !kept
+  done;
+  (* Target-side pass over the survivors: for fixed v (scanning sources
+     by ascending W(u,v)), drop (u, v) when a kept (x, v) gives
+     W(u,x) + W(x,v) <= W(u,v) — the mirrored implication through the
+     edge-derived bound r(u) - r(x) <= W(u,x). *)
+  let by_target = Array.make n [] in
+  Array.iteri (fun u vs -> List.iter (fun v -> by_target.(v) <- u :: by_target.(v)) vs) survivors;
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    let sorted =
+      List.sort (fun u1 u2 -> compare wd.Paths.w.(u1).(v) wd.Paths.w.(u2).(v)) by_target.(v)
+    in
+    let kept = ref [] in
+    let consider u =
+      let wuv = wd.Paths.w.(u).(v) in
+      let implied =
+        u <> v
+        && List.exists
+             (fun x ->
+               let wux = wd.Paths.w.(u).(x) in
+               wux <> max_int && wux + wd.Paths.w.(x).(v) <= wuv)
+             !kept
+      in
+      if not implied then begin
+        kept := u :: !kept;
+        acc := { Lacr_mcmf.Difference.a = u; b = v; bound = wuv - 1 } :: !acc
+      end
+    in
+    List.iter consider sorted
+  done;
+  !acc
+
+(* Flat-array compilation of the full (unpruned) system for one
+   feasibility probe: edge constraints + extra + all violating pairs.
+   No lists, no pruning — the Bellman-Ford consumer is fast enough and
+   probes are throwaway. *)
+type compiled = {
+  ca : int array;
+  cb : int array;
+  cbound : int array;
+  m : int;
+}
+
+let compile ?(extra = []) g (wd : Paths.wd) ~period =
+  let n = Array.length wd.Paths.w in
+  let n_edges = Graph.num_edges g in
+  let cap = ref (n_edges + List.length extra + 1024) in
+  let ca = ref (Array.make !cap 0) in
+  let cb = ref (Array.make !cap 0) in
+  let cbound = ref (Array.make !cap 0) in
+  let m = ref 0 in
+  let push a b bound =
+    if !m = !cap then begin
+      let ncap = !cap * 2 in
+      let grow arr =
+        let narr = Array.make ncap 0 in
+        Array.blit arr 0 narr 0 !m;
+        narr
+      in
+      ca := grow !ca;
+      cb := grow !cb;
+      cbound := grow !cbound;
+      cap := ncap
+    end;
+    !ca.(!m) <- a;
+    !cb.(!m) <- b;
+    !cbound.(!m) <- bound;
+    incr m
+  in
+  Array.iter (fun (e : Graph.edge) -> push e.Graph.src e.Graph.dst e.Graph.weight) (Graph.edges g);
+  List.iter
+    (fun (c : Lacr_mcmf.Difference.constr) ->
+      push c.Lacr_mcmf.Difference.a c.Lacr_mcmf.Difference.b c.Lacr_mcmf.Difference.bound)
+    extra;
+  for u = 0 to n - 1 do
+    let wrow = wd.Paths.w.(u) and drow = wd.Paths.d.(u) in
+    for v = 0 to n - 1 do
+      if wrow.(v) <> max_int && drow.(v) > period +. epsilon && (u <> v || wrow.(v) = 0) then
+        push u v (wrow.(v) - 1)
+    done
+  done;
+  { ca = !ca; cb = !cb; cbound = !cbound; m = !m }
+
+let generate ?(prune = false) ?(extra = []) g wd ~period =
+  let ecs = extra @ edge_constraints g in
+  let pcs =
+    if prune then pruned_period_constraints wd ~period else period_constraints wd ~period
+  in
+  {
+    period;
+    constraints = ecs @ pcs;
+    n_edge = List.length ecs;
+    n_period = List.length pcs;
+  }
+
+let satisfied_by t r = Lacr_mcmf.Difference.check t.constraints r

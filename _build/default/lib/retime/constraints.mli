@@ -1,0 +1,54 @@
+(** Generation of the retiming constraint system for a target clock
+    period (paper §3.1, Eqns (1) and (2)).
+
+    Constraints are expressed over retiming labels in the
+    [Lacr_mcmf.Difference] form [r(a) - r(b) <= bound]:
+    - edge constraints: [r(u) - r(v) <= w(e)] for every edge [u -> v]
+      (non-negative retimed weights);
+    - period constraints: [r(u) - r(v) <= W(u,v) - 1] for every pair
+      with [D(u,v) > T] (at least one flip-flop on every too-slow
+      path).
+
+    The paper generates this system {e once} per planning run and
+    reuses it across all weighted min-area iterations; callers hold on
+    to the returned list for that reason. *)
+
+type t = {
+  period : float;
+  constraints : Lacr_mcmf.Difference.constr list;
+  n_edge : int;
+  n_period : int;
+}
+
+val generate :
+  ?prune:bool ->
+  ?extra:Lacr_mcmf.Difference.constr list ->
+  Graph.t ->
+  Paths.wd ->
+  period:float ->
+  t
+(** [prune] (default [false]) deduplicates per vertex pair (keeping the
+    tightest bound) and drops period constraints implied transitively
+    by two tighter ones — the constraint-reduction flavour the paper
+    cites from Maheshwari-Sapatnekar as a further speed-up.
+
+    [extra] adds caller constraints (I/O pinning, guards); they join
+    the system before pruning, which remains sound because pruning
+    only removes constraints implied by kept ones. *)
+
+val satisfied_by : t -> int array -> bool
+
+(** {1 Throwaway compiled systems for feasibility probes} *)
+
+type compiled = {
+  ca : int array;
+  cb : int array;
+  cbound : int array;
+  m : int;  (** live prefix length of the arrays *)
+}
+
+val compile :
+  ?extra:Lacr_mcmf.Difference.constr list -> Graph.t -> Paths.wd -> period:float -> compiled
+(** The full unpruned system as parallel arrays, for
+    [Lacr_mcmf.Difference.feasible_arrays] — the min-period binary
+    search path. *)

@@ -1,0 +1,88 @@
+(* Arrival times on the retimed graph without materializing it: edge
+   weights are read as w(e) + r(dst) - r(src). *)
+let arrivals g r =
+  let n = Graph.num_vertices g in
+  let indeg = Array.make n 0 in
+  let zero_out = Array.make n [] in
+  let record (e : Graph.edge) =
+    if Graph.retimed_weight g r e = 0 then begin
+      indeg.(e.Graph.dst) <- indeg.(e.Graph.dst) + 1;
+      zero_out.(e.Graph.src) <- e.Graph.dst :: zero_out.(e.Graph.src)
+    end
+  in
+  Array.iter record (Graph.edges g);
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let arrival = Array.init n (Graph.delay g) in
+  let processed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr processed;
+    List.iter
+      (fun w ->
+        if arrival.(v) +. Graph.delay g w > arrival.(w) then
+          arrival.(w) <- arrival.(v) +. Graph.delay g w;
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      zero_out.(v)
+  done;
+  if !processed < n then None else Some arrival
+
+let feasible g ~period =
+  let n = Graph.num_vertices g in
+  let r = Array.make n 0 in
+  let rec iterate k =
+    if k > n then None
+    else
+      match arrivals g r with
+      | None -> None (* zero-weight cycle: illegal intermediate state *)
+      | Some arrival ->
+        let violated = ref false in
+        for v = 0 to n - 1 do
+          if arrival.(v) > period +. 1e-9 then begin
+            violated := true;
+            r.(v) <- r.(v) + 1
+          end
+        done;
+        if not !violated then begin
+          let base = r.(Graph.host g) in
+          Some (Array.map (fun x -> x - base) r)
+        end
+        else iterate (k + 1)
+  in
+  iterate 0
+
+let min_period g wd =
+  let bound = Feasibility.cycle_ratio_lower_bound g in
+  let candidates =
+    Paths.distinct_delays wd |> List.filter (fun d -> d >= bound -. 1e-9) |> Array.of_list
+  in
+  let n_cand = Array.length candidates in
+  if n_cand = 0 then
+    {
+      Feasibility.period = Graph.clock_period g;
+      labels = Array.make (Graph.num_vertices g) 0;
+    }
+  else begin
+    let best = ref None in
+    let rec search lo hi =
+      if lo >= hi then ()
+      else begin
+        let mid = (lo + hi) / 2 in
+        match feasible g ~period:candidates.(mid) with
+        | Some labels ->
+          best := Some (candidates.(mid), labels);
+          search lo mid
+        | None -> search (mid + 1) hi
+      end
+    in
+    (match feasible g ~period:candidates.(n_cand - 1) with
+    | Some labels -> best := Some (candidates.(n_cand - 1), labels)
+    | None -> best := Some (Graph.clock_period g, Array.make (Graph.num_vertices g) 0));
+    search 0 (n_cand - 1);
+    match !best with
+    | Some (period, labels) -> { Feasibility.period; labels }
+    | None -> assert false
+  end

@@ -1,0 +1,98 @@
+let normalize_to_host g labels =
+  let base = labels.(Graph.host g) in
+  Array.map (fun l -> l - base) labels
+
+let feasible ?(extra = []) g wd ~period =
+  let compiled = Constraints.compile ~extra g wd ~period in
+  match
+    Lacr_mcmf.Difference.feasible_arrays ~n:(Graph.num_vertices g) ~a:compiled.Constraints.ca
+      ~b:compiled.Constraints.cb ~bound:compiled.Constraints.cbound ~m:compiled.Constraints.m
+  with
+  | None -> None
+  | Some labels -> Some (normalize_to_host g labels)
+
+type min_period_result = { period : float; labels : int array }
+
+(* Lower bound on any achievable period: the maximum cycle ratio
+   max_C d(C) / w(C) (registers on a cycle are invariant under
+   retiming, so the cycle's delay must fit in w(C) periods), and the
+   largest single vertex delay.  Checked by Lawler's reformulation:
+   lambda bounds all cycle ratios iff the graph with edge lengths
+   [lambda * w(e) - d(src e)] has no negative cycle.  This prunes the
+   expensive low-period probes out of the min-period binary search. *)
+let cycle_ratio_lower_bound g =
+  let n = Graph.num_vertices g in
+  let edges = Graph.edges g in
+  let no_negative_cycle lambda =
+    let dist = Array.make n 0.0 in
+    let changed = ref true in
+    let rounds = ref 0 in
+    while !changed && !rounds <= n do
+      changed := false;
+      incr rounds;
+      Array.iter
+        (fun (e : Graph.edge) ->
+          let len = (lambda *. float_of_int e.Graph.weight) -. Graph.delay g e.Graph.src in
+          if dist.(e.Graph.src) +. len < dist.(e.Graph.dst) -. 1e-9 then begin
+            dist.(e.Graph.dst) <- dist.(e.Graph.src) +. len;
+            changed := true
+          end)
+        edges
+    done;
+    not !changed
+  in
+  let max_delay =
+    let m = ref 0.0 in
+    for v = 0 to n - 1 do
+      if Graph.delay g v > !m then m := Graph.delay g v
+    done;
+    !m
+  in
+  if no_negative_cycle max_delay then max_delay
+  else begin
+    let lo = ref max_delay and hi = ref (max max_delay (Graph.clock_period g)) in
+    for _i = 1 to 30 do
+      let mid = (!lo +. !hi) /. 2.0 in
+      if no_negative_cycle mid then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let min_period ?(extra = []) g wd =
+  let bound = cycle_ratio_lower_bound g in
+  let candidates =
+    Paths.distinct_delays wd
+    |> List.filter (fun d -> d >= bound -. 1e-9)
+    |> Array.of_list
+  in
+  let n_cand = Array.length candidates in
+  if n_cand = 0 then { period = Graph.clock_period g; labels = Array.make (Graph.num_vertices g) 0 }
+  else begin
+    (* Invariant: hi is feasible (the max candidate always is: every
+       path of minimum weight fits in it without moving a register on
+       that path beyond what feasibility provides). *)
+    let best = ref None in
+    let rec search lo hi =
+      (* candidates.(hi) known feasible with witness in !best (except
+         the very first probe). *)
+      if lo >= hi then ()
+      else begin
+        let mid = (lo + hi) / 2 in
+        match feasible ~extra g wd ~period:candidates.(mid) with
+        | Some labels ->
+          best := Some (candidates.(mid), labels);
+          search lo mid
+        | None -> search (mid + 1) hi
+      end
+    in
+    (match feasible ~extra g wd ~period:candidates.(n_cand - 1) with
+    | Some labels -> best := Some (candidates.(n_cand - 1), labels)
+    | None ->
+      (* Should be impossible; fall back to the current period with the
+         identity retiming. *)
+      best := Some (Graph.clock_period g, Array.make (Graph.num_vertices g) 0));
+    search 0 (n_cand - 1);
+    match !best with
+    | Some (period, labels) -> { period; labels }
+    | None -> assert false
+  end

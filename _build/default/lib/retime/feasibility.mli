@@ -1,0 +1,36 @@
+(** Clock-period feasibility and minimum-period retiming.
+
+    Min-period retiming is the classical binary search over the
+    distinct D(u,v) values: a period [T] is achievable iff the
+    difference-constraint system of {!Constraints.generate} is
+    feasible.  This gives the paper's [T_min]; [T_init] is simply
+    {!Graph.clock_period} of the unretimed graph. *)
+
+val feasible :
+  ?extra:Lacr_mcmf.Difference.constr list ->
+  Graph.t ->
+  Paths.wd ->
+  period:float ->
+  int array option
+(** A legal retiming labelling achieving the period ([r(host)]
+    normalized to 0), or [None]. *)
+
+val cycle_ratio_lower_bound : Graph.t -> float
+(** [max(max_v d(v), max_C d(C)/w(C))] — no retiming can clock below
+    it.  Computed by Lawler's negative-cycle test; used to prune the
+    min-period binary search (exposed for tests and benches). *)
+
+type min_period_result = {
+  period : float;
+  labels : int array;  (** witness retiming, [r(host) = 0] *)
+}
+
+val min_period :
+  ?extra:Lacr_mcmf.Difference.constr list ->
+  Graph.t ->
+  Paths.wd ->
+  min_period_result
+(** Smallest achievable clock period over the candidate set of
+    distinct path delays.  Always succeeds: the largest candidate (the
+    total delay of the heaviest minimum-weight path) is feasible with
+    the identity retiming. *)

@@ -1,0 +1,64 @@
+type solution = { labels : int array; ff_count : int; ff_area : float }
+
+let objective_coefficients g ~area =
+  let n = Graph.num_vertices g in
+  if Array.length area <> n then invalid_arg "Min_area: area arity mismatch";
+  Array.iter (fun a -> if a < 0.0 then invalid_arg "Min_area: negative area weight") area;
+  let coeff = Array.make n 0.0 in
+  let tally (e : Graph.edge) =
+    (* Each flip-flop on e is charged A(src): contributes +A(src) per
+       unit of r(dst) and -A(src) per unit of r(src). *)
+    coeff.(e.Graph.dst) <- coeff.(e.Graph.dst) +. area.(e.Graph.src);
+    coeff.(e.Graph.src) <- coeff.(e.Graph.src) -. area.(e.Graph.src)
+  in
+  Array.iter tally (Graph.edges g);
+  coeff
+
+let weighted_ff_area g ~area labels =
+  Array.fold_left
+    (fun acc (e : Graph.edge) ->
+      acc +. (area.(e.Graph.src) *. float_of_int (Graph.retimed_weight g labels e)))
+    0.0 (Graph.edges g)
+
+(* Registers needed under maximum fan-out sharing: one chain per
+   driver, so each vertex contributes its largest retimed fan-out
+   weight. *)
+let shared_registers g labels =
+  let n = Graph.num_vertices g in
+  let total = ref 0 in
+  for v = 0 to n - 1 do
+    let deepest =
+      List.fold_left
+        (fun acc e -> max acc (Graph.retimed_weight g labels e))
+        0 (Graph.fanout_edges g v)
+    in
+    total := !total + deepest
+  done;
+  !total
+
+let count_ffs g labels =
+  Array.fold_left (fun acc e -> acc + Graph.retimed_weight g labels e) 0 (Graph.edges g)
+
+let solve_weighted g (cs : Constraints.t) ~area =
+  let n = Graph.num_vertices g in
+  let objective = objective_coefficients g ~area in
+  match Lacr_mcmf.Difference.optimize ~n ~objective cs.Constraints.constraints with
+  | Error Lacr_mcmf.Difference.Infeasible_constraints ->
+    Error "min-area retiming: clock period constraints infeasible"
+  | Error Lacr_mcmf.Difference.Unbounded_objective ->
+    Error "min-area retiming: objective unbounded (malformed graph)"
+  | Ok labels ->
+    let base = labels.(Graph.host g) in
+    let labels = Array.map (fun l -> l - base) labels in
+    if not (Graph.is_legal g labels) then Error "min-area retiming: solver returned illegal labelling"
+    else
+      Ok
+        {
+          labels;
+          ff_count = count_ffs g labels;
+          ff_area = weighted_ff_area g ~area labels;
+        }
+
+let solve g cs =
+  let area = Array.make (Graph.num_vertices g) 1.0 in
+  solve_weighted g cs ~area

@@ -1,0 +1,37 @@
+(** (Weighted) minimum-area retiming (paper §3.1 and §4.2).
+
+    Classical min-area retiming minimizes the number of flip-flops
+    [sum_e w_r(e)] under a clock-period constraint.  The weighted
+    variant scales each flip-flop by the area weight [A(u)] of the
+    tile holding its fan-in unit, giving the objective
+    [sum_e A(src e) w_r(e)] — equivalently
+    [const + sum_v r(v) (fi(v) - fo(v))] with
+    [fi(v) = sum_{u in FI(v)} A(u)] and [fo(v) = A(v) |FO(v)|].
+    Both reduce to the difference-constraint LP solved by min-cost
+    flow in [Lacr_mcmf]. *)
+
+type solution = {
+  labels : int array;  (** optimal retiming, [r(host) = 0] *)
+  ff_count : int;  (** unweighted flip-flop count after retiming *)
+  ff_area : float;  (** weighted flip-flop area after retiming *)
+}
+
+val solve : Graph.t -> Constraints.t -> (solution, string) Stdlib.result
+(** Unit area weights: plain min-area retiming. *)
+
+val solve_weighted : Graph.t -> Constraints.t -> area:float array -> (solution, string) Stdlib.result
+(** [area.(v)] is the flip-flop area weight charged to vertex [v]'s
+    tile (must be non-negative).  @raise Invalid_argument on arity
+    mismatch or a negative weight. *)
+
+val objective_coefficients : Graph.t -> area:float array -> float array
+(** The [fi(v) - fo(v)] vector (exposed for tests). *)
+
+val weighted_ff_area : Graph.t -> area:float array -> int array -> float
+(** [sum_e A(src e) w_r(e)] under a labelling. *)
+
+val shared_registers : Graph.t -> int array -> int
+(** Register count under maximum fan-out sharing
+    ([sum_v max over fan-out edges of w_r]); always at most the
+    per-edge {!solution.ff_count}.  The paper's N{_F} is the per-edge
+    count; this is what the netlist rebuild actually instantiates. *)

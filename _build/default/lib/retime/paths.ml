@@ -1,0 +1,100 @@
+type wd = { w : int array array; d : float array array }
+
+(* Dijkstra on edge weights from [source]; weights are small
+   non-negative integers, priorities fit floats exactly. *)
+let min_weights g source =
+  let n = Graph.num_vertices g in
+  let dist = Array.make n max_int in
+  let settled = Array.make n false in
+  let heap = Lacr_util.Heap.create () in
+  dist.(source) <- 0;
+  Lacr_util.Heap.push heap 0.0 source;
+  let rec loop () =
+    match Lacr_util.Heap.pop heap with
+    | None -> ()
+    | Some (_, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        let relax (e : Graph.edge) =
+          let v = e.Graph.dst in
+          if (not settled.(v)) && dist.(u) <> max_int then begin
+            let nd = dist.(u) + e.Graph.weight in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              Lacr_util.Heap.push heap (float_of_int nd) v
+            end
+          end
+        in
+        List.iter relax (Graph.fanout_edges g u)
+      end;
+      loop ()
+  in
+  loop ();
+  dist
+
+(* Among minimum-weight paths from [source], the maximum path delay to
+   each vertex: longest path over tight edges (a DAG), by repeated
+   relaxation in topological order.  Tight edges are those with
+   W(s,x) + w(e) = W(s,y). *)
+let max_delays g source wrow =
+  let n = Graph.num_vertices g in
+  let tight_out = Array.make n [] in
+  let indeg = Array.make n 0 in
+  let record (e : Graph.edge) =
+    let x = e.Graph.src and y = e.Graph.dst in
+    if wrow.(x) <> max_int && wrow.(y) <> max_int && wrow.(x) + e.Graph.weight = wrow.(y) then begin
+      tight_out.(x) <- y :: tight_out.(x);
+      indeg.(y) <- indeg.(y) + 1
+    end
+  in
+  Array.iter record (Graph.edges g);
+  let drow = Array.make n neg_infinity in
+  drow.(source) <- Graph.delay g source;
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    let relax y =
+      if drow.(x) > neg_infinity then begin
+        let cand = drow.(x) +. Graph.delay g y in
+        if cand > drow.(y) then drow.(y) <- cand
+      end;
+      indeg.(y) <- indeg.(y) - 1;
+      if indeg.(y) = 0 then Queue.add y queue
+    in
+    List.iter relax tight_out.(x)
+  done;
+  drow
+
+let compute g =
+  let n = Graph.num_vertices g in
+  let w = Array.make n [||] and d = Array.make n [||] in
+  for u = 0 to n - 1 do
+    (* The trivial single-vertex path gives W(u,u) = 0, D(u,u) = d(u);
+       this is the Leiserson-Saxe convention that makes a vertex delay
+       exceeding the period show up as the infeasible self constraint
+       r(u) - r(u) <= -1.  Cycle paths back to u all have weight >= 1,
+       so they never displace the trivial self pair. *)
+    let wrow = min_weights g u in
+    let drow = max_delays g u wrow in
+    w.(u) <- wrow;
+    d.(u) <- drow
+  done;
+  { w; d }
+
+let reachable wd u v = wd.w.(u).(v) <> max_int
+
+let iter_pairs wd f =
+  let n = Array.length wd.w in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if wd.w.(u).(v) <> max_int then f u v wd.w.(u).(v) wd.d.(u).(v)
+    done
+  done
+
+let distinct_delays wd =
+  let acc = ref [] in
+  iter_pairs wd (fun _ _ _ delay -> acc := delay :: !acc);
+  List.sort_uniq compare !acc

@@ -1,0 +1,27 @@
+(** The W and D matrices of Leiserson-Saxe retiming.
+
+    For a path [p : u ~> v], [w(p)] is the sum of edge weights and
+    [d(p)] the sum of vertex delays including both endpoints.  Then
+    [W(u,v) = min w(p)] and [D(u,v) = max d(p)] over minimum-weight
+    paths.  Computed per source as a plain Dijkstra on weights followed
+    by a longest-delay pass over the tight-edge DAG (tight edges cannot
+    form a cycle because the circuit has no zero-weight cycle). *)
+
+type wd = {
+  w : int array array;  (** [w.(u).(v)]; [max_int] when unreachable *)
+  d : float array array;  (** [d.(u).(v)]; meaningful when reachable *)
+}
+
+val compute : Graph.t -> wd
+
+val reachable : wd -> int -> int -> bool
+
+val iter_pairs : wd -> (int -> int -> int -> float -> unit) -> unit
+(** [iter_pairs wd f] calls [f u v w_uv d_uv] on every reachable pair.
+    Self pairs use the trivial single-vertex path ([W(u,u) = 0],
+    [D(u,u) = d(u)]), the Leiserson-Saxe convention under which a
+    vertex slower than the period yields an infeasible constraint. *)
+
+val distinct_delays : wd -> float list
+(** Sorted distinct [D] values over reachable pairs — the candidate
+    clock periods for min-period binary search. *)

@@ -1,0 +1,1 @@
+lib/routing/congestion.ml: Array Buffer Char Format Lacr_tilegraph List Maze

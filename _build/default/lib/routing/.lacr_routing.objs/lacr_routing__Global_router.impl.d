@@ -1,0 +1,1 @@
+lib/routing/global_router.ml: Array Hashtbl Lacr_tilegraph List Maze Queue Steiner

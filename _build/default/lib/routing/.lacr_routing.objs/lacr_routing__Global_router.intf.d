@@ -1,0 +1,1 @@
+lib/routing/global_router.mli: Lacr_tilegraph Maze

@@ -1,0 +1,1 @@
+lib/routing/maze.ml: Array Lacr_tilegraph Lacr_util List

@@ -1,0 +1,1 @@
+lib/routing/maze.mli: Lacr_tilegraph

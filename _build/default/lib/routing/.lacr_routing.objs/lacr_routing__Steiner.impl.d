@@ -1,0 +1,1 @@
+lib/routing/steiner.ml: Array Lacr_geometry Lacr_util List

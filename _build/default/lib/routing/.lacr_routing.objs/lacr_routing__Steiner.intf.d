@@ -1,0 +1,1 @@
+lib/routing/steiner.mli: Lacr_geometry

@@ -1,0 +1,92 @@
+module Tilegraph = Lacr_tilegraph.Tilegraph
+
+type report = {
+  n_boundaries : int;
+  used_boundaries : int;
+  max_utilization : float;
+  mean_utilization : float;
+  overflowed : int;
+  histogram : int array;
+}
+
+(* Enumerate all boundaries as (cell_a, cell_b) pairs with a < b. *)
+let boundaries tg =
+  let nx, ny = Tilegraph.grid_dims tg in
+  let acc = ref [] in
+  for row = 0 to ny - 1 do
+    for col = 0 to nx - 1 do
+      let cell = (row * nx) + col in
+      if col + 1 < nx then acc := (cell, cell + 1) :: !acc;
+      if row + 1 < ny then acc := (cell, cell + nx) :: !acc
+    done
+  done;
+  !acc
+
+let analyze usage =
+  let tg = Maze.tilegraph usage in
+  let cap = (Tilegraph.config tg).Tilegraph.edge_capacity in
+  let all = boundaries tg in
+  let histogram = Array.make 10 0 in
+  let used = ref 0 and overflowed = ref 0 in
+  let max_u = ref 0.0 and sum_u = ref 0.0 in
+  List.iter
+    (fun (a, b) ->
+      let d = Maze.demand usage a b in
+      if d > 0.0 then begin
+        incr used;
+        let u = d /. cap in
+        if u > !max_u then max_u := u;
+        sum_u := !sum_u +. u;
+        if d > cap then incr overflowed;
+        let bucket = min 9 (int_of_float (u *. 10.0)) in
+        histogram.(bucket) <- histogram.(bucket) + 1
+      end)
+    all;
+  {
+    n_boundaries = List.length all;
+    used_boundaries = !used;
+    max_utilization = !max_u;
+    mean_utilization = (if !used = 0 then 0.0 else !sum_u /. float_of_int !used);
+    overflowed = !overflowed;
+    histogram;
+  }
+
+let hotspots ?(top = 5) usage =
+  let tg = Maze.tilegraph usage in
+  let cap = (Tilegraph.config tg).Tilegraph.edge_capacity in
+  boundaries tg
+  |> List.filter_map (fun (a, b) ->
+         let d = Maze.demand usage a b in
+         if d > 0.0 then Some (a, b, d /. cap) else None)
+  |> List.sort (fun (_, _, u1) (_, _, u2) -> compare u2 u1)
+  |> List.filteri (fun i _ -> i < top)
+
+let heat_map usage =
+  let tg = Maze.tilegraph usage in
+  let cap = (Tilegraph.config tg).Tilegraph.edge_capacity in
+  let nx, ny = Tilegraph.grid_dims tg in
+  let buf = Buffer.create ((nx + 1) * ny) in
+  for row = ny - 1 downto 0 do
+    for col = 0 to nx - 1 do
+      let cell = (row * nx) + col in
+      let u =
+        List.fold_left
+          (fun acc n -> max acc (Maze.demand usage cell n /. cap))
+          0.0
+          (Tilegraph.cell_neighbors tg cell)
+      in
+      let ch =
+        if u <= 0.0 then '.'
+        else if u > 1.0 then '!'
+        else Char.chr (Char.code '0' + max 1 (min 9 (int_of_float (u *. 10.0))))
+      in
+      Buffer.add_char buf ch
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "boundaries=%d used=%d overflowed=%d max_util=%.0f%% mean_util=%.0f%%" r.n_boundaries
+    r.used_boundaries r.overflowed (100.0 *. r.max_utilization) (100.0 *. r.mean_utilization)

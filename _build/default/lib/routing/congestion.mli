@@ -1,0 +1,29 @@
+(** Routing-congestion reporting: utilization histogram, hotspot list
+    and an ASCII heat map over the tile grid.
+
+    Used by `lacr plan -v` and the benches to show where the global
+    router is under pressure — the paper's router objective is
+    congestion-aware, so this is its observability counterpart. *)
+
+type report = {
+  n_boundaries : int;
+  used_boundaries : int;  (** demand > 0 *)
+  max_utilization : float;
+  mean_utilization : float;  (** over used boundaries *)
+  overflowed : int;  (** boundaries with demand > capacity *)
+  histogram : int array;
+      (** 10 buckets of utilization: [0,10%), [10,20%) ... [90%,inf) *)
+}
+
+val analyze : Maze.usage -> report
+
+val hotspots : ?top:int -> Maze.usage -> (int * int * float) list
+(** The [top] (default 5) most-utilized boundaries as
+    [(cell_a, cell_b, demand/capacity)], worst first. *)
+
+val heat_map : Maze.usage -> string
+(** One character per grid cell: ['.'] untouched neighbourhood, digits
+    1-9 for rising utilization (max over the cell's boundaries), ['!']
+    for overflow. *)
+
+val pp_report : Format.formatter -> report -> unit

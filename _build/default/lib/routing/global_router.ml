@@ -1,0 +1,162 @@
+module Tilegraph = Lacr_tilegraph.Tilegraph
+
+type net = {
+  source_cell : int;
+  sink_cells : int array;
+  weight : float;
+}
+
+type routed_net = {
+  net : net;
+  segments : int list list;
+  sink_paths : int list array;
+  wirelength : float;
+}
+
+type options = {
+  passes : int;
+  congestion_weight : float;
+  reroute_weight : float;
+}
+
+let default_options = { passes = 2; congestion_weight = 1.0; reroute_weight = 4.0 }
+
+type result = {
+  nets : routed_net array;
+  usage : Maze.usage;
+  total_wirelength : float;
+  overflow : float;
+  max_utilization : float;
+}
+
+let path_length tg path =
+  let pitch_x, pitch_y = Tilegraph.cell_pitch tg in
+  let nx, _ = Tilegraph.grid_dims tg in
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+      let step = if a / nx = b / nx then pitch_x else pitch_y in
+      go (acc +. step) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0.0 path
+
+(* Route one net: Steiner topology over the distinct terminal cells,
+   each tree edge maze-routed, then per-sink paths recovered by BFS
+   over the union of routed segments. *)
+let route_net tg usage ~congestion_weight net =
+  let terminals =
+    Array.to_list (Array.append [| net.source_cell |] net.sink_cells) |> List.sort_uniq compare
+  in
+  match terminals with
+  | [] -> { net; segments = []; sink_paths = [||]; wirelength = 0.0 }
+  | [ _only ] ->
+    {
+      net;
+      segments = [];
+      sink_paths = Array.map (fun _ -> [ net.source_cell ]) net.sink_cells;
+      wirelength = 0.0;
+    }
+  | _ ->
+    let term_arr = Array.of_list terminals in
+    let centers = Array.map (Tilegraph.cell_center tg) term_arr in
+    let tree = Steiner.build centers in
+    (* Steiner points are snapped back onto grid cells. *)
+    let cell_of_tree_point i =
+      if i < Array.length term_arr then term_arr.(i)
+      else Tilegraph.cell_of_point tg tree.Steiner.points.(i)
+    in
+    let segments =
+      List.filter_map
+        (fun (a, b) ->
+          let ca = cell_of_tree_point a and cb = cell_of_tree_point b in
+          if ca = cb then None
+          else begin
+            let path = Maze.route usage ~congestion_weight ~src:ca ~dst:cb in
+            Maze.add_path usage path;
+            Some path
+          end)
+        tree.Steiner.edges
+    in
+    (* Adjacency over the union of segment cells. *)
+    let adj = Hashtbl.create 64 in
+    let link a b =
+      Hashtbl.replace adj a (b :: (try Hashtbl.find adj a with Not_found -> []));
+      Hashtbl.replace adj b (a :: (try Hashtbl.find adj b with Not_found -> []))
+    in
+    List.iter
+      (fun path ->
+        let rec steps = function
+          | x :: (y :: _ as rest) ->
+            link x y;
+            steps rest
+          | [ _ ] | [] -> ()
+        in
+        steps path)
+      segments;
+    let bfs_path target =
+      if target = net.source_cell then [ net.source_cell ]
+      else begin
+        let parent = Hashtbl.create 64 in
+        let queue = Queue.create () in
+        Queue.add net.source_cell queue;
+        Hashtbl.replace parent net.source_cell net.source_cell;
+        let found = ref false in
+        while (not !found) && not (Queue.is_empty queue) do
+          let cell = Queue.pop queue in
+          if cell = target then found := true
+          else
+            List.iter
+              (fun next ->
+                if not (Hashtbl.mem parent next) then begin
+                  Hashtbl.replace parent next cell;
+                  Queue.add next queue
+                end)
+              (try Hashtbl.find adj cell with Not_found -> [])
+        done;
+        if not !found then [ net.source_cell; target ] (* defensive: direct logical link *)
+        else begin
+          let rec back cell acc =
+            if cell = net.source_cell then net.source_cell :: acc
+            else back (Hashtbl.find parent cell) (cell :: acc)
+          in
+          back target []
+        end
+      end
+    in
+    let sink_paths = Array.map bfs_path net.sink_cells in
+    let wirelength = List.fold_left (fun acc p -> acc +. path_length tg p) 0.0 segments in
+    { net; segments; sink_paths; wirelength }
+
+let crosses_overflow usage routed =
+  let cap = (Tilegraph.config (Maze.tilegraph usage)).Tilegraph.edge_capacity in
+  let rec over_path = function
+    | a :: (b :: _ as rest) -> Maze.demand usage a b > cap || over_path rest
+    | [ _ ] | [] -> false
+  in
+  List.exists over_path routed.segments
+
+let route_all ?(options = default_options) tg nets =
+  let usage = Maze.create tg in
+  let routed =
+    Array.map (route_net tg usage ~congestion_weight:options.congestion_weight) nets
+  in
+  (* Rip-up and re-route nets that still cross overflowed boundaries. *)
+  for _pass = 1 to options.passes do
+    if Maze.overflow usage > 0.0 then
+      Array.iteri
+        (fun i r ->
+          if crosses_overflow usage r then begin
+            List.iter (Maze.remove_path usage) r.segments;
+            routed.(i) <-
+              route_net tg usage ~congestion_weight:options.reroute_weight r.net
+          end)
+        routed
+  done;
+  let total_wirelength = Array.fold_left (fun acc r -> acc +. r.wirelength) 0.0 routed in
+  {
+    nets = routed;
+    usage;
+    total_wirelength;
+    overflow = Maze.overflow usage;
+    max_utilization = Maze.max_utilization usage;
+  }

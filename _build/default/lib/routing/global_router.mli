@@ -1,0 +1,45 @@
+(** Global routing of inter-block nets (paper §4.1).
+
+    Each net (one driver cell, many sink cells) gets a Steiner
+    topology whose edges are maze-routed with congestion awareness;
+    rip-up and re-route passes then rebuild the nets that cross
+    overflowed boundaries with a stiffer congestion price.  Outputs
+    per-sink driver-to-sink cell paths — the chains that repeater
+    planning segments into interconnect units. *)
+
+type net = {
+  source_cell : int;
+  sink_cells : int array;
+  weight : float;  (** demand multiplier, usually 1.0 *)
+}
+
+type routed_net = {
+  net : net;
+  segments : int list list;  (** maze paths, one per Steiner edge *)
+  sink_paths : int list array;
+      (** per sink (input order): inclusive source-to-sink cell path
+          along the routed tree *)
+  wirelength : float;  (** mm over all segments *)
+}
+
+type options = {
+  passes : int;  (** rip-up/re-route rounds after the initial pass, default 2 *)
+  congestion_weight : float;  (** initial pass, default 1.0 *)
+  reroute_weight : float;  (** later passes, default 4.0 *)
+}
+
+val default_options : options
+
+type result = {
+  nets : routed_net array;
+  usage : Maze.usage;
+  total_wirelength : float;
+  overflow : float;
+  max_utilization : float;
+}
+
+val route_all :
+  ?options:options -> Lacr_tilegraph.Tilegraph.t -> net array -> result
+
+val path_length : Lacr_tilegraph.Tilegraph.t -> int list -> float
+(** Manhattan length in mm of an inclusive cell path. *)

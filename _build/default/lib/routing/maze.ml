@@ -1,0 +1,117 @@
+module Tilegraph = Lacr_tilegraph.Tilegraph
+
+(* Boundaries are indexed separately for horizontal moves (between
+   column-adjacent cells) and vertical moves. *)
+type usage = {
+  tg : Tilegraph.t;
+  h : float array;  (* (nx-1) * ny: boundary right of (row, col) *)
+  v : float array;  (* nx * (ny-1): boundary above (row, col) *)
+}
+
+let create tg =
+  let nx, ny = Tilegraph.grid_dims tg in
+  { tg; h = Array.make ((nx - 1) * ny) 0.0; v = Array.make (nx * (ny - 1)) 0.0 }
+
+let tilegraph u = u.tg
+
+(* Locate the boundary between two adjacent cells. *)
+let boundary u a b =
+  let nx, _ = Tilegraph.grid_dims u.tg in
+  let ra = a / nx and ca = a mod nx in
+  let rb = b / nx and cb = b mod nx in
+  if ra = rb && abs (ca - cb) = 1 then `H ((ra * (nx - 1)) + min ca cb)
+  else if ca = cb && abs (ra - rb) = 1 then `V ((min ra rb * nx) + ca)
+  else invalid_arg "Maze: cells not adjacent"
+
+let demand u a b = match boundary u a b with `H i -> u.h.(i) | `V i -> u.v.(i)
+
+let bump u a b delta =
+  match boundary u a b with
+  | `H i -> u.h.(i) <- max 0.0 (u.h.(i) +. delta)
+  | `V i -> u.v.(i) <- max 0.0 (u.v.(i) +. delta)
+
+let rec iter_steps f = function
+  | a :: (b :: _ as rest) ->
+    f a b;
+    iter_steps f rest
+  | [ _ ] | [] -> ()
+
+let add_path u path = iter_steps (fun a b -> bump u a b 1.0) path
+let remove_path u path = iter_steps (fun a b -> bump u a b (-1.0)) path
+
+let capacity u = (Tilegraph.config u.tg).Tilegraph.edge_capacity
+
+let max_utilization u =
+  let cap = capacity u in
+  let hi = Array.fold_left max 0.0 u.h and vi = Array.fold_left max 0.0 u.v in
+  max hi vi /. cap
+
+let overflow u =
+  let cap = capacity u in
+  let over acc d = if d > cap then acc +. (d -. cap) else acc in
+  Array.fold_left over (Array.fold_left over 0.0 u.h) u.v
+
+(* Penalty shaping: gentle below 70% utilization, linear ramp to 1.0
+   at capacity, quadratic beyond — overflowed boundaries quickly price
+   themselves out during re-route passes. *)
+let congestion_penalty ~after_cap ~cap =
+  let ratio = after_cap /. cap in
+  if ratio <= 0.7 then 0.1 *. ratio
+  else if ratio <= 1.0 then 0.1 +. (3.0 *. (ratio -. 0.7))
+  else 1.0 +. ((ratio -. 1.0) *. (ratio -. 1.0) *. 20.0)
+
+let route u ~congestion_weight ~src ~dst =
+  if src = dst then [ src ]
+  else begin
+    let tg = u.tg in
+    let n = Tilegraph.num_cells tg in
+    let pitch_x, pitch_y = Tilegraph.cell_pitch tg in
+    let cap = capacity u in
+    let dist = Array.make n infinity in
+    let prev = Array.make n (-1) in
+    let settled = Array.make n false in
+    let heap = Lacr_util.Heap.create () in
+    dist.(src) <- 0.0;
+    Lacr_util.Heap.push heap 0.0 src;
+    let nx, _ = Tilegraph.grid_dims tg in
+    (try
+       let rec loop () =
+         match Lacr_util.Heap.pop heap with
+         | None -> ()
+         | Some (d, cell) ->
+           if not settled.(cell) then begin
+             settled.(cell) <- true;
+             if cell = dst then raise Exit;
+             let relax next =
+               if not settled.(next) then begin
+                 let pitch = if cell / nx = next / nx then pitch_x else pitch_y in
+                 let after_cap = demand u cell next +. 1.0 in
+                 let penalty = congestion_penalty ~after_cap ~cap in
+                 (* Mild blockage pricing: wires may cross hard macros
+                    on upper metal, but detours are preferred so that
+                    repeater sites inside macros stay scarce. *)
+                 let blockage =
+                   match (Tilegraph.tiles tg).(Tilegraph.tile_of_cell tg next).Tilegraph.kind with
+                   | Tilegraph.Hard_cell _ -> 1.6
+                   | Tilegraph.Soft_merged _ -> 1.2
+                   | Tilegraph.Channel -> 1.0
+                 in
+                 let step = pitch *. blockage *. (1.0 +. (congestion_weight *. penalty)) in
+                 let nd = d +. step in
+                 if nd < dist.(next) -. 1e-12 then begin
+                   dist.(next) <- nd;
+                   prev.(next) <- cell;
+                   Lacr_util.Heap.push heap nd next
+                 end
+               end
+             in
+             List.iter relax (Tilegraph.cell_neighbors tg cell)
+           end;
+           loop ()
+       in
+       loop ()
+     with Exit -> ());
+    let rec walk cell acc = if cell = src then src :: acc else walk prev.(cell) (cell :: acc) in
+    if prev.(dst) < 0 && dst <> src then [ src ] (* unreachable: degenerate 1xN grids only *)
+    else walk dst []
+  end

@@ -1,0 +1,33 @@
+(** Congestion-aware maze routing on the tile-graph cell grid.
+
+    Routing demand is tracked per grid-cell boundary.  Step cost is
+    the Manhattan pitch scaled by a congestion penalty that grows as a
+    boundary fills and sharply once it overflows, so rip-up and
+    re-route passes steer nets around hot spots. *)
+
+type usage
+(** Mutable per-boundary demand over one {!Lacr_tilegraph.Tilegraph.t}. *)
+
+val create : Lacr_tilegraph.Tilegraph.t -> usage
+
+val tilegraph : usage -> Lacr_tilegraph.Tilegraph.t
+
+val demand : usage -> int -> int -> float
+(** [demand u a b] on the boundary between adjacent cells [a], [b].
+    @raise Invalid_argument if the cells are not adjacent. *)
+
+val add_path : usage -> int list -> unit
+(** Add one track of demand along a cell path. *)
+
+val remove_path : usage -> int list -> unit
+
+val max_utilization : usage -> float
+(** max over boundaries of demand/capacity (0 when untouched). *)
+
+val overflow : usage -> float
+(** Total demand beyond capacity, over all boundaries. *)
+
+val route : usage -> congestion_weight:float -> src:int -> dst:int -> int list
+(** Cheapest path as an inclusive cell sequence ([[src]] when
+    [src = dst]).  Always succeeds on a connected grid.  The returned
+    path is {e not} added to the usage — callers decide. *)

@@ -1,0 +1,118 @@
+module Point = Lacr_geometry.Point
+
+type tree = {
+  points : Point.t array;
+  edges : (int * int) list;
+}
+
+(* Prim, O(n^2): adequate for planning-level net sizes. *)
+let mst points =
+  let n = Array.length points in
+  if n < 2 then []
+  else begin
+    let in_tree = Array.make n false in
+    let best_dist = Array.make n infinity in
+    let best_link = Array.make n (-1) in
+    in_tree.(0) <- true;
+    for v = 1 to n - 1 do
+      best_dist.(v) <- Point.manhattan points.(0) points.(v);
+      best_link.(v) <- 0
+    done;
+    let edges = ref [] in
+    for _step = 1 to n - 1 do
+      let pick = ref (-1) in
+      for v = 0 to n - 1 do
+        if (not in_tree.(v)) && (!pick < 0 || best_dist.(v) < best_dist.(!pick)) then pick := v
+      done;
+      let v = !pick in
+      in_tree.(v) <- true;
+      edges := (best_link.(v), v) :: !edges;
+      for u = 0 to n - 1 do
+        if not in_tree.(u) then begin
+          let d = Point.manhattan points.(v) points.(u) in
+          if d < best_dist.(u) then begin
+            best_dist.(u) <- d;
+            best_link.(u) <- v
+          end
+        end
+      done
+    done;
+    !edges
+  end
+
+let median3 a b c =
+  let mid x y z = max (min x y) (min (max x y) z) in
+  Point.make
+    (mid a.Point.x b.Point.x c.Point.x)
+    (mid a.Point.y b.Point.y c.Point.y)
+
+(* One refinement sweep: for each vertex v with neighbours u1, u2 in
+   the current tree, replacing edges (v,u1), (v,u2) by a star through
+   the median point m saves  d(v,u1) + d(v,u2)
+                           - d(m,v) - d(m,u1) - d(m,u2)  (>= 0). *)
+let refine points edges =
+  let pts = ref (Array.to_list points |> List.rev) in
+  let n_pts = ref (Array.length points) in
+  let current = ref edges in
+  let neighbours v =
+    List.filter_map
+      (fun (a, b) -> if a = v then Some b else if b = v then Some a else None)
+      !current
+  in
+  let point i = List.nth (List.rev !pts) i in
+  let improved = ref true in
+  let sweeps = ref 0 in
+  while !improved && !sweeps < 3 do
+    improved := false;
+    incr sweeps;
+    let try_vertex v =
+      match neighbours v with
+      | u1 :: u2 :: _ ->
+        let pv = point v and p1 = point u1 and p2 = point u2 in
+        let m = median3 pv p1 p2 in
+        let before = Point.manhattan pv p1 +. Point.manhattan pv p2 in
+        let after =
+          Point.manhattan m pv +. Point.manhattan m p1 +. Point.manhattan m p2
+        in
+        if after < before -. 1e-9 then begin
+          let s = !n_pts in
+          pts := m :: !pts;
+          incr n_pts;
+          current :=
+            (s, v) :: (s, u1) :: (s, u2)
+            :: List.filter
+                 (fun (a, b) ->
+                   not
+                     ((a = v && b = u1) || (a = u1 && b = v) || (a = v && b = u2)
+                     || (a = u2 && b = v)))
+                 !current;
+          improved := true
+        end
+      | [] | [ _ ] -> ()
+    in
+    let vertices = List.init !n_pts (fun i -> i) in
+    List.iter try_vertex vertices
+  done;
+  (Array.of_list (List.rev !pts), !current)
+
+let build terminals =
+  let edges = mst terminals in
+  if edges = [] then { points = terminals; edges = [] }
+  else begin
+    let points, edges = refine terminals edges in
+    { points; edges }
+  end
+
+let length t =
+  List.fold_left
+    (fun acc (a, b) -> acc +. Point.manhattan t.points.(a) t.points.(b))
+    0.0 t.edges
+
+let connected t =
+  let n = Array.length t.points in
+  if n <= 1 then true
+  else begin
+    let uf = Lacr_util.Union_find.create n in
+    List.iter (fun (a, b) -> ignore (Lacr_util.Union_find.union uf a b)) t.edges;
+    Lacr_util.Union_find.count uf = 1
+  end

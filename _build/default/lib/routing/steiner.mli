@@ -1,0 +1,29 @@
+(** Rectilinear Steiner topology construction.
+
+    Prim's MST under the Manhattan metric, followed by a median-point
+    refinement pass in the spirit of Ho-Vijayan-Wong [5]: for every
+    vertex with two or more tree neighbours, the component-wise median
+    of the vertex and two neighbours is inserted as a Steiner point
+    when it shortens the tree.  The topology guides the maze router;
+    exact RSMT optimality is not required for planning-level
+    estimation. *)
+
+type tree = {
+  points : Lacr_geometry.Point.t array;
+      (** terminals first (input order), then added Steiner points *)
+  edges : (int * int) list;  (** tree edges over [points] indices *)
+}
+
+val mst : Lacr_geometry.Point.t array -> (int * int) list
+(** Plain Manhattan MST edges over the input points (empty for fewer
+    than two points). *)
+
+val build : Lacr_geometry.Point.t array -> tree
+(** MST plus median Steiner refinement. *)
+
+val length : tree -> float
+(** Total Manhattan length of the tree edges. *)
+
+val connected : tree -> bool
+(** All points reachable through tree edges (trivially true for
+    single points). *)

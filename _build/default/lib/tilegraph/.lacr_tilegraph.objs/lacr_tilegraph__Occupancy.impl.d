@@ -1,0 +1,1 @@
+lib/tilegraph/occupancy.ml: Array Tilegraph

@@ -1,0 +1,1 @@
+lib/tilegraph/occupancy.mli: Tilegraph

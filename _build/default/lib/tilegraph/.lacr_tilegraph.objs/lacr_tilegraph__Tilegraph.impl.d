@@ -1,0 +1,1 @@
+lib/tilegraph/tilegraph.ml: Array Buffer Char Lacr_floorplan Lacr_geometry List

@@ -1,0 +1,1 @@
+lib/tilegraph/tilegraph.mli: Lacr_floorplan Lacr_geometry

@@ -1,0 +1,31 @@
+type t = { tg : Tilegraph.t; usage : float array }
+
+let create tg = { tg; usage = Array.make (Tilegraph.num_tiles tg) 0.0 }
+
+let tilegraph t = t.tg
+
+let used t tile = t.usage.(tile)
+
+let remaining t tile = (Tilegraph.tiles t.tg).(tile).Tilegraph.capacity -. t.usage.(tile)
+
+let reserve t ~tile ~amount = t.usage.(tile) <- t.usage.(tile) +. amount
+
+let try_reserve t ~tile ~amount =
+  if remaining t tile >= amount then begin
+    reserve t ~tile ~amount;
+    true
+  end
+  else false
+
+let release t ~tile ~amount = t.usage.(tile) <- max 0.0 (t.usage.(tile) -. amount)
+
+let overflow t =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun tile used ->
+      let cap = (Tilegraph.tiles t.tg).(tile).Tilegraph.capacity in
+      if used > cap then total := !total +. (used -. cap))
+    t.usage;
+  !total
+
+let copy t = { tg = t.tg; usage = Array.copy t.usage }

@@ -1,0 +1,29 @@
+(** Mutable area usage over the tiles of a {!Tilegraph.t}.
+
+    Repeater planning reserves area first; the remaining per-tile
+    capacity is the [C(t)] that LAC-retiming constrains flip-flops
+    against (paper §4.2: "the remaining capacity after repeater
+    insertion"). *)
+
+type t
+
+val create : Tilegraph.t -> t
+
+val tilegraph : t -> Tilegraph.t
+
+val used : t -> int -> float
+val remaining : t -> int -> float
+(** May be negative if callers overfill deliberately. *)
+
+val reserve : t -> tile:int -> amount:float -> unit
+(** Unconditional reservation (callers decide their own policy). *)
+
+val try_reserve : t -> tile:int -> amount:float -> bool
+(** Reserve only if it fits; [false] leaves the tile untouched. *)
+
+val release : t -> tile:int -> amount:float -> unit
+
+val overflow : t -> float
+(** Total usage beyond capacity, summed over tiles. *)
+
+val copy : t -> t

@@ -1,0 +1,31 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape_cell s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let row_to_string cells = String.concat "," (List.map escape_cell cells)
+
+let to_string ~header rows =
+  let arity = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> arity then
+        invalid_arg (Printf.sprintf "Csv.to_string: row %d arity mismatch" i))
+    rows;
+  String.concat "\n" (row_to_string header :: List.map row_to_string rows) ^ "\n"
+
+let write_file path ~header rows =
+  let oc = open_out path in
+  output_string oc (to_string ~header rows);
+  close_out oc

@@ -1,0 +1,14 @@
+(** Minimal CSV writing (RFC 4180 quoting) for experiment exports. *)
+
+val escape_cell : string -> string
+(** Quote a cell when it contains commas, quotes or newlines. *)
+
+val row_to_string : string list -> string
+(** One line, no trailing newline. *)
+
+val to_string : header:string list -> string list list -> string
+(** Full document with header and trailing newline.
+    @raise Invalid_argument if a row's arity differs from the
+    header's. *)
+
+val write_file : string -> header:string list -> string list list -> unit

@@ -1,0 +1,65 @@
+type 'a entry = { prio : float; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let is_empty h = h.len = 0
+
+let size h = h.len
+
+let grow h entry =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let ndata = Array.make ncap entry in
+    Array.blit h.data 0 ndata 0 h.len;
+    h.data <- ndata
+  end
+
+let rec sift_up data i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if data.(i).prio < data.(parent).prio then begin
+      let tmp = data.(i) in
+      data.(i) <- data.(parent);
+      data.(parent) <- tmp;
+      sift_up data parent
+    end
+  end
+
+let rec sift_down data len i =
+  let left = (2 * i) + 1 in
+  if left < len then begin
+    let right = left + 1 in
+    let smallest = if right < len && data.(right).prio < data.(left).prio then right else left in
+    if data.(smallest).prio < data.(i).prio then begin
+      let tmp = data.(i) in
+      data.(i) <- data.(smallest);
+      data.(smallest) <- tmp;
+      sift_down data len smallest
+    end
+  end
+
+let push h prio value =
+  let entry = { prio; value } in
+  grow h entry;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  sift_up h.data (h.len - 1)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h.data h.len 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek h = if h.len = 0 then None else Some (h.data.(0).prio, h.data.(0).value)
+
+let clear h = h.len <- 0

@@ -1,0 +1,26 @@
+(** Imperative binary min-heap keyed by float priorities.
+
+    Used by the maze router, the lexicographic path computation and the
+    min-cost-flow Dijkstra inner loop.  Elements are arbitrary; the heap
+    does not support decrease-key, so algorithms push duplicates and
+    skip stale pops (the usual lazy-deletion idiom). *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h priority x] inserts [x] with the given priority. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element, or [None] when
+    empty. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,40 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+    sqrt var
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.0
+  | ys ->
+    let arr = Array.of_list ys in
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.0
+  | ys ->
+    let arr = Array.of_list ys in
+    let n = Array.length arr in
+    let rank = int_of_float (ceil (p *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    arr.(idx)
+
+let minimum = function [] -> 0.0 | x :: xs -> List.fold_left min x xs
+let maximum = function [] -> 0.0 | x :: xs -> List.fold_left max x xs
+
+let geometric_mean = function
+  | [] -> 0.0
+  | xs ->
+    let logs = List.map log xs in
+    exp (mean logs)

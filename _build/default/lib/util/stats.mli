@@ -1,0 +1,20 @@
+(** Small descriptive-statistics helpers for the benchmark harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0.0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0.0 on lists shorter than 2. *)
+
+val median : float list -> float
+(** Median (average of middle pair for even lengths); 0.0 when empty. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank; 0.0 when
+    empty. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val geometric_mean : float list -> float
+(** Geometric mean of strictly positive values; 0.0 when empty. *)

@@ -1,0 +1,60 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = { headers : (string * align) list; mutable rows : row list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  List.iteri (fun i (h, _) -> widths.(i) <- String.length h) t.headers;
+  let measure = function
+    | Separator -> ()
+    | Cells cells -> List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let total_width = Array.fold_left ( + ) 0 widths + (3 * (ncols - 1)) in
+  let render_cells cells =
+    let aligned =
+      List.mapi
+        (fun i c ->
+          let _, align = List.nth t.headers i in
+          pad align widths.(i) c)
+        cells
+    in
+    Buffer.add_string buf (String.concat " | " aligned);
+    Buffer.add_char buf '\n'
+  in
+  render_cells (List.map fst t.headers);
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  let render_row = function
+    | Separator ->
+      Buffer.add_string buf (String.make total_width '-');
+      Buffer.add_char buf '\n'
+    | Cells cells -> render_cells cells
+  in
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  flush stdout

@@ -1,0 +1,25 @@
+(** Minimal fixed-width ASCII table rendering for experiment reports.
+
+    The Table 1 reproduction and the ablation benches print through this
+    module so that every harness shares one consistent layout. *)
+
+type align = Left | Right
+
+type t
+
+val create : (string * align) list -> t
+(** [create headers] starts a table with the given column headers and
+    alignments. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  @raise Invalid_argument if the arity differs from
+    the header arity. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule (rendered as dashes). *)
+
+val render : t -> string
+(** Render the whole table, columns padded to content width. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline flush. *)

@@ -1,0 +1,20 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used by the Steiner-tree constructor (Kruskal-style cycle checks)
+    and by netlist connectivity analysis. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> bool
+(** Merge two sets; [true] iff they were distinct. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of disjoint sets remaining. *)

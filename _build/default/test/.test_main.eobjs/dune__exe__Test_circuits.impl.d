@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Lacr_circuits Lacr_netlist Lacr_util List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Lacr_circuits Lacr_core Lacr_netlist Lacr_repeater Lacr_retime Lacr_routing Lacr_tilegraph List Option String

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Lacr_core Lacr_retime Lacr_util List

@@ -1,0 +1,1 @@
+test/test_floorplan.ml: Alcotest Array Lacr_floorplan Lacr_geometry Lacr_util List QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Lacr_geometry QCheck2 QCheck_alcotest

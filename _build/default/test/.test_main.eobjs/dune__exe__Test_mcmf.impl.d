@@ -1,0 +1,1 @@
+test/test_mcmf.ml: Alcotest Array Lacr_mcmf Lacr_util List

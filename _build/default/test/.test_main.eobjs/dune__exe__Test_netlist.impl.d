@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Format Lacr_circuits Lacr_netlist Lacr_util List Printf Result String

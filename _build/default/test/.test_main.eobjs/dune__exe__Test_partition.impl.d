@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Fun Lacr_circuits Lacr_netlist Lacr_partition Lacr_util List QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_repeater.ml: Alcotest Lacr_floorplan Lacr_repeater Lacr_tilegraph Lacr_util List QCheck2 QCheck_alcotest Result

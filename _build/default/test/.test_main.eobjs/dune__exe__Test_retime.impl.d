@@ -1,0 +1,1 @@
+test/test_retime.ml: Alcotest Array Format Hashtbl Lacr_mcmf Lacr_retime Lacr_util List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Format Lacr_floorplan Lacr_geometry Lacr_routing Lacr_tilegraph Lacr_util List QCheck2 QCheck_alcotest String

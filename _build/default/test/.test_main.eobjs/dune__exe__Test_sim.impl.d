@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Lacr_circuits Lacr_core Lacr_netlist Lacr_retime Lacr_util List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_tilegraph.ml: Alcotest Array Lacr_floorplan Lacr_geometry Lacr_tilegraph Lacr_util List String

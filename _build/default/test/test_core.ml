@@ -1,0 +1,275 @@
+(* Core (LAC-retiming planner) tests on small circuits: instance
+   invariants, area accounting, LAC vs min-area behaviour, pipeline
+   determinism, reporting. *)
+
+module Build = Lacr_core.Build
+module Area = Lacr_core.Area
+module Lac = Lacr_core.Lac
+module Planner = Lacr_core.Planner
+module Report = Lacr_core.Report
+module Config = Lacr_core.Config
+module Graph = Lacr_retime.Graph
+module Paths = Lacr_retime.Paths
+module Constraints = Lacr_retime.Constraints
+module Tilegraph = Lacr_tilegraph.Tilegraph
+module Synth = Lacr_circuits.Synth
+module Suite = Lacr_circuits.Suite
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_circuit () =
+  Synth.generate
+    { Synth.name = "small"; n_inputs = 4; n_outputs = 3; n_dffs = 8; n_gates = 60; levels = 6; seed = 4242 }
+
+let build_small () =
+  match Build.build (small_circuit ()) with
+  | Ok inst -> inst
+  | Error msg -> Alcotest.failf "build: %s" msg
+
+let test_instance_invariants () =
+  let inst = build_small () in
+  let g = inst.Build.graph in
+  let n = Graph.num_vertices g in
+  check_int "vertex count" n (inst.Build.n_units + inst.Build.n_interconnect_units + 1);
+  check_int "vertex_tile arity" n (Array.length inst.Build.vertex_tile);
+  (* Host has no tile; all other vertices have a valid tile. *)
+  let host = Graph.host g in
+  check_int "host tile" (-1) inst.Build.vertex_tile.(host);
+  Array.iteri
+    (fun v tile ->
+      if v <> host then
+        check "tile in range" true (tile >= 0 && tile < Tilegraph.num_tiles inst.Build.tilegraph))
+    inst.Build.vertex_tile;
+  (* Total flip-flops preserved from the netlist view. *)
+  check_int "ffs preserved" (Lacr_netlist.Seqview.total_ffs inst.Build.view) (Graph.total_ffs g);
+  (* No zero-weight cycle: the clock period is well-defined. *)
+  check "clock period computes" true (Graph.clock_period g > 0.0);
+  (* Interconnect vertices have exactly one fan-in and one fan-out. *)
+  for v = 0 to n - 1 do
+    if Build.interconnect_vertex inst v then begin
+      check_int "interconnect fanin" 1 (List.length (Graph.fanin_edges g v));
+      check_int "interconnect fanout" 1 (List.length (Graph.fanout_edges g v))
+    end
+  done
+
+let test_interconnect_delay_positive () =
+  let inst = build_small () in
+  let g = inst.Build.graph in
+  let any_interconnect = ref false in
+  for v = 0 to Graph.num_vertices g - 1 do
+    if Build.interconnect_vertex inst v then begin
+      any_interconnect := true;
+      check "wire unit has delay" true (Graph.delay g v > 0.0)
+    end
+  done;
+  check "instance has interconnect units" true !any_interconnect
+
+let test_area_accounting_consistent () =
+  let inst = build_small () in
+  let identity = Array.make (Graph.num_vertices inst.Build.graph) 0 in
+  let consumption = Area.consumption inst ~labels:identity in
+  let total_charged = Array.fold_left ( +. ) 0.0 consumption in
+  (* Every flip-flop has a tile except those on host edges (none under
+     identity, since the host is isolated). *)
+  let ff_area = Config.default.Config.delay_model.Lacr_repeater.Delay_model.ff_area in
+  let expected = float_of_int (Graph.total_ffs inst.Build.graph) *. ff_area in
+  check "all ffs charged" true (abs_float (total_charged -. expected) < 1e-6);
+  check_int "ff_count matches graph" (Graph.total_ffs inst.Build.graph)
+    (Area.ff_count inst ~labels:identity);
+  check_int "identity has no wire ffs" 0 (Area.ff_in_interconnect inst ~labels:identity)
+
+let setup_constraints inst =
+  let g = inst.Build.graph in
+  let wd = Paths.compute g in
+  let extra = inst.Build.pin_constraints in
+  let mp = Lacr_retime.Feasibility.min_period ~extra g wd in
+  let t_init = Graph.clock_period g in
+  let t_clk = mp.Lacr_retime.Feasibility.period +. (0.2 *. (t_init -. mp.Lacr_retime.Feasibility.period)) in
+  Constraints.generate ~prune:true ~extra g wd ~period:t_clk
+
+let test_minarea_and_lac_legal () =
+  let inst = build_small () in
+  let cs = setup_constraints inst in
+  (match Lac.min_area_baseline inst cs with
+  | Error msg -> Alcotest.failf "min-area: %s" msg
+  | Ok ma ->
+    check "min-area labels legal" true (Graph.is_legal inst.Build.graph ma.Lac.labels);
+    check "constraints satisfied" true (Constraints.satisfied_by cs ma.Lac.labels);
+    check_int "one weighted retiming" 1 ma.Lac.n_wr);
+  match Lac.retime inst cs with
+  | Error msg -> Alcotest.failf "lac: %s" msg
+  | Ok lac ->
+    check "lac labels legal" true (Graph.is_legal inst.Build.graph lac.Lac.labels);
+    check "lac constraints satisfied" true (Constraints.satisfied_by cs lac.Lac.labels);
+    check "nwr at least 1" true (lac.Lac.n_wr >= 1);
+    check "trace recorded" true (List.length lac.Lac.trace = lac.Lac.n_wr)
+
+let test_lac_never_worse_on_violations () =
+  let inst = build_small () in
+  let cs = setup_constraints inst in
+  match (Lac.min_area_baseline inst cs, Lac.retime inst cs) with
+  | Ok ma, Ok lac -> check "lac <= min-area violations" true (lac.Lac.n_foa <= ma.Lac.n_foa)
+  | Error m, _ | _, Error m -> Alcotest.fail m
+
+let test_lac_alpha_validation () =
+  let inst = build_small () in
+  let cs = setup_constraints inst in
+  match Lac.retime ~alpha:1.5 inst cs with
+  | exception Invalid_argument _ -> ()
+  | Ok _ | Error _ -> Alcotest.fail "alpha out of range accepted"
+
+let test_io_latency_preserved () =
+  (* The pin constraints force r = 0 on every primary input and
+     output, so interface latency cannot change. *)
+  let inst = build_small () in
+  let cs = setup_constraints inst in
+  match Lac.retime inst cs with
+  | Error msg -> Alcotest.fail msg
+  | Ok lac ->
+    List.iter
+      (fun v -> check_int "pi label" 0 lac.Lac.labels.(v))
+      inst.Build.view.Lacr_netlist.Seqview.primary_inputs;
+    List.iter
+      (fun v -> check_int "po label" 0 lac.Lac.labels.(v))
+      inst.Build.view.Lacr_netlist.Seqview.primary_outputs
+
+let test_plan_end_to_end () =
+  match Planner.plan ~second_iteration:false (small_circuit ()) with
+  | Error msg -> Alcotest.failf "plan: %s" msg
+  | Ok run ->
+    check "t_min <= t_clk" true (run.Planner.t_min <= run.Planner.t_clk +. 1e-9);
+    check "t_clk <= t_init" true (run.Planner.t_clk <= run.Planner.t_init +. 1e-9);
+    (* Both retimings meet the target period on the retimed graph. *)
+    let check_period outcome name =
+      match Graph.retime run.Planner.instance.Build.graph outcome.Lac.labels with
+      | Error msg -> Alcotest.failf "%s: %s" name msg
+      | Ok retimed ->
+        check (name ^ " meets period") true
+          (Graph.clock_period retimed <= run.Planner.t_clk +. 1e-6)
+    in
+    check_period run.Planner.minarea "min-area";
+    check_period run.Planner.lac "lac"
+
+let test_plan_deterministic () =
+  let plan () =
+    match Planner.plan ~second_iteration:false (small_circuit ()) with
+    | Ok run -> run
+    | Error msg -> Alcotest.failf "plan: %s" msg
+  in
+  let a = plan () and b = plan () in
+  check_int "same lac n_foa" a.Planner.lac.Lac.n_foa b.Planner.lac.Lac.n_foa;
+  check_int "same lac n_f" a.Planner.lac.Lac.n_f b.Planner.lac.Lac.n_f;
+  check "same labels" true (a.Planner.lac.Lac.labels = b.Planner.lac.Lac.labels)
+
+let test_s27_plan () =
+  match Planner.plan ~second_iteration:false (Suite.s27 ()) with
+  | Error msg -> Alcotest.failf "s27 plan: %s" msg
+  | Ok run ->
+    check "t_init positive" true (run.Planner.t_init > 0.0);
+    check_int "three flip-flops survive" 3 run.Planner.lac.Lac.n_f
+
+let test_report_row_and_table () =
+  match Planner.plan ~second_iteration:false (small_circuit ()) with
+  | Error msg -> Alcotest.failf "plan: %s" msg
+  | Ok run ->
+    let row = Report.row_of_run ~name:"small" run in
+    let table = Report.render_table1 [ row ] in
+    check "row name present" true
+      (String.length table > 0
+      &&
+      let re_found = ref false in
+      String.iteri
+        (fun i _ ->
+          if i + 5 <= String.length table && String.sub table i 5 = "small" then re_found := true)
+        table;
+      !re_found);
+    (* Average line present. *)
+    check "average present" true
+      (let found = ref false in
+       String.iteri
+         (fun i _ ->
+           if i + 7 <= String.length table && String.sub table i 7 = "Average" then found := true)
+         table;
+       !found)
+
+let test_figures_render () =
+  let flow = Report.render_flow_figure () in
+  check "flow mentions retiming" true
+    (let found = ref false in
+     String.iteri
+       (fun i _ ->
+         if i + 8 <= String.length flow && String.sub flow i 8 = "Retiming" then found := true)
+       flow;
+     !found);
+  let inst = build_small () in
+  let fig2 = Report.render_tile_figure inst in
+  check "figure 2 non-empty" true (String.length fig2 > 100)
+
+let suite =
+  [
+    Alcotest.test_case "instance invariants" `Quick test_instance_invariants;
+    Alcotest.test_case "interconnect delays positive" `Quick test_interconnect_delay_positive;
+    Alcotest.test_case "area accounting consistent" `Quick test_area_accounting_consistent;
+    Alcotest.test_case "min-area and lac legal" `Quick test_minarea_and_lac_legal;
+    Alcotest.test_case "lac never worse on violations" `Quick test_lac_never_worse_on_violations;
+    Alcotest.test_case "lac alpha validation" `Quick test_lac_alpha_validation;
+    Alcotest.test_case "io latency preserved" `Quick test_io_latency_preserved;
+    Alcotest.test_case "plan end to end" `Slow test_plan_end_to_end;
+    Alcotest.test_case "plan deterministic" `Slow test_plan_deterministic;
+    Alcotest.test_case "s27 plan" `Quick test_s27_plan;
+    Alcotest.test_case "report row and table" `Slow test_report_row_and_table;
+    Alcotest.test_case "figures render" `Quick test_figures_render;
+  ]
+
+let test_slicing_floorplanner_pipeline () =
+  (* The alternative floorplan engine must run the whole pipeline and
+     produce a legal, period-meeting LAC retiming too. *)
+  let config = { Config.default with Config.floorplanner = Config.Slicing } in
+  match Planner.plan ~config ~second_iteration:false (small_circuit ()) with
+  | Error msg -> Alcotest.failf "slicing plan: %s" msg
+  | Ok run ->
+    let g = run.Planner.instance.Build.graph in
+    check "legal" true (Graph.is_legal g run.Planner.lac.Lac.labels);
+    (match Graph.retime g run.Planner.lac.Lac.labels with
+    | Error msg -> Alcotest.fail msg
+    | Ok retimed ->
+      check "meets period" true (Graph.clock_period retimed <= run.Planner.t_clk +. 1e-6))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "slicing floorplanner pipeline" `Slow test_slicing_floorplanner_pipeline ]
+
+let test_congestion_on_planned_instance () =
+  (* The congestion reporter runs over a real planning run's usage. *)
+  let inst = build_small () in
+  let usage = inst.Build.routing.Lacr_routing.Global_router.usage in
+  let report = Lacr_routing.Congestion.analyze usage in
+  check "some boundaries used" true (report.Lacr_routing.Congestion.used_boundaries > 0);
+  check "histogram sums to used" true
+    (Array.fold_left ( + ) 0 report.Lacr_routing.Congestion.histogram
+    = report.Lacr_routing.Congestion.used_boundaries);
+  let map = Lacr_routing.Congestion.heat_map usage in
+  check "heat map rows" true (String.length map > 100)
+
+let test_table1_shape_invariants () =
+  (* Loose golden test: on two small suite circuits, LAC never loses
+     to min-area and both meet the target period. *)
+  List.iter
+    (fun name ->
+      let netlist = Option.get (Suite.by_name name) in
+      match Planner.plan ~second_iteration:false netlist with
+      | Error msg -> Alcotest.failf "%s: %s" name msg
+      | Ok run ->
+        check (name ^ ": lac <= minarea") true
+          (run.Planner.lac.Lac.n_foa <= run.Planner.minarea.Lac.n_foa);
+        check (name ^ ": nfn within nf") true
+          (run.Planner.lac.Lac.n_fn <= run.Planner.lac.Lac.n_f))
+    [ "s386"; "s400" ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "congestion on planned instance" `Slow test_congestion_on_planned_instance;
+      Alcotest.test_case "table1 shape invariants" `Slow test_table1_shape_invariants;
+    ]

@@ -1,0 +1,232 @@
+(* Floorplan tests: sequence-pair packing semantics (non-overlap as a
+   QCheck property), block shaping, annealer improvement, whitespace
+   and soft-block expansion. *)
+
+module Block = Lacr_floorplan.Block
+module Sequence_pair = Lacr_floorplan.Sequence_pair
+module Annealer = Lacr_floorplan.Annealer
+module Floorplan = Lacr_floorplan.Floorplan
+module Rect = Lacr_geometry.Rect
+module Point = Lacr_geometry.Point
+module Rng = Lacr_util.Rng
+
+let check = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_block_shapes () =
+  let hard = Block.hard ~name:"h" ~width:2.0 ~height:3.0 in
+  check_float "hard area" 6.0 (Block.area hard);
+  check "hard not soft" false (Block.is_soft hard);
+  (match Block.shapes hard ~n_choices:5 with
+  | [ (w, h) ] ->
+    check_float "hard width" 2.0 w;
+    check_float "hard height" 3.0 h
+  | _ -> Alcotest.fail "hard block has one shape");
+  let soft = Block.soft ~name:"s" 9.0 in
+  check_float "soft area" 9.0 (Block.area soft);
+  let shapes = Block.shapes soft ~n_choices:5 in
+  check "five choices" true (List.length shapes = 5);
+  List.iter
+    (fun (w, h) ->
+      check "area preserved" true (abs_float ((w *. h) -. 9.0) < 1e-6);
+      let aspect = w /. h in
+      check "aspect in range" true (aspect > 0.33 -. 1e-6 && aspect < 3.0 +. 1e-6))
+    shapes
+
+let test_identity_pack_stacks () =
+  (* Identity sequence pair means every block is left of the next. *)
+  let sp = Sequence_pair.identity 3 in
+  let dims = [| (1.0, 1.0); (2.0, 1.0); (1.0, 2.0) |] in
+  let packing = Sequence_pair.pack sp ~dims in
+  check_float "width is sum" 4.0 packing.Sequence_pair.width;
+  check_float "height is max" 2.0 packing.Sequence_pair.height
+
+let test_reversed_pack_stacks_vertically () =
+  (* pos reversed w.r.t. neg means stacking bottom to top. *)
+  let sp = { Sequence_pair.pos = [| 2; 1; 0 |]; neg = [| 0; 1; 2 |] } in
+  let dims = [| (1.0, 1.0); (2.0, 1.0); (1.0, 2.0) |] in
+  let packing = Sequence_pair.pack sp ~dims in
+  check_float "width is max" 2.0 packing.Sequence_pair.width;
+  check_float "height is sum" 4.0 packing.Sequence_pair.height
+
+let test_validate () =
+  check "identity valid" true (Sequence_pair.validate (Sequence_pair.identity 4) = Ok ());
+  let bad = { Sequence_pair.pos = [| 0; 0; 2 |]; neg = [| 0; 1; 2 |] } in
+  check "duplicate rejected" true (Result.is_error (Sequence_pair.validate bad))
+
+let overlap_exists rects =
+  let n = Array.length rects in
+  let found = ref false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rect.overlaps rects.(i) rects.(j) then found := true
+    done
+  done;
+  !found
+
+let prop_pack_never_overlaps =
+  QCheck2.Test.make ~count:100 ~name:"sequence-pair packing never overlaps"
+    QCheck2.Gen.(pair (int_range 2 12) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let sp = Sequence_pair.random rng n in
+      let dims = Array.init n (fun _ -> (0.5 +. Rng.float rng 3.0, 0.5 +. Rng.float rng 3.0)) in
+      let packing = Sequence_pair.pack sp ~dims in
+      not (overlap_exists packing.Sequence_pair.rects))
+
+let prop_moves_preserve_validity =
+  QCheck2.Test.make ~count:100 ~name:"annealing moves keep valid sequence pairs"
+    QCheck2.Gen.(pair (int_range 2 10) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let sp = Sequence_pair.random rng n in
+      let i = Rng.int rng n and j = Rng.int rng n in
+      Sequence_pair.validate (Sequence_pair.swap_pos sp i j) = Ok ()
+      && Sequence_pair.validate (Sequence_pair.swap_both sp i j) = Ok ())
+
+let sample_blocks () =
+  [|
+    Block.soft ~name:"a" 4.0;
+    Block.soft ~name:"b" 6.0;
+    Block.hard ~name:"c" ~width:2.0 ~height:2.0;
+    Block.soft ~name:"d" 3.0;
+  |]
+
+let sample_nets = [ { Annealer.pins = [| 0; 1 |]; weight = 2.0 }; { Annealer.pins = [| 1; 2; 3 |]; weight = 1.0 } ]
+
+let test_annealer_improves () =
+  let blocks = sample_blocks () in
+  let rng = Rng.create 7 in
+  (* Compare the annealed cost against the cost of a random packing. *)
+  let random_cost =
+    let sp = Sequence_pair.random (Rng.create 99) 4 in
+    let dims = Array.map (fun b -> List.hd (Block.shapes b ~n_choices:1)) blocks in
+    let packing = Sequence_pair.pack sp ~dims in
+    Annealer.cost_of Annealer.default_options blocks sample_nets packing
+  in
+  let result = Annealer.floorplan rng blocks sample_nets in
+  check "annealed at most random" true (result.Annealer.cost <= random_cost +. 1e-9);
+  check "no overlap" false (overlap_exists result.Annealer.packing.Sequence_pair.rects)
+
+let test_annealer_deterministic () =
+  let blocks = sample_blocks () in
+  let a = Annealer.floorplan (Rng.create 5) blocks sample_nets in
+  let b = Annealer.floorplan (Rng.create 5) blocks sample_nets in
+  check_float "same cost" a.Annealer.cost b.Annealer.cost
+
+let test_floorplan_whitespace_and_dead_area () =
+  let blocks = sample_blocks () in
+  let result = Annealer.floorplan (Rng.create 5) blocks sample_nets in
+  let fp = Floorplan.of_packing ~whitespace:0.2 blocks result.Annealer.packing in
+  let chip_area = Rect.area fp.Floorplan.chip in
+  let block_area = Array.fold_left (fun acc b -> acc +. Block.area b) 0.0 blocks in
+  check "chip bigger than blocks" true (chip_area > block_area);
+  let dead = Floorplan.dead_area fp in
+  check "dead area positive" true (dead > 0.0);
+  check_float "dead + covered = chip" chip_area (dead +. (chip_area -. dead));
+  check "utilization in (0,1)" true (Floorplan.utilization fp > 0.0 && Floorplan.utilization fp < 1.0)
+
+let test_block_at () =
+  let blocks = sample_blocks () in
+  let result = Annealer.floorplan (Rng.create 5) blocks sample_nets in
+  let fp = Floorplan.of_packing blocks result.Annealer.packing in
+  Array.iteri
+    (fun i p ->
+      let c = Rect.center p.Floorplan.rect in
+      match Floorplan.block_at fp c with
+      | Some j -> check "center maps to own block" true (i = j)
+      | None -> Alcotest.fail "center not found")
+    fp.Floorplan.placements;
+  (* A corner of the chip should be whitespace. *)
+  check "chip corner empty" true (Floorplan.block_at fp (Point.make 0.001 0.001) = None)
+
+let test_expand_soft_blocks () =
+  let blocks = sample_blocks () in
+  let result = Annealer.floorplan (Rng.create 5) blocks sample_nets in
+  let fp = Floorplan.of_packing blocks result.Annealer.packing in
+  let grown = Floorplan.expand_soft_blocks fp ~grow:(fun name -> if name = "a" then 0.5 else 0.0) in
+  check_float "a grew 50%" 6.0 (Block.area grown.(0));
+  check_float "b unchanged" 6.0 (Block.area grown.(1));
+  check_float "hard c unchanged" 4.0 (Block.area grown.(2))
+
+let suite =
+  [
+    Alcotest.test_case "block shapes" `Quick test_block_shapes;
+    Alcotest.test_case "identity pack stacks" `Quick test_identity_pack_stacks;
+    Alcotest.test_case "reversed pack stacks vertically" `Quick test_reversed_pack_stacks_vertically;
+    Alcotest.test_case "sequence pair validate" `Quick test_validate;
+    QCheck_alcotest.to_alcotest prop_pack_never_overlaps;
+    QCheck_alcotest.to_alcotest prop_moves_preserve_validity;
+    Alcotest.test_case "annealer improves" `Quick test_annealer_improves;
+    Alcotest.test_case "annealer deterministic" `Quick test_annealer_deterministic;
+    Alcotest.test_case "whitespace and dead area" `Quick test_floorplan_whitespace_and_dead_area;
+    Alcotest.test_case "block_at" `Quick test_block_at;
+    Alcotest.test_case "expand soft blocks" `Quick test_expand_soft_blocks;
+  ]
+
+(* --- slicing floorplanner --------------------------------------------- *)
+
+module Slicing = Lacr_floorplan.Slicing
+
+let test_slicing_initial_normalized () =
+  for n = 1 to 8 do
+    check "initial normalized" true (Slicing.is_normalized (Slicing.initial n))
+  done
+
+let test_slicing_pack_two_blocks () =
+  (* Two 2x1 blocks side by side (V): 4x1; stacked (H): 2x2 after the
+     shape curve picks the best realization. *)
+  let shapes = [| [ (2.0, 1.0) ]; [ (2.0, 1.0) ] |] in
+  let v_pack = Slicing.pack [| Slicing.Operand 0; Slicing.Operand 1; Slicing.V |] ~shapes in
+  check_float "V width" 4.0 v_pack.Slicing.width;
+  check_float "V height" 1.0 v_pack.Slicing.height;
+  let h_pack = Slicing.pack [| Slicing.Operand 0; Slicing.Operand 1; Slicing.H |] ~shapes in
+  check_float "H width" 2.0 h_pack.Slicing.width;
+  check_float "H height" 2.0 h_pack.Slicing.height
+
+let test_slicing_shape_curve_picks_best () =
+  (* A 1x4-or-4x1 flexible block beside a 4x1 block: stacking the
+     4x1 realizations gives a 4x2 (area 8) outline. *)
+  let shapes = [| [ (1.0, 4.0); (4.0, 1.0) ]; [ (4.0, 1.0) ] |] in
+  let packing = Slicing.pack [| Slicing.Operand 0; Slicing.Operand 1; Slicing.H |] ~shapes in
+  check_float "area 8" 8.0 (packing.Slicing.width *. packing.Slicing.height)
+
+let prop_slicing_pack_never_overlaps =
+  QCheck2.Test.make ~count:80 ~name:"slicing packing never overlaps"
+    QCheck2.Gen.(pair (int_range 2 9) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let blocks = Array.init n (fun i -> Block.soft ~name:(string_of_int i) (0.5 +. Rng.float rng 5.0)) in
+      let result = Slicing.floorplan ~options:{ Slicing.default_options with Slicing.stages = 10 } rng blocks [] in
+      let rects = result.Slicing.packing.Slicing.rects in
+      not (overlap_exists rects))
+
+let prop_slicing_moves_preserve_normalization =
+  QCheck2.Test.make ~count:100 ~name:"annealed slicing expressions stay normalized"
+    QCheck2.Gen.(pair (int_range 2 9) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let blocks = Array.init n (fun i -> Block.soft ~name:(string_of_int i) (0.5 +. Rng.float rng 5.0)) in
+      let result = Slicing.floorplan ~options:{ Slicing.default_options with Slicing.stages = 6 } rng blocks [] in
+      Slicing.is_normalized result.Slicing.expression)
+
+let test_slicing_packs_tighter_or_close () =
+  (* On soft blocks, the slicing annealer should reach near the
+     sequence-pair annealer's area (within 40%). *)
+  let blocks = sample_blocks () in
+  let sp = Annealer.floorplan (Rng.create 5) blocks sample_nets in
+  let sl = Slicing.floorplan (Rng.create 5) blocks sample_nets in
+  let sp_area = sp.Annealer.packing.Sequence_pair.width *. sp.Annealer.packing.Sequence_pair.height in
+  let sl_area = sl.Slicing.packing.Slicing.width *. sl.Slicing.packing.Slicing.height in
+  check "same ballpark" true (sl_area < sp_area *. 1.4 +. 1e-9)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "slicing initial normalized" `Quick test_slicing_initial_normalized;
+      Alcotest.test_case "slicing pack two blocks" `Quick test_slicing_pack_two_blocks;
+      Alcotest.test_case "slicing shape curve" `Quick test_slicing_shape_curve_picks_best;
+      QCheck_alcotest.to_alcotest prop_slicing_pack_never_overlaps;
+      QCheck_alcotest.to_alcotest prop_slicing_moves_preserve_normalization;
+      Alcotest.test_case "slicing vs sequence pair" `Quick test_slicing_packs_tighter_or_close;
+    ]

@@ -1,0 +1,349 @@
+(* Tests for the min-cost-flow solver and the difference-constraint LP
+   built on it.  The optimizer is checked against brute-force
+   enumeration on randomly generated small systems: this pins down the
+   LP-duality sign conventions that min-area retiming relies on. *)
+
+module Mcmf = Lacr_mcmf.Mcmf
+module Difference = Lacr_mcmf.Difference
+module Rng = Lacr_util.Rng
+
+let check = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+let check_int = Alcotest.(check int)
+
+(* --- plain flow tests ------------------------------------------------ *)
+
+let test_single_arc () =
+  let p = Mcmf.create 2 in
+  let a = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:10.0 ~cost:3.0 in
+  Mcmf.add_supply p 0 4.0;
+  Mcmf.add_supply p 1 (-4.0);
+  match Mcmf.solve p with
+  | Error e -> Alcotest.failf "unexpected error: %s" (Mcmf.error_to_string e)
+  | Ok sol ->
+    check_float "cost" 12.0 sol.Mcmf.total_cost;
+    check_float "flow" 4.0 (Mcmf.flow_on sol a)
+
+let test_two_paths_prefers_cheap () =
+  (* 0 -> 1 (cost 1, cap 3) and 0 -> 2 -> 1 (cost 2+2, cap inf): send 5. *)
+  let p = Mcmf.create 3 in
+  let cheap = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:3.0 ~cost:1.0 in
+  let leg1 = Mcmf.add_arc p ~src:0 ~dst:2 ~capacity:infinity ~cost:2.0 in
+  let leg2 = Mcmf.add_arc p ~src:2 ~dst:1 ~capacity:infinity ~cost:2.0 in
+  Mcmf.add_supply p 0 5.0;
+  Mcmf.add_supply p 1 (-5.0);
+  match Mcmf.solve p with
+  | Error e -> Alcotest.failf "unexpected error: %s" (Mcmf.error_to_string e)
+  | Ok sol ->
+    check_float "cheap saturated" 3.0 (Mcmf.flow_on sol cheap);
+    check_float "detour leg1" 2.0 (Mcmf.flow_on sol leg1);
+    check_float "detour leg2" 2.0 (Mcmf.flow_on sol leg2);
+    check_float "cost" (3.0 +. 8.0) sol.Mcmf.total_cost
+
+let test_negative_cost_arc () =
+  let p = Mcmf.create 3 in
+  let _ = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:2.0 ~cost:(-5.0) in
+  let _ = Mcmf.add_arc p ~src:1 ~dst:2 ~capacity:2.0 ~cost:1.0 in
+  Mcmf.add_supply p 0 2.0;
+  Mcmf.add_supply p 2 (-2.0);
+  match Mcmf.solve p with
+  | Error e -> Alcotest.failf "unexpected error: %s" (Mcmf.error_to_string e)
+  | Ok sol -> check_float "cost" (-8.0) sol.Mcmf.total_cost
+
+let test_unbalanced_detected () =
+  let p = Mcmf.create 2 in
+  let _ = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:1.0 ~cost:0.0 in
+  Mcmf.add_supply p 0 1.0;
+  match Mcmf.solve p with
+  | Error (Mcmf.Unbalanced _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Mcmf.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Unbalanced"
+
+let test_infeasible_detected () =
+  (* No arc reaches the deficit. *)
+  let p = Mcmf.create 3 in
+  let _ = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:5.0 ~cost:1.0 in
+  Mcmf.add_supply p 0 1.0;
+  Mcmf.add_supply p 2 (-1.0);
+  match Mcmf.solve p with
+  | Error Mcmf.Infeasible -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Mcmf.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Infeasible"
+
+let test_negative_cycle_detected () =
+  let p = Mcmf.create 2 in
+  let _ = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:infinity ~cost:(-1.0) in
+  let _ = Mcmf.add_arc p ~src:1 ~dst:0 ~capacity:infinity ~cost:0.0 in
+  match Mcmf.solve p with
+  | Error Mcmf.Negative_cycle -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Mcmf.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Negative_cycle"
+
+let test_conservation_random () =
+  (* On random feasible instances, in-flow minus out-flow matches the
+     supply at every node. *)
+  let rng = Rng.create 42 in
+  for _trial = 1 to 25 do
+    let n = 2 + Rng.int rng 6 in
+    let p = Mcmf.create n in
+    let arcs = ref [] in
+    (* A Hamiltonian backbone guarantees feasibility. *)
+    for v = 0 to n - 2 do
+      arcs := (v, v + 1, Mcmf.add_arc p ~src:v ~dst:(v + 1) ~capacity:infinity ~cost:(float_of_int (Rng.int rng 5))) :: !arcs;
+      arcs := (v + 1, v, Mcmf.add_arc p ~src:(v + 1) ~dst:v ~capacity:infinity ~cost:(float_of_int (Rng.int rng 5))) :: !arcs
+    done;
+    for _extra = 1 to n do
+      let u = Rng.int rng n and v = Rng.int rng n in
+      if u <> v then
+        arcs := (u, v, Mcmf.add_arc p ~src:u ~dst:v ~capacity:(float_of_int (1 + Rng.int rng 9)) ~cost:(float_of_int (Rng.int rng 7))) :: !arcs
+    done;
+    let supplies = Array.make n 0.0 in
+    for v = 0 to n - 2 do
+      let s = float_of_int (Rng.int_in rng (-3) 3) in
+      supplies.(v) <- s
+    done;
+    supplies.(n - 1) <- -.Array.fold_left ( +. ) 0.0 (Array.sub supplies 0 (n - 1));
+    Array.iteri (fun v s -> Mcmf.add_supply p v s) supplies;
+    match Mcmf.solve p with
+    | Error e -> Alcotest.failf "random instance failed: %s" (Mcmf.error_to_string e)
+    | Ok sol ->
+      let balance = Array.make n 0.0 in
+      let tally (u, v, handle) =
+        let f = Mcmf.flow_on sol handle in
+        check "non-negative flow" true (f >= -1e-9);
+        balance.(u) <- balance.(u) +. f;
+        balance.(v) <- balance.(v) -. f
+      in
+      List.iter tally !arcs;
+      Array.iteri
+        (fun v b ->
+          if abs_float (b -. supplies.(v)) > 1e-6 then
+            Alcotest.failf "conservation violated at node %d: %f vs %f" v b supplies.(v))
+        balance
+  done
+
+(* --- difference-constraint tests ------------------------------------- *)
+
+let test_feasible_simple () =
+  (* x0 - x1 <= -1 (x0 < x1), x1 - x0 <= 3 *)
+  let cs = [ { Difference.a = 0; b = 1; bound = -1 }; { Difference.a = 1; b = 0; bound = 3 } ] in
+  match Difference.feasible ~n:2 cs with
+  | None -> Alcotest.fail "expected feasible"
+  | Some x -> check "assignment satisfies" true (Difference.check cs x)
+
+let test_infeasible_cycle () =
+  (* x0 - x1 <= -1 and x1 - x0 <= 0 gives a negative cycle. *)
+  let cs = [ { Difference.a = 0; b = 1; bound = -1 }; { Difference.a = 1; b = 0; bound = 0 } ] in
+  check "infeasible" true (Difference.feasible ~n:2 cs = None)
+
+(* Brute-force minimizer over a box, for cross-checking [optimize]. *)
+let brute_force ~n ~objective ~range constraints =
+  let best = ref None in
+  let x = Array.make n 0 in
+  let rec enumerate v =
+    if v = n then begin
+      if Difference.check constraints x then begin
+        let value = ref 0.0 in
+        for i = 0 to n - 1 do
+          value := !value +. (objective.(i) *. float_of_int x.(i))
+        done;
+        match !best with
+        | Some (b, _) when b <= !value -. 1e-9 -> ()
+        | _ -> best := Some (!value, Array.copy x)
+      end
+    end
+    else
+      for candidate = -range to range do
+        x.(v) <- candidate;
+        enumerate (v + 1)
+      done
+  in
+  (* x(0) pinned to 0, matching the optimizer's normalization. *)
+  let rec enumerate_from_1 v =
+    if v = n then enumerate n
+    else
+      for candidate = -range to range do
+        x.(v) <- candidate;
+        enumerate_from_1 (v + 1)
+      done
+  in
+  x.(0) <- 0;
+  if n = 1 then enumerate 1 else enumerate_from_1 1;
+  !best
+
+let objective_value objective x =
+  let v = ref 0.0 in
+  Array.iteri (fun i xi -> v := !v +. (objective.(i) *. float_of_int xi)) x;
+  !v
+
+let test_optimize_matches_brute_force () =
+  let rng = Rng.create 7 in
+  for _trial = 1 to 60 do
+    let n = 2 + Rng.int rng 3 in
+    let n_constraints = 1 + Rng.int rng 6 in
+    let constraints = ref [] in
+    for _c = 1 to n_constraints do
+      let a = Rng.int rng n and b = Rng.int rng n in
+      if a <> b then
+        constraints := { Difference.a; b; bound = Rng.int_in rng (-2) 4 } :: !constraints
+    done;
+    let objective = Array.init n (fun _ -> float_of_int (Rng.int_in rng (-3) 3)) in
+    (* Keep the LP bounded inside the test box: close the cycle. *)
+    for v = 0 to n - 1 do
+      if v <> 0 then begin
+        constraints := { Difference.a = v; b = 0; bound = 3 } :: !constraints;
+        constraints := { Difference.a = 0; b = v; bound = 3 } :: !constraints
+      end
+    done;
+    let cs = !constraints in
+    match (Difference.optimize ~n ~objective cs, brute_force ~n ~objective ~range:3 cs) with
+    | Error Difference.Infeasible_constraints, None -> ()
+    | Error Difference.Infeasible_constraints, Some _ -> Alcotest.fail "optimize said infeasible, brute force disagrees"
+    | Error Difference.Unbounded_objective, _ -> Alcotest.fail "unexpected unbounded"
+    | Ok _, None -> Alcotest.fail "optimize found solution, brute force says infeasible"
+    | Ok x, Some (best_value, _) ->
+      check "solution satisfies constraints" true (Difference.check cs x);
+      check_int "normalized" 0 x.(0);
+      let got = objective_value objective x in
+      if abs_float (got -. best_value) > 1e-6 then
+        Alcotest.failf "suboptimal: got %f, brute force %f" got best_value
+  done
+
+let test_optimize_prefers_cheap_direction () =
+  (* min x1 with 0 <= x1 - x0 <= 5 pinned at x0 = 0 gives x1 = 0;
+     max x1 (objective -1) gives x1 = 5. *)
+  let cs =
+    [ { Difference.a = 0; b = 1; bound = 0 }; { Difference.a = 1; b = 0; bound = 5 } ]
+  in
+  (match Difference.optimize ~n:2 ~objective:[| 0.0; 1.0 |] cs with
+  | Ok x -> check_int "min x1" 0 x.(1)
+  | Error _ -> Alcotest.fail "min should solve");
+  match Difference.optimize ~n:2 ~objective:[| 0.0; -1.0 |] cs with
+  | Ok x -> check_int "max x1" 5 x.(1)
+  | Error _ -> Alcotest.fail "max should solve"
+
+let test_optimize_real_objective () =
+  (* Non-integral objective coefficients still give integral labels. *)
+  let cs =
+    [ { Difference.a = 1; b = 0; bound = 2 }; { Difference.a = 0; b = 1; bound = 0 } ]
+  in
+  match Difference.optimize ~n:2 ~objective:[| 0.0; -0.75 |] cs with
+  | Ok x -> check_int "pushed to bound" 2 x.(1)
+  | Error _ -> Alcotest.fail "should solve"
+
+let suite =
+  [
+    Alcotest.test_case "single arc" `Quick test_single_arc;
+    Alcotest.test_case "two paths prefer cheap" `Quick test_two_paths_prefers_cheap;
+    Alcotest.test_case "negative cost arc" `Quick test_negative_cost_arc;
+    Alcotest.test_case "unbalanced detected" `Quick test_unbalanced_detected;
+    Alcotest.test_case "infeasible detected" `Quick test_infeasible_detected;
+    Alcotest.test_case "negative cycle detected" `Quick test_negative_cycle_detected;
+    Alcotest.test_case "conservation on random instances" `Quick test_conservation_random;
+    Alcotest.test_case "difference feasible" `Quick test_feasible_simple;
+    Alcotest.test_case "difference infeasible cycle" `Quick test_infeasible_cycle;
+    Alcotest.test_case "optimize matches brute force" `Quick test_optimize_matches_brute_force;
+    Alcotest.test_case "optimize min/max directions" `Quick test_optimize_prefers_cheap_direction;
+    Alcotest.test_case "optimize real objective" `Quick test_optimize_real_objective;
+  ]
+
+(* --- capacitated instances and optimality invariants (primal-dual
+   solver) ------------------------------------------------------------ *)
+
+let test_capacitated_diamond () =
+  (* Two parallel 2-arc paths; the cheap one has capacity 1, so 3
+     units split 1 cheap + 2 expensive. *)
+  let p = Mcmf.create 4 in
+  let cheap1 = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:1.0 ~cost:1.0 in
+  let cheap2 = Mcmf.add_arc p ~src:1 ~dst:3 ~capacity:5.0 ~cost:1.0 in
+  let dear1 = Mcmf.add_arc p ~src:0 ~dst:2 ~capacity:5.0 ~cost:3.0 in
+  let dear2 = Mcmf.add_arc p ~src:2 ~dst:3 ~capacity:5.0 ~cost:3.0 in
+  Mcmf.add_supply p 0 3.0;
+  Mcmf.add_supply p 3 (-3.0);
+  match Mcmf.solve p with
+  | Error e -> Alcotest.failf "solve: %s" (Mcmf.error_to_string e)
+  | Ok sol ->
+    check_float "cheap path saturated" 1.0 (Mcmf.flow_on sol cheap1);
+    check_float "cheap tail" 1.0 (Mcmf.flow_on sol cheap2);
+    check_float "dear head" 2.0 (Mcmf.flow_on sol dear1);
+    check_float "dear tail" 2.0 (Mcmf.flow_on sol dear2);
+    check_float "total cost" (2.0 +. 12.0) sol.Mcmf.total_cost
+
+(* Brute-force min-cost flow on tiny instances by enumerating integer
+   flows per arc (capacities and supplies integral, <= 4 arcs). *)
+let brute_force_flow ~n ~arcs ~supplies =
+  let m = List.length arcs in
+  let best = ref infinity in
+  let flow = Array.make m 0 in
+  let arcs_arr = Array.of_list arcs in
+  let rec enumerate k =
+    if k = m then begin
+      let balance = Array.make n 0 in
+      Array.iteri
+        (fun i f ->
+          let u, v, _, _ = arcs_arr.(i) in
+          balance.(u) <- balance.(u) + f;
+          balance.(v) <- balance.(v) - f)
+        flow;
+      let ok = ref true in
+      Array.iteri (fun v b -> if b <> supplies.(v) then ok := false) balance;
+      if !ok then begin
+        let cost = ref 0.0 in
+        Array.iteri
+          (fun i f ->
+            let _, _, _, c = arcs_arr.(i) in
+            cost := !cost +. (float_of_int f *. c))
+          flow;
+        if !cost < !best then best := !cost
+      end
+    end
+    else begin
+      let _, _, cap, _ = arcs_arr.(k) in
+      for f = 0 to cap do
+        flow.(k) <- f;
+        enumerate (k + 1)
+      done
+    end
+  in
+  enumerate 0;
+  !best
+
+let test_capacitated_matches_brute_force () =
+  let rng = Rng.create 9090 in
+  for _trial = 1 to 40 do
+    let n = 3 + Rng.int rng 2 in
+    let n_arcs = 3 + Rng.int rng 2 in
+    let arcs = ref [] in
+    (* Backbone for feasibility. *)
+    for v = 0 to n - 2 do
+      arcs := (v, v + 1, 4, float_of_int (Rng.int rng 5)) :: !arcs
+    done;
+    for _i = 1 to n_arcs - (n - 1) + 1 do
+      let u = Rng.int rng n and v = Rng.int rng n in
+      if u <> v then arcs := (u, v, 1 + Rng.int rng 3, float_of_int (Rng.int rng 6)) :: !arcs
+    done;
+    let arcs = !arcs in
+    let supplies = Array.make n 0 in
+    supplies.(0) <- 1 + Rng.int rng 3;
+    supplies.(n - 1) <- -supplies.(0);
+    let p = Mcmf.create n in
+    List.iter
+      (fun (u, v, cap, cost) ->
+        ignore (Mcmf.add_arc p ~src:u ~dst:v ~capacity:(float_of_int cap) ~cost))
+      arcs;
+    Array.iteri (fun v s -> Mcmf.add_supply p v (float_of_int s)) supplies;
+    let brute = brute_force_flow ~n ~arcs ~supplies in
+    match Mcmf.solve p with
+    | Error e -> Alcotest.failf "solve: %s" (Mcmf.error_to_string e)
+    | Ok sol ->
+      if abs_float (sol.Mcmf.total_cost -. brute) > 1e-6 then
+        Alcotest.failf "suboptimal flow: got %f, brute force %f" sol.Mcmf.total_cost brute
+  done
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "capacitated diamond" `Quick test_capacitated_diamond;
+      Alcotest.test_case "capacitated matches brute force" `Quick
+        test_capacitated_matches_brute_force;
+    ]

@@ -1,0 +1,392 @@
+(* Netlist tests: builder validation, .bench parser/writer round trips,
+   sequential-view DFF collapse, cycle detection. *)
+
+module Netlist = Lacr_netlist.Netlist
+module Gate = Lacr_netlist.Gate
+module Bench_io = Lacr_netlist.Bench_io
+module Seqview = Lacr_netlist.Seqview
+module Dot = Lacr_netlist.Dot
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let build_or_fail steps =
+  let b = Netlist.Builder.create ~name:"t" in
+  steps b;
+  match Netlist.Builder.finish b with
+  | Ok n -> n
+  | Error msg -> Alcotest.failf "builder: %s" msg
+
+(* a -> g1 -> DFF -> g2 -> out, plus a feedback DFF chain of length 2. *)
+let sample () =
+  build_or_fail (fun b ->
+      Netlist.Builder.add_input b "a";
+      Netlist.Builder.add_gate b "g1" Gate.Not [ "a"; ];
+      Netlist.Builder.add_dff b "q1" ~data:"g1";
+      Netlist.Builder.add_gate b "g2" Gate.Nand [ "q1"; "q3" ];
+      Netlist.Builder.add_dff b "q2" ~data:"g2";
+      Netlist.Builder.add_dff b "q3" ~data:"q2";
+      Netlist.Builder.mark_output b "g2")
+
+let test_counts () =
+  let n = sample () in
+  check_int "signals" 6 (Netlist.num_signals n);
+  check_int "inputs" 1 (Netlist.num_inputs n);
+  check_int "gates" 2 (Netlist.num_gates n);
+  check_int "dffs" 3 (Netlist.num_dffs n);
+  check_int "outputs" 1 (Netlist.num_outputs n)
+
+let test_builder_duplicate_rejected () =
+  let b = Netlist.Builder.create ~name:"dup" in
+  Netlist.Builder.add_input b "x";
+  match Netlist.Builder.add_input b "x" with
+  | () -> Alcotest.fail "expected duplicate rejection"
+  | exception Invalid_argument _ -> ()
+
+let test_builder_undefined_fanin () =
+  let b = Netlist.Builder.create ~name:"bad" in
+  Netlist.Builder.add_gate b "g" Gate.And [ "nowhere" ];
+  match Netlist.Builder.finish b with
+  | Error msg -> check "mentions signal" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected validation error"
+
+let test_bench_round_trip () =
+  let n = sample () in
+  let text = Bench_io.to_string n in
+  match Bench_io.parse_string ~name:"t" text with
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+  | Ok n2 -> check "round trip equal" true (Netlist.equal n n2)
+
+let test_bench_parse_errors () =
+  let cases =
+    [
+      "G1 = FROB(G0)";  (* unknown gate *)
+      "INPUT(G0";  (* unbalanced *)
+      "G1 = DFF(G0, G2)\nINPUT(G0)\nINPUT(G2)";  (* DFF arity *)
+      "WIBBLE(G0)";  (* unknown directive *)
+    ]
+  in
+  List.iter
+    (fun text ->
+      match Bench_io.parse_string ~name:"bad" text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error for %S" text)
+    cases
+
+let test_bench_comments_and_case () =
+  let text = "# hello\nINPUT(a)\noutput(g)\ng = nand(a, a)\n\n" in
+  match Bench_io.parse_string ~name:"c" text with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok n ->
+    check_int "one gate" 1 (Netlist.num_gates n);
+    check_int "one output" 1 (Netlist.num_outputs n)
+
+let test_seqview_collapse () =
+  let n = sample () in
+  match Seqview.of_netlist n with
+  | Error msg -> Alcotest.failf "seqview: %s" msg
+  | Ok v ->
+    (* Units: a, g1, g2, g2_po. *)
+    check_int "units" 4 (Seqview.num_units v);
+    (* Edges: a->g1 (0 ff), g1->g2 (1 ff via q1), g2->g2 (2 ff via
+       q2,q3), g2->g2_po (0 ff). *)
+    check_int "edges" 4 (Seqview.num_edges v);
+    check_int "total ffs" 3 (Seqview.total_ffs v);
+    let self_loop =
+      Array.to_list v.Seqview.edges
+      |> List.find_opt (fun (e : Seqview.edge) -> e.Seqview.src = e.Seqview.dst)
+    in
+    (match self_loop with
+    | Some e -> check_int "dff chain weight" 2 e.Seqview.weight
+    | None -> Alcotest.fail "expected self loop through dff chain");
+    check "no combinational cycle" false (Seqview.has_combinational_cycle v)
+
+let test_seqview_dff_only_cycle_rejected () =
+  let b = Netlist.Builder.create ~name:"dffcycle" in
+  Netlist.Builder.add_input b "a";
+  Netlist.Builder.add_dff b "q1" ~data:"q2";
+  Netlist.Builder.add_dff b "q2" ~data:"q1";
+  Netlist.Builder.add_gate b "g" Gate.And [ "a"; "q1" ];
+  Netlist.Builder.mark_output b "g";
+  match Netlist.Builder.finish b with
+  | Error msg -> Alcotest.failf "builder: %s" msg
+  | Ok n ->
+    (match Seqview.of_netlist n with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected dff-only cycle rejection")
+
+let test_seqview_combinational_cycle_detected () =
+  let b = Netlist.Builder.create ~name:"comb" in
+  Netlist.Builder.add_input b "a";
+  Netlist.Builder.add_gate b "g1" Gate.And [ "a"; "g2" ];
+  Netlist.Builder.add_gate b "g2" Gate.Or [ "g1" ];
+  Netlist.Builder.mark_output b "g2";
+  match Netlist.Builder.finish b with
+  | Error msg -> Alcotest.failf "builder: %s" msg
+  | Ok n ->
+    (match Seqview.of_netlist n with
+    | Error msg -> Alcotest.failf "seqview should build: %s" msg
+    | Ok v -> check "combinational cycle found" true (Seqview.has_combinational_cycle v))
+
+let test_gate_model_monotone () =
+  List.iter
+    (fun kind ->
+      check "delay grows with fanin" true (Gate.delay kind ~fanin:4 >= Gate.delay kind ~fanin:2);
+      check "positive delay" true (Gate.delay kind ~fanin:1 > 0.0);
+      check "positive area" true (Gate.area kind ~fanin:1 > 0.0))
+    Gate.all_kinds
+
+let test_gate_parse () =
+  check "nand" true (Gate.of_string "nAnD" = Some Gate.Nand);
+  check "inv alias" true (Gate.of_string "INV" = Some Gate.Not);
+  check "buff alias" true (Gate.of_string "BUFF" = Some Gate.Buf);
+  check "unknown" true (Gate.of_string "MUX17" = None);
+  List.iter
+    (fun kind -> check "to_string/of_string" true (Gate.of_string (Gate.to_string kind) = Some kind))
+    Gate.all_kinds
+
+let test_dot_export () =
+  let n = sample () in
+  match Seqview.of_netlist n with
+  | Error msg -> Alcotest.failf "seqview: %s" msg
+  | Ok v ->
+    let dot = Dot.of_seqview v in
+    check "digraph header" true (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+    (* one node line per unit *)
+    let count_sub needle hay =
+      let n = String.length needle and h = String.length hay in
+      let rec go i acc =
+        if i + n > h then acc
+        else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+        else go (i + 1) acc
+      in
+      go 0 0
+    in
+    check_int "node count" 4 (count_sub "shape=" dot)
+
+let suite =
+  [
+    Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "builder duplicate rejected" `Quick test_builder_duplicate_rejected;
+    Alcotest.test_case "builder undefined fanin" `Quick test_builder_undefined_fanin;
+    Alcotest.test_case "bench round trip" `Quick test_bench_round_trip;
+    Alcotest.test_case "bench parse errors" `Quick test_bench_parse_errors;
+    Alcotest.test_case "bench comments and case" `Quick test_bench_comments_and_case;
+    Alcotest.test_case "seqview collapse" `Quick test_seqview_collapse;
+    Alcotest.test_case "dff-only cycle rejected" `Quick test_seqview_dff_only_cycle_rejected;
+    Alcotest.test_case "combinational cycle detected" `Quick test_seqview_combinational_cycle_detected;
+    Alcotest.test_case "gate model monotone" `Quick test_gate_model_monotone;
+    Alcotest.test_case "gate parse" `Quick test_gate_parse;
+    Alcotest.test_case "dot export" `Quick test_dot_export;
+  ]
+
+(* --- Verilog export --------------------------------------------------- *)
+
+module Verilog = Lacr_netlist.Verilog
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_verilog_sanitize () =
+  Alcotest.(check string) "plain" "G17" (Verilog.sanitize "G17");
+  Alcotest.(check string) "leading digit" "_3x" (Verilog.sanitize "3x");
+  check "odd chars escaped" true (Verilog.sanitize "a.b" <> "a.b");
+  check "no dots survive" true (not (String.contains (Verilog.sanitize "a.b") '.'))
+
+let test_verilog_export_s27 () =
+  let v = Verilog.to_string (Lacr_circuits.Suite.s27 ()) in
+  check "module header" true (contains v "module s27 (");
+  check "endmodule" true (contains v "endmodule");
+  check "clocked dff" true (contains v "always @(posedge clk) G5 <= G10;");
+  check "gate assign" true (contains v "assign G8 = G14 & G6;");
+  check "nand inverted" true (contains v "assign G9 = ~(G16 & G15);");
+  check "output alias" true (contains v "assign G17_out = G17;");
+  (* One reg per DFF. *)
+  let count needle =
+    let rec go i acc =
+      if i + String.length needle > String.length v then acc
+      else if String.sub v i (String.length needle) = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "three regs" 3 (count "  reg ")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "verilog sanitize" `Quick test_verilog_sanitize;
+      Alcotest.test_case "verilog export s27" `Quick test_verilog_export_s27;
+    ]
+
+(* --- levelization --- *)
+
+module Levelize = Lacr_netlist.Levelize
+
+let test_levelize_sample () =
+  let n = sample () in
+  match Seqview.of_netlist n with
+  | Error msg -> Alcotest.failf "seqview: %s" msg
+  | Ok view ->
+    (match Levelize.compute view with
+    | Error msg -> Alcotest.failf "levelize: %s" msg
+    | Ok lv ->
+      (* a (pi) level 0 -> g1 level 1; g2's combinational fan-ins all
+         arrive through registers, so g2 is level 0; the po is level 1. *)
+      check_int "depth" 1 lv.Levelize.depth;
+      check_int "level counts total" 4 (Array.fold_left ( + ) 0 lv.Levelize.per_level));
+    (match Levelize.stats view with
+    | Error msg -> Alcotest.failf "stats: %s" msg
+    | Ok s ->
+      check_int "registers" 3 s.Levelize.registers;
+      check_int "sequential edges" 2 s.Levelize.sequential_edges;
+      check "pp works" true (String.length (Format.asprintf "%a" Levelize.pp_stats s) > 10))
+
+let suite = suite @ [ Alcotest.test_case "levelize sample" `Quick test_levelize_sample ]
+
+(* --- BLIF front-end ---------------------------------------------------- *)
+
+module Blif_io = Lacr_netlist.Blif_io
+
+let test_blif_round_trip () =
+  let n = sample () in
+  let text = Blif_io.to_string n in
+  match Blif_io.parse_string text with
+  | Error msg -> Alcotest.failf "blif reparse: %s" msg
+  | Ok n2 ->
+    check_int "same inputs" (Netlist.num_inputs n) (Netlist.num_inputs n2);
+    check_int "same gates" (Netlist.num_gates n) (Netlist.num_gates n2);
+    check_int "same dffs" (Netlist.num_dffs n) (Netlist.num_dffs n2);
+    check "same outputs" true (Netlist.outputs n = Netlist.outputs n2)
+
+let test_blif_s27_round_trip_simulates_equal () =
+  let n = Lacr_circuits.Suite.s27 () in
+  match Blif_io.parse_string (Blif_io.to_string n) with
+  | Error msg -> Alcotest.failf "blif: %s" msg
+  | Ok n2 ->
+    (* The round trip may reorder nothing semantically: simulate both. *)
+    let v1 = Result.get_ok (Seqview.of_netlist n) in
+    let v2 = Result.get_ok (Seqview.of_netlist n2) in
+    let sim1 = Lacr_netlist.Sim.create v1 and sim2 = Lacr_netlist.Sim.create v2 in
+    let rng = Lacr_util.Rng.create 12 in
+    for _cycle = 1 to 50 do
+      let ins = Array.init 4 (fun _ -> Lacr_util.Rng.bool rng) in
+      let o1 = Lacr_netlist.Sim.step sim1 ins and o2 = Lacr_netlist.Sim.step sim2 ins in
+      if o1 <> o2 then Alcotest.fail "blif round trip changed behaviour"
+    done
+
+let test_blif_parse_handwritten () =
+  let text =
+    ".model counter\n\
+     .inputs en\n\
+     .outputs out\n\
+     # toggle when enabled\n\
+     .names en q \\\n\
+     d\n\
+     01 1\n\
+     10 1\n\
+     .latch d q 2 0\n\
+     .names q out\n\
+     1 1\n\
+     .end\n"
+  in
+  match Blif_io.parse_string text with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok n ->
+    Alcotest.(check string) "model name" "counter" (Netlist.name n);
+    check_int "one latch" 1 (Netlist.num_dffs n);
+    check_int "two gates" 2 (Netlist.num_gates n);
+    (match Netlist.definition n "d" with
+    | Netlist.Gate (Gate.Xor, [ "en"; "q" ]) -> ()
+    | _ -> Alcotest.fail "xor not classified")
+
+let test_blif_rejects_weird_covers () =
+  let text = ".model bad\n.inputs a b c\n.outputs y\n.names a b c y\n1-1 1\n011 1\n.end\n" in
+  (match Blif_io.parse_string text with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unsupported-cover rejection");
+  let offset = ".model bad\n.inputs a\n.outputs y\n.names a y\n0 0\n.end\n" in
+  match Blif_io.parse_string offset with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected off-set rejection"
+
+let test_blif_gate_shapes_all_kinds () =
+  List.iter
+    (fun kind ->
+      let arity = match kind with Gate.Not | Gate.Buf -> 1 | _ -> 2 in
+      let b = Netlist.Builder.create ~name:"k" in
+      for i = 0 to arity - 1 do
+        Netlist.Builder.add_input b (Printf.sprintf "i%d" i)
+      done;
+      Netlist.Builder.add_gate b "y" kind (List.init arity (Printf.sprintf "i%d"));
+      Netlist.Builder.mark_output b "y";
+      match Netlist.Builder.finish b with
+      | Error msg -> Alcotest.failf "builder: %s" msg
+      | Ok n ->
+        (match Blif_io.parse_string (Blif_io.to_string n) with
+        | Error msg -> Alcotest.failf "%s: %s" (Gate.to_string kind) msg
+        | Ok n2 ->
+          (match Netlist.definition n2 "y" with
+          | Netlist.Gate (k2, _) when Gate.equal k2 kind -> ()
+          | _ -> Alcotest.failf "%s not preserved" (Gate.to_string kind))))
+    Gate.all_kinds
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "blif round trip" `Quick test_blif_round_trip;
+      Alcotest.test_case "blif s27 behaviour preserved" `Quick test_blif_s27_round_trip_simulates_equal;
+      Alcotest.test_case "blif handwritten parse" `Quick test_blif_parse_handwritten;
+      Alcotest.test_case "blif rejects weird covers" `Quick test_blif_rejects_weird_covers;
+      Alcotest.test_case "blif all gate kinds" `Quick test_blif_gate_shapes_all_kinds;
+    ]
+
+(* --- dead-logic sweep --------------------------------------------------- *)
+
+module Sweep = Lacr_netlist.Sweep
+
+let test_sweep_removes_unobservable () =
+  let n =
+    build_or_fail (fun b ->
+        Netlist.Builder.add_input b "a";
+        Netlist.Builder.add_gate b "used" Gate.Not [ "a" ];
+        Netlist.Builder.add_gate b "dead_gate" Gate.And [ "a"; "dead_q" ];
+        Netlist.Builder.add_dff b "dead_q" ~data:"dead_gate";
+        Netlist.Builder.mark_output b "used")
+  in
+  match Sweep.sweep n with
+  | Error msg -> Alcotest.failf "sweep: %s" msg
+  | Ok r ->
+    check_int "one gate removed" 1 r.Sweep.removed_gates;
+    check_int "one dff removed" 1 r.Sweep.removed_dffs;
+    check_int "kept gate" 1 (Netlist.num_gates r.Sweep.netlist);
+    check_int "inputs kept" 1 (Netlist.num_inputs r.Sweep.netlist);
+    check "valid" true (Netlist.validate r.Sweep.netlist = Ok ())
+
+let test_sweep_preserves_behaviour () =
+  let rng = Lacr_util.Rng.create 31 in
+  for _trial = 1 to 10 do
+    let spec = Lacr_circuits.Synth.random_spec rng ~name:"sweep" in
+    let n = Lacr_circuits.Synth.generate spec in
+    match Sweep.sweep n with
+    | Error msg -> Alcotest.failf "sweep: %s" msg
+    | Ok r ->
+      let v1 = Result.get_ok (Seqview.of_netlist n) in
+      let v2 = Result.get_ok (Seqview.of_netlist r.Sweep.netlist) in
+      let sim1 = Lacr_netlist.Sim.create v1 and sim2 = Lacr_netlist.Sim.create v2 in
+      let width = Netlist.num_inputs n in
+      for _cycle = 1 to 30 do
+        let ins = Array.init width (fun _ -> Lacr_util.Rng.bool rng) in
+        if Lacr_netlist.Sim.step sim1 ins <> Lacr_netlist.Sim.step sim2 ins then
+          Alcotest.fail "sweep changed observable behaviour"
+      done
+  done
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "sweep removes unobservable" `Quick test_sweep_removes_unobservable;
+      Alcotest.test_case "sweep preserves behaviour" `Quick test_sweep_preserves_behaviour;
+    ]

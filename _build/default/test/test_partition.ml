@@ -1,0 +1,138 @@
+(* Partitioning tests: FM invariants (balance, cut accounting,
+   improvement over the random start), k-way coverage, and the
+   seqview adapter. *)
+
+module Fm = Lacr_partition.Fm
+module Kway = Lacr_partition.Kway
+module Seqview = Lacr_netlist.Seqview
+module Rng = Lacr_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let random_problem rng ~n_cells ~n_nets =
+  let areas = Array.init n_cells (fun _ -> 0.5 +. Rng.float rng 2.0) in
+  let nets =
+    Array.init n_nets (fun _ ->
+        let arity = 2 + Rng.int rng 3 in
+        Array.init arity (fun _ -> Rng.int rng n_cells))
+  in
+  { Fm.n_cells; areas; nets }
+
+let test_validate () =
+  let ok = { Fm.n_cells = 2; areas = [| 1.0; 1.0 |]; nets = [| [| 0; 1 |] |] } in
+  check "valid" true (Fm.validate ok = Ok ());
+  let bad_area = { ok with Fm.areas = [| 1.0; 0.0 |] } in
+  check "zero area rejected" true (Result.is_error (Fm.validate bad_area));
+  let bad_net = { ok with Fm.nets = [| [| 0; 7 |] |] } in
+  check "pin out of range rejected" true (Result.is_error (Fm.validate bad_net))
+
+let test_cut_size () =
+  let p = { Fm.n_cells = 4; areas = Array.make 4 1.0; nets = [| [| 0; 1 |]; [| 2; 3 |]; [| 0; 3 |] |] } in
+  check_int "all same side" 0 (Fm.cut_size p [| 0; 0; 0; 0 |]);
+  check_int "split pairs" 1 (Fm.cut_size p [| 0; 0; 1; 1 |]);
+  check_int "alternating" 3 (Fm.cut_size p [| 0; 1; 0; 1 |])
+
+let test_two_cliques () =
+  (* Two 5-cliques joined by one bridge net: FM should find the
+     natural bipartition with cut 1. *)
+  let n = 10 in
+  let clique offset =
+    List.concat_map
+      (fun i -> List.filter_map (fun j -> if j > i then Some [| offset + i; offset + j |] else None) (List.init 5 Fun.id))
+      (List.init 5 Fun.id)
+  in
+  let nets = Array.of_list (clique 0 @ clique 5 @ [ [| 0; 5 |] ]) in
+  let p = { Fm.n_cells = n; areas = Array.make n 1.0; nets } in
+  let rng = Rng.create 3 in
+  let side = Fm.bipartition rng p in
+  check_int "bridge only" 1 (Fm.cut_size p side);
+  let a0, a1 = Fm.side_areas p side in
+  check "balanced" true (abs_float (a0 -. a1) < 1e-9)
+
+let test_balance_respected () =
+  let rng = Rng.create 11 in
+  for _trial = 1 to 20 do
+    let p = random_problem rng ~n_cells:30 ~n_nets:60 in
+    let side = Fm.bipartition rng p in
+    let a0, a1 = Fm.side_areas p side in
+    let total = a0 +. a1 in
+    let tolerance = Fm.default_options.Fm.balance_tolerance in
+    (* The balance constraint can only be checked up to one cell's
+       area: the initial greedy assignment is balanced and moves never
+       cross min_side. *)
+    let max_cell = Array.fold_left max 0.0 p.Fm.areas in
+    check "side 0 not starved" true (a0 >= ((0.5 -. tolerance) *. total) -. max_cell);
+    check "side 1 not starved" true (a1 >= ((0.5 -. tolerance) *. total) -. max_cell)
+  done
+
+let test_fm_no_worse_than_random_start () =
+  let rng = Rng.create 17 in
+  for _trial = 1 to 10 do
+    let p = random_problem rng ~n_cells:40 ~n_nets:80 in
+    let side = Fm.bipartition (Rng.create 1) p in
+    (* Compare against 20 random balanced assignments. *)
+    let rand_rng = Rng.create 2 in
+    let best_random = ref max_int in
+    for _r = 1 to 20 do
+      let assignment = Array.init 40 (fun _ -> Rng.int rand_rng 2) in
+      best_random := min !best_random (Fm.cut_size p assignment)
+    done;
+    check "fm at most random best" true (Fm.cut_size p side <= !best_random)
+  done
+
+let test_kway_labels_in_range () =
+  let rng = Rng.create 29 in
+  let p = random_problem rng ~n_cells:50 ~n_nets:100 in
+  List.iter
+    (fun k ->
+      let labels = Kway.partition (Rng.create 5) p ~k in
+      Array.iter (fun b -> check "label in range" true (b >= 0 && b < k)) labels;
+      (* Every block non-empty for reasonable k. *)
+      let counts = Array.make k 0 in
+      Array.iter (fun b -> counts.(b) <- counts.(b) + 1) labels;
+      Array.iteri (fun b c -> if c = 0 then Alcotest.failf "k=%d: empty block %d" k b) counts)
+    [ 1; 2; 3; 4; 7 ]
+
+let test_kway_block_areas_balanced () =
+  let rng = Rng.create 41 in
+  let p = random_problem rng ~n_cells:64 ~n_nets:120 in
+  let k = 4 in
+  let labels = Kway.partition (Rng.create 6) p ~k in
+  let areas = Kway.block_areas p labels ~k in
+  let total = Array.fold_left ( +. ) 0.0 areas in
+  Array.iter
+    (fun a -> check "block between 10% and 45% of total" true (a > 0.1 *. total && a < 0.45 *. total))
+    areas
+
+let test_of_seqview () =
+  match Seqview.of_netlist (Lacr_circuits.Suite.s27 ()) with
+  | Error msg -> Alcotest.failf "seqview: %s" msg
+  | Ok view ->
+    let p = Kway.of_seqview view in
+    check_int "one cell per unit" (Seqview.num_units view) p.Fm.n_cells;
+    check_int "one net per edge" (Seqview.num_edges view) (Array.length p.Fm.nets);
+    check "ports got positive area" true (Array.for_all (fun a -> a > 0.0) p.Fm.areas)
+
+let prop_kway_total_preserved =
+  QCheck2.Test.make ~count:30 ~name:"kway assigns every cell exactly once"
+    QCheck2.Gen.(pair (int_range 5 40) (int_range 0 1_000_000))
+    (fun (n_cells, seed) ->
+      let rng = Rng.create seed in
+      let p = random_problem rng ~n_cells ~n_nets:(2 * n_cells) in
+      let k = 1 + (n_cells / 8) in
+      let labels = Kway.partition (Rng.create seed) p ~k in
+      Array.length labels = n_cells && Array.for_all (fun b -> b >= 0 && b < k) labels)
+
+let suite =
+  [
+    Alcotest.test_case "validate" `Quick test_validate;
+    Alcotest.test_case "cut size" `Quick test_cut_size;
+    Alcotest.test_case "two cliques" `Quick test_two_cliques;
+    Alcotest.test_case "balance respected" `Quick test_balance_respected;
+    Alcotest.test_case "fm no worse than random" `Quick test_fm_no_worse_than_random_start;
+    Alcotest.test_case "kway labels in range" `Quick test_kway_labels_in_range;
+    Alcotest.test_case "kway block areas balanced" `Quick test_kway_block_areas_balanced;
+    Alcotest.test_case "of_seqview" `Quick test_of_seqview;
+    QCheck_alcotest.to_alcotest prop_kway_total_preserved;
+  ]

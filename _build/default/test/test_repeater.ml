@@ -1,0 +1,162 @@
+(* Repeater-insertion tests: the L_max invariant, DP cost preference
+   for roomy tiles, occupancy side effects, segment bookkeeping, and
+   the delay model. *)
+
+module Delay_model = Lacr_repeater.Delay_model
+module Insertion = Lacr_repeater.Insertion
+module Tilegraph = Lacr_tilegraph.Tilegraph
+module Occupancy = Lacr_tilegraph.Occupancy
+module Block = Lacr_floorplan.Block
+module Annealer = Lacr_floorplan.Annealer
+module Floorplan = Lacr_floorplan.Floorplan
+module Rng = Lacr_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let grid_fixture () =
+  let blocks = [| Block.soft ~name:"a" 6.0; Block.soft ~name:"b" 6.0 |] in
+  let nets = [ { Annealer.pins = [| 0; 1 |]; weight = 1.0 } ] in
+  let result = Annealer.floorplan (Rng.create 3) blocks nets in
+  let fp = Floorplan.of_packing ~whitespace:0.4 blocks result.Annealer.packing in
+  Tilegraph.build
+    ~config:{ Tilegraph.default_config with Tilegraph.grid = 10 }
+    fp ~logic_area:[| 4.0; 4.0 |]
+
+let straight_path tg len =
+  (* Cells 0, 1, 2, ... along the bottom row. *)
+  let nx, _ = Tilegraph.grid_dims tg in
+  assert (len <= nx);
+  List.init len (fun i -> i)
+
+let test_delay_model () =
+  (match Delay_model.validate Delay_model.default with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "default model invalid: %s" msg);
+  let m = Delay_model.default in
+  check_float "segment delay affine"
+    (m.Delay_model.repeater_delay +. (2.0 *. m.Delay_model.unit_wire_delay))
+    (Delay_model.segment_delay m 2.0);
+  check "longer is slower" true (Delay_model.segment_delay m 3.0 > Delay_model.segment_delay m 1.0);
+  let bad = { m with Delay_model.l_max = 0.0 } in
+  check "zero l_max rejected" true (Result.is_error (Delay_model.validate bad))
+
+let test_short_path_unsegmented () =
+  (* A path within l_max needs no repeaters, but the wire itself is
+     still one interconnect unit carrying its delay. *)
+  let tg = grid_fixture () in
+  let occ = Occupancy.create tg in
+  let model = { Delay_model.default with Delay_model.l_max = 1000.0 } in
+  let bp = Insertion.insert model occ ~path:(straight_path tg 5) in
+  check_int "no repeaters" 0 (List.length bp.Insertion.repeater_cells);
+  check_int "one segment (the whole wire)" 1 (List.length bp.Insertion.segments)
+
+let test_single_cell_path () =
+  let tg = grid_fixture () in
+  let occ = Occupancy.create tg in
+  let bp = Insertion.insert Delay_model.default occ ~path:[ 3 ] in
+  check_int "no repeaters" 0 (List.length bp.Insertion.repeater_cells);
+  check_int "no segments" 0 (List.length bp.Insertion.segments)
+
+let test_lmax_respected () =
+  let tg = grid_fixture () in
+  let pitch_x, _ = Tilegraph.cell_pitch tg in
+  let occ = Occupancy.create tg in
+  let l_max = 2.5 *. pitch_x in
+  let model = { Delay_model.default with Delay_model.l_max = l_max } in
+  let path = straight_path tg 9 in
+  let bp = Insertion.insert model occ ~path in
+  check "segments exist" true (List.length bp.Insertion.segments >= 2);
+  check "max gap within l_max" true (Insertion.max_gap tg bp <= l_max +. 1e-9);
+  (* Segments cover the path: lengths sum to total length. *)
+  let total = float_of_int (List.length path - 1) *. pitch_x in
+  let seg_sum = List.fold_left (fun acc s -> acc +. s.Insertion.length) 0.0 bp.Insertion.segments in
+  check_float "segments cover path" total seg_sum;
+  (* Delay equals sum of segment delays and is positive. *)
+  check "total delay positive" true (Insertion.total_delay bp > 0.0)
+
+let test_occupancy_reserved () =
+  let tg = grid_fixture () in
+  let pitch_x, _ = Tilegraph.cell_pitch tg in
+  let occ = Occupancy.create tg in
+  let model = { Delay_model.default with Delay_model.l_max = 2.0 *. pitch_x } in
+  let path = straight_path tg 9 in
+  let bp = Insertion.insert model occ ~path in
+  let n_reps = List.length bp.Insertion.repeater_cells in
+  check "some repeaters" true (n_reps > 0);
+  let total_used =
+    let sum = ref 0.0 in
+    for t = 0 to Tilegraph.num_tiles tg - 1 do
+      sum := !sum +. Occupancy.used occ t
+    done;
+    !sum
+  in
+  check_float "area reserved" (float_of_int n_reps *. model.Delay_model.repeater_area) total_used
+
+let test_prefers_roomy_tiles () =
+  let tg = grid_fixture () in
+  let pitch_x, _ = Tilegraph.cell_pitch tg in
+  let occ = Occupancy.create tg in
+  let model = { Delay_model.default with Delay_model.l_max = 2.2 *. pitch_x } in
+  (* Pre-fill the tile of cell 2 so the DP avoids it when cell 1 or 3
+     also satisfies the window. *)
+  let crowded = Tilegraph.tile_of_cell tg 2 in
+  Occupancy.reserve occ ~tile:crowded ~amount:1.0e6;
+  let path = straight_path tg 5 in
+  let bp = Insertion.insert model occ ~path in
+  check "avoids crowded cell" true (not (List.mem 2 bp.Insertion.repeater_cells))
+
+let test_segment_start_tiles () =
+  let tg = grid_fixture () in
+  let pitch_x, _ = Tilegraph.cell_pitch tg in
+  let occ = Occupancy.create tg in
+  let model = { Delay_model.default with Delay_model.l_max = 2.0 *. pitch_x } in
+  let path = straight_path tg 8 in
+  let bp = Insertion.insert model occ ~path in
+  List.iter
+    (fun seg ->
+      match seg.Insertion.cells with
+      | first :: _ ->
+        check_int "start tile matches first cell" (Tilegraph.tile_of_cell tg first)
+          seg.Insertion.start_tile
+      | [] -> Alcotest.fail "empty segment")
+    bp.Insertion.segments;
+  (* Consecutive segments share their boundary cell. *)
+  let rec check_chain = function
+    | a :: (b :: _ as rest) ->
+      let last_a = List.nth a.Insertion.cells (List.length a.Insertion.cells - 1) in
+      (match b.Insertion.cells with
+      | first_b :: _ -> check_int "segments chain" last_a first_b
+      | [] -> Alcotest.fail "empty segment");
+      check_chain rest
+    | [ _ ] | [] -> ()
+  in
+  check_chain bp.Insertion.segments
+
+let prop_lmax_always_met =
+  QCheck2.Test.make ~count:60 ~name:"repeater insertion keeps every gap within l_max"
+    QCheck2.Gen.(pair (int_range 2 10) (int_range 0 1_000_000))
+    (fun (len, seed) ->
+      let tg = grid_fixture () in
+      let pitch_x, _ = Tilegraph.cell_pitch tg in
+      let rng = Rng.create seed in
+      let occ = Occupancy.create tg in
+      let l_max = (1.2 +. Rng.float rng 3.0) *. pitch_x in
+      let model = { Delay_model.default with Delay_model.l_max = l_max } in
+      let path = straight_path tg len in
+      let bp = Insertion.insert model occ ~path in
+      (* Coverable whenever single steps fit within l_max. *)
+      Insertion.max_gap tg bp <= l_max +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "delay model" `Quick test_delay_model;
+    Alcotest.test_case "short path unsegmented" `Quick test_short_path_unsegmented;
+    Alcotest.test_case "single cell path" `Quick test_single_cell_path;
+    Alcotest.test_case "l_max respected" `Quick test_lmax_respected;
+    Alcotest.test_case "occupancy reserved" `Quick test_occupancy_reserved;
+    Alcotest.test_case "prefers roomy tiles" `Quick test_prefers_roomy_tiles;
+    Alcotest.test_case "segment start tiles" `Quick test_segment_start_tiles;
+    QCheck_alcotest.to_alcotest prop_lmax_always_met;
+  ]

@@ -1,0 +1,458 @@
+(* Tests for the retiming library: the Leiserson-Saxe correlator with
+   its textbook numbers, brute-force cross-checks of min-period and
+   min-area retiming on random small graphs, and QCheck properties of
+   retiming legality. *)
+
+module Graph = Lacr_retime.Graph
+module Paths = Lacr_retime.Paths
+module Constraints = Lacr_retime.Constraints
+module Feasibility = Lacr_retime.Feasibility
+module Min_area = Lacr_retime.Min_area
+module Rng = Lacr_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* The classic correlator (Leiserson-Saxe, "Retiming Synchronous
+   Circuitry", Fig. 1): host + three delay-7 adders + four delay-3
+   comparators; clock period 24 before retiming, 13 after min-period
+   retiming. *)
+let correlator () =
+  let delays = [| 0.0; 3.0; 3.0; 3.0; 3.0; 7.0; 7.0; 7.0 |] in
+  let e src dst weight = { Graph.src; dst; weight } in
+  let edges =
+    [
+      e 0 1 1;
+      e 1 2 1;
+      e 2 3 1;
+      e 3 4 1;
+      e 4 5 0;
+      e 5 6 0;
+      e 6 7 0;
+      e 7 0 0;
+      e 3 5 0;
+      e 2 6 0;
+      e 1 7 0;
+    ]
+  in
+  Graph.create ~delays ~edges ~host:0
+
+let test_correlator_period () =
+  let g = correlator () in
+  check_float "initial period" 24.0 (Graph.clock_period g)
+
+let test_correlator_min_period () =
+  let g = correlator () in
+  let wd = Paths.compute g in
+  let result = Feasibility.min_period g wd in
+  check_float "min period" 13.0 result.Feasibility.period;
+  match Graph.retime g result.Feasibility.labels with
+  | Error msg -> Alcotest.fail msg
+  | Ok retimed -> check "retimed meets period" true (Graph.clock_period retimed <= 13.0 +. 1e-9)
+
+let test_correlator_ff_preservation () =
+  (* Retiming preserves the number of flip-flops on every cycle; for
+     the correlator's single big cycle the total along it is 4. *)
+  let g = correlator () in
+  let wd = Paths.compute g in
+  let result = Feasibility.min_period g wd in
+  match Graph.retime g result.Feasibility.labels with
+  | Error msg -> Alcotest.fail msg
+  | Ok retimed ->
+    let cycle_edges = [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 6); (6, 7); (7, 0) ] in
+    let weight_of g (src, dst) =
+      let matching =
+        List.filter (fun (e : Graph.edge) -> e.Graph.src = src && e.Graph.dst = dst)
+          (Array.to_list (Graph.edges g))
+      in
+      List.fold_left (fun acc (e : Graph.edge) -> acc + e.Graph.weight) 0 matching
+    in
+    let before = List.fold_left (fun acc p -> acc + weight_of g p) 0 cycle_edges in
+    let after = List.fold_left (fun acc p -> acc + weight_of retimed p) 0 cycle_edges in
+    check_int "cycle weight preserved" before after
+
+(* --- random graph machinery ------------------------------------------ *)
+
+(* A random retiming graph: host 0 (delay 0) on a weighted ring (so
+   everything is reachable and no zero-weight cycle exists), plus a few
+   chords.  Returns a graph over [n] vertices. *)
+let random_graph rng n =
+  let delays = Array.init n (fun v -> if v = 0 then 0.0 else float_of_int (1 + Rng.int rng 5)) in
+  let ring =
+    List.init n (fun v -> { Graph.src = v; dst = (v + 1) mod n; weight = 1 + Rng.int rng 2 })
+  in
+  let n_chords = Rng.int rng (n + 1) in
+  let chords = ref [] in
+  for _c = 1 to n_chords do
+    let src = Rng.int rng n and dst = Rng.int rng n in
+    if src <> dst then
+      (* Weight >= 1 keeps zero-weight cycles impossible regardless of
+         chord direction. *)
+      chords := { Graph.src; dst; weight = 1 + Rng.int rng 2 } :: !chords
+  done;
+  Graph.create ~delays ~edges:(ring @ !chords) ~host:0
+
+(* Enumerate retimings r in [-range, range]^(n-1) with r(0) = 0. *)
+let enumerate_retimings g range f =
+  let n = Graph.num_vertices g in
+  let r = Array.make n 0 in
+  let rec go v =
+    if v = n then f r
+    else
+      for candidate = -range to range do
+        r.(v) <- candidate;
+        go (v + 1)
+      done
+  in
+  go 1
+
+let brute_force_min_period g range =
+  let best = ref infinity in
+  enumerate_retimings g range (fun r ->
+      if Graph.is_legal g r then
+        match Graph.retime g r with
+        | Ok retimed ->
+          let p = Graph.clock_period retimed in
+          if p < !best then best := p
+        | Error _ -> ());
+  !best
+
+let brute_force_min_area g range ~period =
+  let best = ref max_int in
+  enumerate_retimings g range (fun r ->
+      if Graph.is_legal g r then
+        match Graph.retime g r with
+        | Ok retimed ->
+          if Graph.clock_period retimed <= period +. 1e-9 then begin
+            let ffs = Graph.total_ffs retimed in
+            if ffs < !best then best := ffs
+          end
+        | Error _ -> ());
+  !best
+
+let test_min_period_matches_brute_force () =
+  let rng = Rng.create 11 in
+  for _trial = 1 to 20 do
+    let n = 3 + Rng.int rng 2 in
+    let g = random_graph rng n in
+    let wd = Paths.compute g in
+    let solved = Feasibility.min_period g wd in
+    let brute = brute_force_min_period g 4 in
+    if abs_float (solved.Feasibility.period -. brute) > 1e-6 then
+      Alcotest.failf "min-period mismatch: solver %f vs brute force %f" solved.Feasibility.period
+        brute
+  done
+
+let test_min_area_matches_brute_force () =
+  let rng = Rng.create 23 in
+  for _trial = 1 to 20 do
+    let n = 3 + Rng.int rng 2 in
+    let g = random_graph rng n in
+    let wd = Paths.compute g in
+    let mp = Feasibility.min_period g wd in
+    (* A mildly relaxed target, like the paper's T_clk between T_min
+       and T_init. *)
+    let period = mp.Feasibility.period +. 1.0 in
+    let cs = Constraints.generate g wd ~period in
+    (match Min_area.solve g cs with
+    | Error msg -> Alcotest.fail msg
+    | Ok solution ->
+      let brute = brute_force_min_area g 4 ~period in
+      check_int "min-area matches brute force" brute solution.Min_area.ff_count;
+      (match Graph.retime g solution.Min_area.labels with
+      | Error msg -> Alcotest.fail msg
+      | Ok retimed ->
+        check "period met" true (Graph.clock_period retimed <= period +. 1e-9)))
+  done
+
+let test_weighted_min_area_shifts_ffs () =
+  (* Ring 0 -> 1 -> 2 -> 0 where vertex 1's fan-out edge is heavily
+     penalized: the solver should prefer placing flip-flops on cheap
+     edges.  Delays are tiny so the period constraint never binds. *)
+  let delays = [| 0.0; 1.0; 1.0 |] in
+  let e src dst weight = { Graph.src; dst; weight } in
+  let g = Graph.create ~delays ~edges:[ e 0 1 1; e 1 2 1; e 2 0 1 ] ~host:0 in
+  let wd = Paths.compute g in
+  let cs = Constraints.generate g wd ~period:100.0 in
+  let area = [| 1.0; 50.0; 1.0 |] in
+  match Min_area.solve_weighted g cs ~area with
+  | Error msg -> Alcotest.fail msg
+  | Ok solution ->
+    let edge_weight src dst =
+      let es =
+        List.filter (fun (e : Graph.edge) -> e.Graph.src = src && e.Graph.dst = dst)
+          (Array.to_list (Graph.edges g))
+      in
+      List.fold_left (fun acc e -> acc + Graph.retimed_weight g solution.Min_area.labels e) 0 es
+    in
+    check_int "expensive edge drained" 0 (edge_weight 1 2);
+    check_int "total ffs preserved on cycle" 3 (edge_weight 0 1 + edge_weight 1 2 + edge_weight 2 0)
+
+let test_constraint_pruning_preserves_optimum () =
+  let rng = Rng.create 31 in
+  for _trial = 1 to 10 do
+    let n = 4 + Rng.int rng 2 in
+    let g = random_graph rng n in
+    let wd = Paths.compute g in
+    let mp = Feasibility.min_period g wd in
+    let period = mp.Feasibility.period +. 0.5 in
+    let full = Constraints.generate g wd ~period in
+    let pruned = Constraints.generate ~prune:true g wd ~period in
+    check "pruned not larger" true
+      (List.length pruned.Constraints.constraints <= List.length full.Constraints.constraints);
+    match (Min_area.solve g full, Min_area.solve g pruned) with
+    | Ok a, Ok b -> check_int "same optimum after pruning" a.Min_area.ff_count b.Min_area.ff_count
+    | Error m, _ | _, Error m -> Alcotest.fail m
+  done
+
+let test_paths_wd_simple_chain () =
+  (* host -> a -> b with weights 1, 0: W(host,b) = 1,
+     D(a,b) = d(a) + d(b). *)
+  let delays = [| 0.0; 2.0; 3.0 |] in
+  let e src dst weight = { Graph.src; dst; weight } in
+  let g = Graph.create ~delays ~edges:[ e 0 1 1; e 1 2 0; e 2 0 1 ] ~host:0 in
+  let wd = Paths.compute g in
+  check_int "W(0,2)" 1 wd.Paths.w.(0).(2);
+  check_float "D(1,2)" 5.0 wd.Paths.d.(1).(2);
+  check_int "W(1,2)" 0 wd.Paths.w.(1).(2);
+  (* Self pairs use the trivial path: W(0,0) = 0, D(0,0) = d(0). *)
+  check_int "W(0,0)" 0 wd.Paths.w.(0).(0);
+  check_float "D(0,0)" 0.0 wd.Paths.d.(0).(0)
+
+(* --- QCheck properties ------------------------------------------------ *)
+
+let graph_gen =
+  QCheck2.Gen.(
+    let* n = int_range 3 7 in
+    let* seed = int_range 0 1_000_000 in
+    return (n, seed))
+
+let make_graph (n, seed) = random_graph (Rng.create seed) n
+
+let prop_min_period_legal =
+  QCheck2.Test.make ~count:60 ~name:"min-period retiming is always legal and meets its period"
+    graph_gen (fun params ->
+      let g = make_graph params in
+      let wd = Paths.compute g in
+      let result = Feasibility.min_period g wd in
+      match Graph.retime g result.Feasibility.labels with
+      | Error _ -> false
+      | Ok retimed -> Graph.clock_period retimed <= result.Feasibility.period +. 1e-9)
+
+let prop_min_area_not_worse_than_witness =
+  QCheck2.Test.make ~count:60 ~name:"min-area never uses more ffs than the feasibility witness"
+    graph_gen (fun params ->
+      let g = make_graph params in
+      let wd = Paths.compute g in
+      let mp = Feasibility.min_period g wd in
+      let period = mp.Feasibility.period +. 1.0 in
+      let cs = Constraints.generate g wd ~period in
+      match (Min_area.solve g cs, Feasibility.feasible g wd ~period) with
+      | Ok solution, Some witness ->
+        let witness_ffs =
+          Array.fold_left (fun acc e -> acc + Graph.retimed_weight g witness e) 0 (Graph.edges g)
+        in
+        solution.Min_area.ff_count <= witness_ffs
+      | Error _, _ | _, None -> false)
+
+let prop_cycle_weight_invariant =
+  QCheck2.Test.make ~count:60 ~name:"retiming preserves total ffs on the ring cycle" graph_gen
+    (fun params ->
+      let g = make_graph params in
+      let wd = Paths.compute g in
+      let mp = Feasibility.min_period g wd in
+      match Graph.retime g mp.Feasibility.labels with
+      | Error _ -> false
+      | Ok retimed ->
+        let n = Graph.num_vertices g in
+        let ring_weight graph =
+          let weight_of src dst =
+            List.fold_left
+              (fun acc (e : Graph.edge) ->
+                if e.Graph.src = src && e.Graph.dst = dst then acc + e.Graph.weight else acc)
+              0
+              (Array.to_list (Graph.edges graph))
+          in
+          let rec total v acc = if v = n then acc else total (v + 1) (acc + weight_of v ((v + 1) mod n)) in
+          total 0 0
+        in
+        ring_weight g = ring_weight retimed)
+
+let suite =
+  [
+    Alcotest.test_case "correlator initial period" `Quick test_correlator_period;
+    Alcotest.test_case "correlator min period = 13" `Quick test_correlator_min_period;
+    Alcotest.test_case "correlator cycle ffs preserved" `Quick test_correlator_ff_preservation;
+    Alcotest.test_case "min-period matches brute force" `Slow test_min_period_matches_brute_force;
+    Alcotest.test_case "min-area matches brute force" `Slow test_min_area_matches_brute_force;
+    Alcotest.test_case "weighted min-area drains expensive tiles" `Quick
+      test_weighted_min_area_shifts_ffs;
+    Alcotest.test_case "constraint pruning preserves optimum" `Quick
+      test_constraint_pruning_preserves_optimum;
+    Alcotest.test_case "W/D on a simple chain" `Quick test_paths_wd_simple_chain;
+    QCheck_alcotest.to_alcotest prop_min_period_legal;
+    QCheck_alcotest.to_alcotest prop_min_area_not_worse_than_witness;
+    QCheck_alcotest.to_alcotest prop_cycle_weight_invariant;
+  ]
+
+(* --- cycle-ratio lower bound and compiled feasibility systems --- *)
+
+let test_cycle_ratio_two_cycle () =
+  (* 0 -> 1 -> 0 with one register on the cycle: ratio = (d0 + d1)/1.
+     The host 0 has delay 0 here, so the bound is d1 = 6 ... plus the
+     cycle ratio 6/1 = 6; with d = [0; 6] both give 6. *)
+  let delays = [| 0.0; 6.0 |] in
+  let e src dst weight = { Graph.src; dst; weight } in
+  let g = Graph.create ~delays ~edges:[ e 0 1 1; e 1 0 0 ] ~host:0 in
+  check_float "ratio bound" 6.0 (Feasibility.cycle_ratio_lower_bound g)
+
+let test_cycle_ratio_spread_registers () =
+  (* Cycle of delay 9 with 3 registers: bound = max(max_d, 9/3). *)
+  let delays = [| 0.0; 4.0; 2.0; 3.0 |] in
+  let e src dst weight = { Graph.src; dst; weight } in
+  let g =
+    Graph.create ~delays ~edges:[ e 0 1 1; e 1 2 1; e 2 3 1; e 3 0 0 ] ~host:0
+  in
+  (* Cycle delay = 0+4+2+3 = 9, registers 3 -> ratio 3; max vertex 4. *)
+  check_float "max delay dominates" 4.0 (Feasibility.cycle_ratio_lower_bound g)
+
+let prop_cycle_ratio_bounds_min_period =
+  QCheck2.Test.make ~count:50 ~name:"cycle-ratio bound never exceeds the min period" graph_gen
+    (fun params ->
+      let g = make_graph params in
+      let wd = Paths.compute g in
+      let bound = Feasibility.cycle_ratio_lower_bound g in
+      let mp = Feasibility.min_period g wd in
+      bound <= mp.Feasibility.period +. 1e-6)
+
+let prop_compile_matches_generate =
+  (* The throwaway compiled probe system and the list-based generator
+     must agree on feasibility for arbitrary periods. *)
+  QCheck2.Test.make ~count:50 ~name:"compiled probes match list-based feasibility" graph_gen
+    (fun params ->
+      let g = make_graph params in
+      let wd = Paths.compute g in
+      let period = 2.0 +. float_of_int (Hashtbl.hash params mod 13) in
+      let cs = Constraints.generate g wd ~period in
+      let via_list =
+        Lacr_mcmf.Difference.feasible ~n:(Graph.num_vertices g) cs.Constraints.constraints
+        <> None
+      in
+      let via_probe = Feasibility.feasible g wd ~period <> None in
+      via_list = via_probe)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "cycle ratio: two cycle" `Quick test_cycle_ratio_two_cycle;
+      Alcotest.test_case "cycle ratio: spread registers" `Quick test_cycle_ratio_spread_registers;
+      QCheck_alcotest.to_alcotest prop_cycle_ratio_bounds_min_period;
+      QCheck_alcotest.to_alcotest prop_compile_matches_generate;
+    ]
+
+(* --- FEAS cross-check ------------------------------------------------- *)
+
+module Feas = Lacr_retime.Feas
+
+let test_feas_correlator () =
+  let g = correlator () in
+  (match Feas.feasible g ~period:13.0 with
+  | None -> Alcotest.fail "FEAS should achieve 13"
+  | Some labels ->
+    (match Graph.retime g labels with
+    | Error msg -> Alcotest.fail msg
+    | Ok retimed -> check "period met" true (Graph.clock_period retimed <= 13.0 +. 1e-9)));
+  check "FEAS rejects 12" true (Feas.feasible g ~period:12.0 = None)
+
+let prop_feas_agrees_with_constraints =
+  QCheck2.Test.make ~count:40 ~name:"FEAS and constraint-based min-period agree" graph_gen
+    (fun params ->
+      let g = make_graph params in
+      let wd = Paths.compute g in
+      let via_constraints = Feasibility.min_period g wd in
+      let via_feas = Feas.min_period g wd in
+      abs_float (via_constraints.Feasibility.period -. via_feas.Feasibility.period) < 1e-6)
+
+let prop_feas_witness_legal =
+  QCheck2.Test.make ~count:40 ~name:"FEAS witnesses are legal and meet their period" graph_gen
+    (fun params ->
+      let g = make_graph params in
+      let wd = Paths.compute g in
+      let result = Feas.min_period g wd in
+      match Graph.retime g result.Feasibility.labels with
+      | Error _ -> false
+      | Ok retimed -> Graph.clock_period retimed <= result.Feasibility.period +. 1e-9)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "FEAS on the correlator" `Quick test_feas_correlator;
+      QCheck_alcotest.to_alcotest prop_feas_agrees_with_constraints;
+      QCheck_alcotest.to_alcotest prop_feas_witness_legal;
+    ]
+
+(* --- static timing analysis ------------------------------------------- *)
+
+module Timing = Lacr_retime.Timing
+
+let test_timing_correlator () =
+  let g = correlator () in
+  match Timing.analyze g ~period:24.0 with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    check "meets its own period" true (Timing.meets_period t);
+    check_float "worst slack zero on critical path" 0.0 (Timing.worst_slack t);
+    (match Timing.analyze g ~period:20.0 with
+    | Error msg -> Alcotest.fail msg
+    | Ok tight ->
+      check "violates 20" false (Timing.meets_period tight);
+      check_float "slack deficit" (-4.0) (Timing.worst_slack tight))
+
+let test_timing_critical_path () =
+  let g = correlator () in
+  match Timing.critical_path g with
+  | Error msg -> Alcotest.fail msg
+  | Ok path ->
+    (* A maximal zero-weight path carrying the full 24 ns (two exist:
+       4->5->6->7 and 3->5->6->7). *)
+    let total = List.fold_left (fun acc v -> acc +. Graph.delay g v) 0.0 path in
+    check_float "path carries the clock period" 24.0 total;
+    let rec connected = function
+      | a :: (b :: _ as rest) ->
+        Array.exists
+          (fun (e : Graph.edge) -> e.Graph.src = a && e.Graph.dst = b && e.Graph.weight = 0)
+          (Graph.edges g)
+        && connected rest
+      | [ _ ] | [] -> true
+    in
+    check "consecutive zero-weight edges" true (connected path);
+    let rendered = Format.asprintf "%a" (Timing.pp_path g) path in
+    check "renders" true (String.length rendered > 10)
+
+let test_timing_after_retiming () =
+  let g = correlator () in
+  let wd = Paths.compute g in
+  let mp = Feasibility.min_period g wd in
+  match Timing.analyze ~labels:mp.Feasibility.labels g ~period:13.0 with
+  | Error msg -> Alcotest.fail msg
+  | Ok t -> check "retimed meets 13" true (Timing.meets_period t)
+
+let prop_timing_agrees_with_clock_period =
+  QCheck2.Test.make ~count:50 ~name:"arrival max equals Graph.clock_period" graph_gen
+    (fun params ->
+      let g = make_graph params in
+      match Timing.analyze g ~period:1000.0 with
+      | Error _ -> false
+      | Ok t ->
+        let max_arrival = Array.fold_left max 0.0 t.Timing.arrival in
+        abs_float (max_arrival -. Graph.clock_period g) < 1e-9)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "timing on correlator" `Quick test_timing_correlator;
+      Alcotest.test_case "timing critical path" `Quick test_timing_critical_path;
+      Alcotest.test_case "timing after retiming" `Quick test_timing_after_retiming;
+      QCheck_alcotest.to_alcotest prop_timing_agrees_with_clock_period;
+    ]

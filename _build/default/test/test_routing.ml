@@ -1,0 +1,254 @@
+(* Routing tests: Steiner tree invariants (connectivity, length lower
+   bound vs HPWL), maze-route validity on the grid, usage accounting,
+   and global-router end-to-end properties. *)
+
+module Steiner = Lacr_routing.Steiner
+module Maze = Lacr_routing.Maze
+module Global_router = Lacr_routing.Global_router
+module Tilegraph = Lacr_tilegraph.Tilegraph
+module Block = Lacr_floorplan.Block
+module Annealer = Lacr_floorplan.Annealer
+module Floorplan = Lacr_floorplan.Floorplan
+module Point = Lacr_geometry.Point
+module Rect = Lacr_geometry.Rect
+module Rng = Lacr_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let random_points rng n =
+  Array.init n (fun _ -> Point.make (Rng.float rng 10.0) (Rng.float rng 10.0))
+
+(* --- Steiner --- *)
+
+let test_mst_two_points () =
+  let pts = [| Point.make 0.0 0.0; Point.make 3.0 4.0 |] in
+  (match Steiner.mst pts with
+  | [ (a, b) ] -> check "connects the pair" true ((a, b) = (0, 1) || (a, b) = (1, 0))
+  | _ -> Alcotest.fail "expected one edge");
+  let tree = Steiner.build pts in
+  check_float "length = manhattan" 7.0 (Steiner.length tree)
+
+let test_steiner_point_helps () =
+  (* Three corners of an L: the median point saves length over the
+     MST. *)
+  let pts = [| Point.make 0.0 0.0; Point.make 2.0 0.0; Point.make 1.0 2.0 |] in
+  let tree = Steiner.build pts in
+  check "connected" true (Steiner.connected tree);
+  (* MST: 2 + 3 = 5; star through median (1,0): 1 + 1 + 2 = 4. *)
+  check "refinement saves wire" true (Steiner.length tree <= 4.0 +. 1e-9)
+
+let prop_steiner_connected_and_bounded =
+  QCheck2.Test.make ~count:80 ~name:"steiner tree connects pins, between hpwl/2 and mst length"
+    QCheck2.Gen.(pair (int_range 2 10) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let pts = random_points rng n in
+      let tree = Steiner.build pts in
+      let mst_len =
+        List.fold_left
+          (fun acc (a, b) -> acc +. Point.manhattan pts.(a) pts.(b))
+          0.0 (Steiner.mst pts)
+      in
+      let hpwl = Rect.hpwl (Array.to_list pts) in
+      Steiner.connected tree
+      && Steiner.length tree <= mst_len +. 1e-9
+      && Steiner.length tree >= (hpwl /. 2.0) -. 1e-9)
+
+(* --- grid fixture --- *)
+
+let grid_fixture () =
+  let blocks = [| Block.soft ~name:"a" 6.0; Block.soft ~name:"b" 6.0 |] in
+  let nets = [ { Annealer.pins = [| 0; 1 |]; weight = 1.0 } ] in
+  let result = Annealer.floorplan (Rng.create 3) blocks nets in
+  let fp = Floorplan.of_packing ~whitespace:0.4 blocks result.Annealer.packing in
+  Tilegraph.build
+    ~config:{ Tilegraph.default_config with Tilegraph.grid = 8; edge_capacity = 2.0 }
+    fp ~logic_area:[| 4.0; 4.0 |]
+
+let valid_path tg path =
+  let rec ok = function
+    | a :: (b :: _ as rest) -> List.mem b (Tilegraph.cell_neighbors tg a) && ok rest
+    | [ _ ] | [] -> true
+  in
+  ok path
+
+(* --- maze --- *)
+
+let test_maze_route_connects () =
+  let tg = grid_fixture () in
+  let usage = Maze.create tg in
+  let src = 0 and dst = Tilegraph.num_cells tg - 1 in
+  let path = Maze.route usage ~congestion_weight:1.0 ~src ~dst in
+  (match path with
+  | [] -> Alcotest.fail "empty path"
+  | first :: _ ->
+    check_int "starts at src" src first;
+    check_int "ends at dst" dst (List.nth path (List.length path - 1)));
+  check "steps are adjacent" true (valid_path tg path);
+  (* Shortest without congestion: manhattan distance in steps. *)
+  let nx, _ = Tilegraph.grid_dims tg in
+  let steps = List.length path - 1 in
+  let expected = abs ((src mod nx) - (dst mod nx)) + abs ((src / nx) - (dst / nx)) in
+  check_int "shortest on empty grid" expected steps
+
+let test_maze_same_cell () =
+  let tg = grid_fixture () in
+  let usage = Maze.create tg in
+  check "singleton" true (Maze.route usage ~congestion_weight:1.0 ~src:3 ~dst:3 = [ 3 ])
+
+let test_maze_usage_accounting () =
+  let tg = grid_fixture () in
+  let usage = Maze.create tg in
+  let path = Maze.route usage ~congestion_weight:1.0 ~src:0 ~dst:3 in
+  Maze.add_path usage path;
+  check_float "one track on first hop" 1.0 (Maze.demand usage 0 1);
+  Maze.add_path usage path;
+  check_float "two tracks" 2.0 (Maze.demand usage 0 1);
+  check "utilization reflects" true (Maze.max_utilization usage >= 1.0 -. 1e-9);
+  Maze.remove_path usage path;
+  Maze.remove_path usage path;
+  check_float "removed" 0.0 (Maze.demand usage 0 1);
+  check_float "no overflow" 0.0 (Maze.overflow usage)
+
+let test_maze_avoids_congestion () =
+  let tg = grid_fixture () in
+  let usage = Maze.create tg in
+  let nx, _ = Tilegraph.grid_dims tg in
+  (* Saturate the direct horizontal corridor between 0 and 2. *)
+  for _i = 1 to 8 do
+    Maze.add_path usage [ 0; 1; 2 ]
+  done;
+  let path = Maze.route usage ~congestion_weight:10.0 ~src:0 ~dst:2 in
+  check "routes around" true (not (List.mem 1 path) || List.length path > 3);
+  check "still arrives" true (List.nth path (List.length path - 1) = 2);
+  ignore nx
+
+(* --- global router --- *)
+
+let test_route_all_basic () =
+  let tg = grid_fixture () in
+  let n = Tilegraph.num_cells tg in
+  let nets =
+    [|
+      { Global_router.source_cell = 0; sink_cells = [| n - 1; n / 2 |]; weight = 1.0 };
+      { Global_router.source_cell = n - 1; sink_cells = [| 0 |]; weight = 1.0 };
+    |]
+  in
+  let result = Global_router.route_all tg nets in
+  check_int "both nets routed" 2 (Array.length result.Global_router.nets);
+  Array.iter
+    (fun routed ->
+      Array.iteri
+        (fun i path ->
+          (match path with
+          | [] -> Alcotest.fail "empty sink path"
+          | first :: _ -> check_int "path starts at source" routed.Global_router.net.Global_router.source_cell first);
+          let last = List.nth path (List.length path - 1) in
+          check_int "path ends at sink" routed.Global_router.net.Global_router.sink_cells.(i) last;
+          check "path cells adjacent" true (valid_path tg path))
+        routed.Global_router.sink_paths)
+    result.Global_router.nets;
+  check "wirelength positive" true (result.Global_router.total_wirelength > 0.0)
+
+let test_route_all_same_cell_net () =
+  let tg = grid_fixture () in
+  let nets = [| { Global_router.source_cell = 5; sink_cells = [| 5; 5 |]; weight = 1.0 } |] in
+  let result = Global_router.route_all tg nets in
+  let routed = result.Global_router.nets.(0) in
+  check_int "no segments" 0 (List.length routed.Global_router.segments);
+  Array.iter (fun p -> check "trivial sink path" true (p = [ 5 ])) routed.Global_router.sink_paths
+
+let test_reroute_reduces_overflow () =
+  let tg = grid_fixture () in
+  let n = Tilegraph.num_cells tg in
+  let rng = Rng.create 9 in
+  (* Many random nets across a tiny-capacity grid. *)
+  let nets =
+    Array.init 30 (fun _ ->
+        {
+          Global_router.source_cell = Rng.int rng n;
+          sink_cells = [| Rng.int rng n |];
+          weight = 1.0;
+        })
+  in
+  let no_reroute =
+    Global_router.route_all
+      ~options:{ Global_router.default_options with Global_router.passes = 0 }
+      tg nets
+  in
+  let with_reroute = Global_router.route_all tg nets in
+  check "reroute not worse" true
+    (with_reroute.Global_router.overflow <= no_reroute.Global_router.overflow +. 1e-9)
+
+let prop_sink_paths_on_tree =
+  QCheck2.Test.make ~count:40 ~name:"sink paths are valid and start/end correctly"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let tg = grid_fixture () in
+      let n = Tilegraph.num_cells tg in
+      let rng = Rng.create seed in
+      let net =
+        {
+          Global_router.source_cell = Rng.int rng n;
+          sink_cells = Array.init (1 + Rng.int rng 4) (fun _ -> Rng.int rng n);
+          weight = 1.0;
+        }
+      in
+      let result = Global_router.route_all tg [| net |] in
+      let routed = result.Global_router.nets.(0) in
+      Array.for_all2
+        (fun sink path ->
+          valid_path tg path
+          && List.length path >= 1
+          && List.hd path = net.Global_router.source_cell
+          && List.nth path (List.length path - 1) = sink)
+        net.Global_router.sink_cells routed.Global_router.sink_paths)
+
+let suite =
+  [
+    Alcotest.test_case "mst two points" `Quick test_mst_two_points;
+    Alcotest.test_case "steiner point helps" `Quick test_steiner_point_helps;
+    QCheck_alcotest.to_alcotest prop_steiner_connected_and_bounded;
+    Alcotest.test_case "maze route connects" `Quick test_maze_route_connects;
+    Alcotest.test_case "maze same cell" `Quick test_maze_same_cell;
+    Alcotest.test_case "maze usage accounting" `Quick test_maze_usage_accounting;
+    Alcotest.test_case "maze avoids congestion" `Quick test_maze_avoids_congestion;
+    Alcotest.test_case "route_all basic" `Quick test_route_all_basic;
+    Alcotest.test_case "route_all same-cell net" `Quick test_route_all_same_cell_net;
+    Alcotest.test_case "reroute reduces overflow" `Quick test_reroute_reduces_overflow;
+    QCheck_alcotest.to_alcotest prop_sink_paths_on_tree;
+  ]
+
+(* --- congestion reporting --------------------------------------------- *)
+
+module Congestion = Lacr_routing.Congestion
+
+let test_congestion_report () =
+  let tg = grid_fixture () in
+  let usage = Maze.create tg in
+  let empty = Congestion.analyze usage in
+  check_int "no used boundaries" 0 empty.Congestion.used_boundaries;
+  check_int "no overflow" 0 empty.Congestion.overflowed;
+  (* Saturate one corridor beyond capacity (cap = 2.0 in the fixture). *)
+  for _i = 1 to 3 do
+    Maze.add_path usage [ 0; 1; 2 ]
+  done;
+  let r = Congestion.analyze usage in
+  check_int "two used boundaries" 2 r.Congestion.used_boundaries;
+  check_int "both overflowed" 2 r.Congestion.overflowed;
+  check "max util 150%" true (abs_float (r.Congestion.max_utilization -. 1.5) < 1e-9);
+  check_int "histogram total" 2 (Array.fold_left ( + ) 0 r.Congestion.histogram);
+  let hs = Congestion.hotspots ~top:1 usage in
+  (match hs with
+  | [ (a, b, u) ] ->
+    check "hotspot on corridor" true ((a, b) = (0, 1) || (a, b) = (1, 2));
+    check "hotspot util" true (abs_float (u -. 1.5) < 1e-9)
+  | _ -> Alcotest.fail "expected one hotspot");
+  let map = Congestion.heat_map usage in
+  check "overflow marked" true (String.contains map '!');
+  check "quiet cells dotted" true (String.contains map '.');
+  check "report pp" true (String.length (Format.asprintf "%a" Congestion.pp_report r) > 10)
+
+let suite = suite @ [ Alcotest.test_case "congestion report" `Quick test_congestion_report ]

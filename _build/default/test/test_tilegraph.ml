@@ -1,0 +1,161 @@
+(* Tile-graph tests: cell/tile mapping, soft-block merging, capacity
+   accounting, neighbours, occupancy semantics, the Figure-2 render. *)
+
+module Block = Lacr_floorplan.Block
+module Annealer = Lacr_floorplan.Annealer
+module Floorplan = Lacr_floorplan.Floorplan
+module Tilegraph = Lacr_tilegraph.Tilegraph
+module Occupancy = Lacr_tilegraph.Occupancy
+module Point = Lacr_geometry.Point
+module Rng = Lacr_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-6))
+
+let sample_tilegraph ?(config = Tilegraph.default_config) () =
+  let blocks =
+    [|
+      Block.soft ~name:"a" 6.0;
+      Block.hard ~name:"h" ~width:2.0 ~height:2.0;
+      Block.soft ~name:"b" 4.0;
+    |]
+  in
+  let nets = [ { Annealer.pins = [| 0; 1 |]; weight = 1.0 } ] in
+  let result = Annealer.floorplan (Rng.create 3) blocks nets in
+  let fp = Floorplan.of_packing ~whitespace:0.3 blocks result.Annealer.packing in
+  (fp, Tilegraph.build ~config fp ~logic_area:[| 4.0; 3.0; 2.5 |])
+
+let test_cell_indexing_round_trip () =
+  let _, tg = sample_tilegraph () in
+  let n = Tilegraph.num_cells tg in
+  for cell = 0 to n - 1 do
+    let center = Tilegraph.cell_center tg cell in
+    check_int "cell_of_point(center) = cell" cell (Tilegraph.cell_of_point tg center)
+  done
+
+let test_out_of_chip_clamped () =
+  let _, tg = sample_tilegraph () in
+  let far = Point.make 1.0e6 1.0e6 in
+  let cell = Tilegraph.cell_of_point tg far in
+  check "clamped into grid" true (cell >= 0 && cell < Tilegraph.num_cells tg)
+
+let test_soft_blocks_merge () =
+  let fp, tg = sample_tilegraph () in
+  (* All cells whose center lies in soft block 0 map to one tile. *)
+  let tiles_of_block b =
+    let acc = ref [] in
+    for cell = 0 to Tilegraph.num_cells tg - 1 do
+      let center = Tilegraph.cell_center tg cell in
+      match Floorplan.block_at fp center with
+      | Some b' when b' = b -> acc := Tilegraph.tile_of_cell tg cell :: !acc
+      | Some _ | None -> ()
+    done;
+    List.sort_uniq compare !acc
+  in
+  (match tiles_of_block 0 with
+  | [ t ] ->
+    (match (Tilegraph.tiles tg).(t).Tilegraph.kind with
+    | Tilegraph.Soft_merged 0 -> ()
+    | Tilegraph.Soft_merged _ | Tilegraph.Channel | Tilegraph.Hard_cell _ ->
+      Alcotest.fail "expected soft-merged tile for block 0")
+  | [] -> Alcotest.fail "soft block 0 covers no cell"
+  | _ -> Alcotest.fail "soft block 0 not merged");
+  (* Hard block cells each get their own tile. *)
+  let hard_tiles = tiles_of_block 1 in
+  check "hard block has >= 1 tile" true (List.length hard_tiles >= 1);
+  List.iter
+    (fun t ->
+      match (Tilegraph.tiles tg).(t).Tilegraph.kind with
+      | Tilegraph.Hard_cell 1 -> ()
+      | Tilegraph.Hard_cell _ | Tilegraph.Channel | Tilegraph.Soft_merged _ ->
+        Alcotest.fail "expected hard cell tile")
+    hard_tiles
+
+let test_soft_capacity_formula () =
+  let config = { Tilegraph.default_config with Tilegraph.ff_units_per_mm2 = 2.0; soft_fill_factor = 0.9 } in
+  let fp, tg = sample_tilegraph ~config () in
+  ignore fp;
+  Array.iter
+    (fun tile ->
+      match tile.Tilegraph.kind with
+      | Tilegraph.Soft_merged 0 ->
+        (* (6.0 * 0.9 - 4.0) * 2.0 = 2.8 *)
+        check_float "soft capacity" 2.8 tile.Tilegraph.capacity
+      | Tilegraph.Soft_merged _ | Tilegraph.Channel | Tilegraph.Hard_cell _ -> ())
+    (Tilegraph.tiles tg)
+
+let test_resident_ff_area_raises_hard_capacity () =
+  let blocks = [| Block.hard ~name:"h" ~width:3.0 ~height:3.0 |] in
+  let result = Annealer.floorplan (Rng.create 3) blocks [] in
+  let fp = Floorplan.of_packing ~whitespace:0.5 blocks result.Annealer.packing in
+  let base = Tilegraph.build fp ~logic_area:[| 5.0 |] in
+  let boosted = Tilegraph.build ~resident_ff_area:[| 2.0 |] fp ~logic_area:[| 5.0 |] in
+  let hard_capacity tg =
+    Array.fold_left
+      (fun acc t ->
+        match t.Tilegraph.kind with
+        | Tilegraph.Hard_cell _ -> acc +. t.Tilegraph.capacity
+        | Tilegraph.Channel | Tilegraph.Soft_merged _ -> acc)
+      0.0 (Tilegraph.tiles tg)
+  in
+  let diff = hard_capacity boosted -. hard_capacity base in
+  (* 2.0 mm^2 * ff_units_per_mm2 (default 5.0) = 10 FF units spread
+     over the block's cells. *)
+  check_float "resident ffs add capacity" 10.0 diff
+
+let test_neighbors () =
+  let _, tg = sample_tilegraph () in
+  let nx, ny = Tilegraph.grid_dims tg in
+  (* Corner cell has exactly 2 neighbours; interior 4. *)
+  check_int "corner degree" 2 (List.length (Tilegraph.cell_neighbors tg 0));
+  let interior = (nx * (ny / 2)) + (nx / 2) in
+  check_int "interior degree" 4 (List.length (Tilegraph.cell_neighbors tg interior));
+  (* Symmetry: neighbourhood is mutual. *)
+  for cell = 0 to Tilegraph.num_cells tg - 1 do
+    List.iter
+      (fun n -> check "mutual" true (List.mem cell (Tilegraph.cell_neighbors tg n)))
+      (Tilegraph.cell_neighbors tg cell)
+  done
+
+let test_occupancy () =
+  let _, tg = sample_tilegraph () in
+  let occ = Occupancy.create tg in
+  check_float "initial overflow" 0.0 (Occupancy.overflow occ);
+  let tile = 0 in
+  let cap = (Tilegraph.tiles tg).(tile).Tilegraph.capacity in
+  Occupancy.reserve occ ~tile ~amount:(cap /. 2.0);
+  check_float "remaining after half" (cap /. 2.0) (Occupancy.remaining occ tile);
+  check "fits" true (Occupancy.try_reserve occ ~tile ~amount:(cap /. 2.0));
+  check "over-reserve rejected" false (Occupancy.try_reserve occ ~tile ~amount:0.1);
+  Occupancy.reserve occ ~tile ~amount:1.0;
+  check_float "overflow tracked" 1.0 (Occupancy.overflow occ);
+  Occupancy.release occ ~tile ~amount:1.0;
+  check_float "release restores" 0.0 (Occupancy.overflow occ);
+  let snapshot = Occupancy.copy occ in
+  Occupancy.reserve occ ~tile ~amount:5.0;
+  check "copy independent" true (Occupancy.used snapshot tile < Occupancy.used occ tile)
+
+let test_render () =
+  let _, tg = sample_tilegraph () in
+  let s = Tilegraph.render tg in
+  let nx, ny = Tilegraph.grid_dims tg in
+  let lines = String.split_on_char '\n' s |> List.filter (( <> ) "") in
+  check_int "one line per row" ny (List.length lines);
+  List.iter (fun line -> check_int "one char per column" nx (String.length line)) lines;
+  check "has channel char" true (String.contains s '.');
+  check "has hard char" true (String.contains s '#');
+  check "has soft char" true (String.contains s 'a')
+
+let suite =
+  [
+    Alcotest.test_case "cell indexing round trip" `Quick test_cell_indexing_round_trip;
+    Alcotest.test_case "out-of-chip clamped" `Quick test_out_of_chip_clamped;
+    Alcotest.test_case "soft blocks merge" `Quick test_soft_blocks_merge;
+    Alcotest.test_case "soft capacity formula" `Quick test_soft_capacity_formula;
+    Alcotest.test_case "resident ff area raises hard capacity" `Quick
+      test_resident_ff_area_raises_hard_capacity;
+    Alcotest.test_case "neighbors" `Quick test_neighbors;
+    Alcotest.test_case "occupancy" `Quick test_occupancy;
+    Alcotest.test_case "render" `Quick test_render;
+  ]

@@ -1,0 +1,166 @@
+(* Tests for the utility library: RNG determinism and distribution
+   sanity, heap ordering, union-find, statistics, table rendering. *)
+
+module Rng = Lacr_util.Rng
+module Heap = Lacr_util.Heap
+module Union_find = Lacr_util.Union_find
+module Stats = Lacr_util.Stats
+module Table = Lacr_util.Table
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Rng.create 99 and b = Rng.create 99 in
+  for _i = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 5 in
+  for _i = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    check "in range" true (v >= 0 && v < 7);
+    let w = Rng.int_in rng (-3) 3 in
+    check "int_in range" true (w >= -3 && w <= 3);
+    let f = Rng.float rng 2.5 in
+    check "float range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let rng = Rng.create 17 in
+  let child = Rng.split rng in
+  (* Streams should differ (equality of 20 consecutive draws would be
+     astronomically unlikely). *)
+  let same = ref true in
+  for _i = 1 to 20 do
+    if Rng.int rng 1_000_000 <> Rng.int child 1_000_000 then same := false
+  done;
+  check "split produces distinct stream" false !same
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 23 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check "still a permutation" true (sorted = Array.init 50 (fun i -> i))
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 31 in
+  let n = 20_000 in
+  let samples = List.init n (fun _ -> Rng.gaussian rng ~mean:5.0 ~stddev:2.0) in
+  let mean = Stats.mean samples in
+  let sd = Stats.stddev samples in
+  check "mean close" true (abs_float (mean -. 5.0) < 0.1);
+  check "stddev close" true (abs_float (sd -. 2.0) < 0.1)
+
+let test_heap_sorts () =
+  let rng = Rng.create 7 in
+  let heap = Heap.create () in
+  let values = List.init 500 (fun _ -> Rng.float rng 100.0) in
+  List.iter (fun v -> Heap.push heap v v) values;
+  check_int "size" 500 (Heap.size heap);
+  let rec drain last acc =
+    match Heap.pop heap with
+    | None -> acc
+    | Some (p, v) ->
+      check_float "priority equals value" p v;
+      check "non-decreasing" true (p >= last);
+      drain p (acc + 1)
+  in
+  check_int "drained all" 500 (drain neg_infinity 0);
+  check "empty after drain" true (Heap.is_empty heap)
+
+let test_heap_peek () =
+  let heap = Heap.create () in
+  check "peek empty" true (Heap.peek heap = None);
+  Heap.push heap 3.0 "c";
+  Heap.push heap 1.0 "a";
+  Heap.push heap 2.0 "b";
+  (match Heap.peek heap with
+  | Some (p, v) ->
+    check_float "min priority" 1.0 p;
+    Alcotest.(check string) "min value" "a" v
+  | None -> Alcotest.fail "expected peek");
+  check_int "peek does not pop" 3 (Heap.size heap)
+
+let test_union_find () =
+  let uf = Union_find.create 10 in
+  check_int "initial sets" 10 (Union_find.count uf);
+  check "union distinct" true (Union_find.union uf 0 1);
+  check "union again false" false (Union_find.union uf 0 1);
+  check "transitive" true (Union_find.union uf 1 2);
+  check "same after unions" true (Union_find.same uf 0 2);
+  check_int "sets after 2 merges" 8 (Union_find.count uf)
+
+let test_stats () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "mean empty" 0.0 (Stats.mean []);
+  check_float "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "median even" 2.5 (Stats.median [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  check_float "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ]);
+  check_float "p50 of 1..10" 5.0 (Stats.percentile 0.5 (List.init 10 (fun i -> float_of_int (i + 1))));
+  check_float "geomean" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0 ]);
+  check "stddev of constant" true (Stats.stddev [ 4.0; 4.0; 4.0 ] < 1e-9)
+
+let test_table_render () =
+  let t = Table.create [ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered |> List.filter (( <> ) "") in
+  check_int "header + rule + 2 rows" 4 (List.length lines);
+  check "right aligned" true
+    (match lines with
+    | _ :: _ :: row1 :: _ ->
+      (* "alpha |     1" : value column right-padded to width 5 *)
+      String.length row1 > 0 && String.get row1 (String.length row1 - 1) = '1'
+    | _ -> false)
+
+let test_table_arity_check () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  match Table.add_row t [ "x"; "y" ] with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng shuffle permutes" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "rng gaussian moments" `Quick test_rng_gaussian_moments;
+    Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
+    Alcotest.test_case "heap peek" `Quick test_heap_peek;
+    Alcotest.test_case "union-find" `Quick test_union_find;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table arity check" `Quick test_table_arity_check;
+  ]
+
+(* --- CSV --- *)
+
+module Csv = Lacr_util.Csv
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape_cell "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape_cell "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape_cell "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape_cell "a\nb")
+
+let test_csv_document () =
+  let doc = Csv.to_string ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "a,b" ] ] in
+  Alcotest.(check string) "document" "x,y\n1,2\n3,\"a,b\"\n" doc;
+  match Csv.to_string ~header:[ "x" ] [ [ "1"; "2" ] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch accepted"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+      Alcotest.test_case "csv document" `Quick test_csv_document;
+    ]
