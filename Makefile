@@ -1,0 +1,23 @@
+# One-command gate for every PR: full build, tier-1 tests, and a
+# planner smoke run on the embedded s27 circuit.
+
+.PHONY: all build test smoke check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+smoke:
+	dune exec bin/lacr_cli.exe -- plan s27
+
+check: build test smoke
+
+bench:
+	LACR_BENCH_FAST=1 dune exec bench/main.exe -- --json BENCH_fast.json
+
+clean:
+	dune clean

@@ -38,6 +38,62 @@ let timed f =
 let fast_mode =
   match Sys.getenv_opt "LACR_BENCH_FAST" with Some ("1" | "true") -> true | _ -> false
 
+(* --- machine-readable timing log (--json FILE) ---
+
+   Every recorded timing lands in FILE as a JSON array of
+   {name, circuit, domains, ms} objects, so later PRs can track a
+   BENCH_*.json trajectory without scraping the ASCII report. *)
+
+let json_path =
+  let path = ref None in
+  Array.iteri
+    (fun i arg -> if arg = "--json" && i + 1 < Array.length Sys.argv then path := Some Sys.argv.(i + 1))
+    Sys.argv;
+  (* Fail fast on an unwritable path rather than losing a full bench run
+     to a Sys_error at write-out time. *)
+  (match !path with
+   | Some p ->
+     (try close_out (open_out p)
+      with Sys_error msg ->
+        Printf.eprintf "bench: cannot write --json file: %s\n%!" msg;
+        exit 2)
+   | None -> ());
+  !path
+
+type timing = { t_name : string; t_circuit : string; t_domains : int; t_ms : float }
+
+let timings : timing list ref = ref []
+
+let log_timing ~name ~circuit ~domains seconds =
+  timings :=
+    { t_name = name; t_circuit = circuit; t_domains = domains; t_ms = 1000.0 *. seconds }
+    :: !timings
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i t ->
+      Printf.fprintf oc "  {\"name\": \"%s\", \"circuit\": \"%s\", \"domains\": %d, \"ms\": %.3f}%s\n"
+        (json_escape t.t_name) (json_escape t.t_circuit) t.t_domains t.t_ms
+        (if i = List.length !timings - 1 then "" else ","))
+    (List.rev !timings);
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "\nwrote timing log: %s (%d entries)\n" path (List.length !timings)
+
 let table1_circuits () =
   let all = Suite.table1 () in
   if fast_mode then List.filteri (fun i _ -> i < 4) all else all
@@ -57,6 +113,149 @@ let constraint_setup ?(prune = true) (inst : Build.instance) =
   let t_init = Graph.clock_period g in
   let t_clk = mp.Feasibility.period +. (0.2 *. (t_init -. mp.Feasibility.period)) in
   (wd, t_clk, Constraints.generate ~prune ~extra g wd ~period:t_clk)
+
+(* --- P: (W,D) engine scaling --- *)
+
+(* The growth seed's (W,D) implementation, kept verbatim as the
+   speedup baseline: per-source Dijkstra over fanout edge *lists* with
+   the polymorphic float-priority heap, and a tight-edge pass that
+   rebuilds list adjacency for every source.  The live engine
+   (Paths.compute) replaces this with CSR arrays, a monomorphic int
+   heap, reusable scratch and a domain pool. *)
+module Seed_paths = struct
+  let min_weights g source =
+    let n = Graph.num_vertices g in
+    let dist = Array.make n max_int in
+    let settled = Array.make n false in
+    let heap = Lacr_util.Heap.create () in
+    dist.(source) <- 0;
+    Lacr_util.Heap.push heap 0.0 source;
+    let rec loop () =
+      match Lacr_util.Heap.pop heap with
+      | None -> ()
+      | Some (_, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          let relax (e : Graph.edge) =
+            let v = e.Graph.dst in
+            if (not settled.(v)) && dist.(u) <> max_int then begin
+              let nd = dist.(u) + e.Graph.weight in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                Lacr_util.Heap.push heap (float_of_int nd) v
+              end
+            end
+          in
+          List.iter relax (Graph.fanout_edges g u)
+        end;
+        loop ()
+    in
+    loop ();
+    dist
+
+  let max_delays g source wrow =
+    let n = Graph.num_vertices g in
+    let tight_out = Array.make n [] in
+    let indeg = Array.make n 0 in
+    let record (e : Graph.edge) =
+      let x = e.Graph.src and y = e.Graph.dst in
+      if wrow.(x) <> max_int && wrow.(y) <> max_int && wrow.(x) + e.Graph.weight = wrow.(y)
+      then begin
+        tight_out.(x) <- y :: tight_out.(x);
+        indeg.(y) <- indeg.(y) + 1
+      end
+    in
+    Array.iter record (Graph.edges g);
+    let drow = Array.make n neg_infinity in
+    drow.(source) <- Graph.delay g source;
+    let queue = Queue.create () in
+    for v = 0 to n - 1 do
+      if indeg.(v) = 0 then Queue.add v queue
+    done;
+    while not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      let relax y =
+        if drow.(x) > neg_infinity then begin
+          let cand = drow.(x) +. Graph.delay g y in
+          if cand > drow.(y) then drow.(y) <- cand
+        end;
+        indeg.(y) <- indeg.(y) - 1;
+        if indeg.(y) = 0 then Queue.add y queue
+      in
+      List.iter relax tight_out.(x)
+    done;
+    drow
+
+  let compute g =
+    let n = Graph.num_vertices g in
+    let w = Array.make n [||] and d = Array.make n [||] in
+    for u = 0 to n - 1 do
+      let wrow = min_weights g u in
+      let drow = max_delays g u wrow in
+      w.(u) <- wrow;
+      d.(u) <- drow
+    done;
+    { Paths.w; d }
+end
+
+let retime_graph_of name =
+  let netlist = Option.get (Suite.by_name name) in
+  match Lacr_netlist.Seqview.of_netlist netlist with
+  | Ok view -> Graph.of_seqview view
+  | Error msg -> failwith msg
+
+let wd_equal (a : Paths.wd) (b : Paths.wd) = a.Paths.w = b.Paths.w && a.Paths.d = b.Paths.d
+
+let best_of_runs reps f =
+  let best = ref infinity in
+  let result = ref None in
+  for _rep = 1 to reps do
+    let r, dt = timed f in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let run_wd_scaling () =
+  section "P   (W,D) path-matrix engine: seed baseline vs CSR engine vs domain pool";
+  let circuits = if fast_mode then [ "s526" ] else [ "s526"; "s953"; "s1423" ] in
+  let reps = if fast_mode then 3 else 5 in
+  let domain_counts = [ 2; 4 ] in
+  Printf.printf "%-8s %6s %6s | %10s %10s %s | %8s %10s\n" "circuit" "n" "edges" "seed(ms)"
+    "csr(ms)"
+    (String.concat " " (List.map (fun d -> Printf.sprintf "%8s" (Printf.sprintf "%dd(ms)" d)) domain_counts))
+    "speedup" "identical";
+  List.iter
+    (fun name ->
+      let g = retime_graph_of name in
+      let n = Graph.num_vertices g and m = Graph.num_edges g in
+      let seed_wd, seed_dt = best_of_runs reps (fun () -> Seed_paths.compute g) in
+      log_timing ~name:"wd-seed" ~circuit:name ~domains:1 seed_dt;
+      let seq_wd, seq_dt = best_of_runs reps (fun () -> Paths.compute g) in
+      log_timing ~name:"wd-csr" ~circuit:name ~domains:1 seq_dt;
+      let pool_results =
+        List.map
+          (fun domains ->
+            Lacr_util.Pool.with_pool ~size:domains (fun pool ->
+                let wd, dt = best_of_runs reps (fun () -> Paths.compute ~pool g) in
+                log_timing ~name:"wd-csr" ~circuit:name ~domains dt;
+                (wd, dt)))
+          domain_counts
+      in
+      let identical =
+        wd_equal seed_wd seq_wd && List.for_all (fun (wd, _) -> wd_equal seq_wd wd) pool_results
+      in
+      let best_parallel = List.fold_left (fun acc (_, dt) -> min acc dt) seq_dt pool_results in
+      Printf.printf "%-8s %6d %6d | %10.2f %10.2f %s | %7.2fx %10s\n%!" name n m
+        (1000.0 *. seed_dt) (1000.0 *. seq_dt)
+        (String.concat " " (List.map (fun (_, dt) -> Printf.sprintf "%8.2f" (1000.0 *. dt)) pool_results))
+        (seed_dt /. best_parallel)
+        (if identical then "yes" else "NO!");
+      if not identical then failwith (name ^ ": parallel (W,D) differs from sequential"))
+    circuits;
+  Printf.printf
+    "\n(speedup = seed baseline / best engine time; 'identical' checks the w and d\n\
+     matrices cell for cell across all engines and pool sizes)\n"
 
 (* --- E1/E2/E3: Table 1 --- *)
 
@@ -113,6 +312,8 @@ let run_runtime () =
         let _, _, cs_full = constraint_setup ~prune:false inst in
         (match (Lac.min_area_baseline inst cs_pruned, Lac.retime inst cs_pruned) with
         | Ok ma, Ok lac ->
+          log_timing ~name:"min-area" ~circuit:name ~domains:1 ma.Lac.exec_seconds;
+          log_timing ~name:"lac-retime" ~circuit:name ~domains:1 lac.Lac.exec_seconds;
           Printf.printf "%-8s %12.2f %12.2f %8d %14d %14d\n%!" name ma.Lac.exec_seconds
             lac.Lac.exec_seconds lac.Lac.n_wr
             (List.length cs_full.Constraints.constraints)
@@ -257,6 +458,8 @@ let run_bechamel () =
   let tests =
     [
       Test.make ~name:"wd-matrices" (Staged.stage (fun () -> ignore (Paths.compute g)));
+      Test.make ~name:"dijkstra-row-csr"
+        (Staged.stage (fun () -> ignore (Paths.min_weights g 0)));
       Test.make ~name:"constraint-gen-pruned"
         (Staged.stage (fun () ->
              ignore (Constraints.generate ~prune:true ~extra g wd ~period:t_clk)));
@@ -300,6 +503,7 @@ let run_bechamel () =
 
 let () =
   Printf.printf "LAC-retiming benchmark harness (fast mode: %b)\n" fast_mode;
+  run_wd_scaling ();
   run_table1 ();
   run_alpha_ablation ();
   run_runtime ();
@@ -309,4 +513,5 @@ let () =
   run_exact_gap ();
   run_figures ();
   run_bechamel ();
+  (match json_path with Some path -> write_json path | None -> ());
   print_newline ()

@@ -35,21 +35,22 @@ let load_circuit name_or_path =
         (Printf.sprintf "unknown circuit %s (not a file, not one of: s27 %s)" name_or_path
            (String.concat " " Suite.table1_names))
 
-let config_with ?seed ?alpha ?grid () =
+let config_with ?seed ?alpha ?grid ?domains () =
   let c = Config.default in
   let c = match seed with Some s -> { c with Config.seed = s } | None -> c in
   let c = match alpha with Some a -> { c with Config.alpha = a } | None -> c in
-  match grid with Some g -> { c with Config.grid = g } | None -> c
+  let c = match grid with Some g -> { c with Config.grid = g } | None -> c in
+  match domains with Some d -> { c with Config.domains = d } | None -> c
 
 (* --- plan --- *)
 
-let run_plan circuit seed verbose second =
+let run_plan circuit seed domains verbose second =
   match load_circuit circuit with
   | Error msg ->
     prerr_endline msg;
     1
   | Ok netlist ->
-    let config = config_with ?seed () in
+    let config = config_with ?seed ?domains () in
     (match Planner.plan ~config ~second_iteration:second netlist with
     | Error msg ->
       Printf.eprintf "planning failed: %s\n" msg;
@@ -80,8 +81,8 @@ let run_plan circuit seed verbose second =
 
 (* --- table1 --- *)
 
-let run_table1 seed second csv =
-  let config = config_with ?seed () in
+let run_table1 seed domains second csv =
+  let config = config_with ?seed ?domains () in
   let rows =
     List.filter_map
       (fun (name, netlist) ->
@@ -289,6 +290,17 @@ let seed_arg =
 
 let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print planning detail.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel planner kernels ((W,D) matrices, constraint \
+           generation, flip-flop accounting): 1 = sequential (default), 0 = one per core. \
+           The LACR_DOMAINS environment variable overrides this flag. Results are identical \
+           for every value.")
+
 let second_arg =
   Arg.(
     value & opt bool true
@@ -304,7 +316,7 @@ let alphas_arg =
 let plan_cmd =
   let doc = "Run the interconnect planner on one circuit." in
   Cmd.v (Cmd.info "plan" ~doc)
-    Term.(const run_plan $ circuit_arg $ seed_arg $ verbose_arg $ second_arg)
+    Term.(const run_plan $ circuit_arg $ seed_arg $ domains_arg $ verbose_arg $ second_arg)
 
 let csv_arg =
   Arg.(
@@ -314,7 +326,8 @@ let csv_arg =
 
 let table1_cmd =
   let doc = "Reproduce the paper's Table 1 over the benchmark suite." in
-  Cmd.v (Cmd.info "table1" ~doc) Term.(const run_table1 $ seed_arg $ second_arg $ csv_arg)
+  Cmd.v (Cmd.info "table1" ~doc)
+    Term.(const run_table1 $ seed_arg $ domains_arg $ second_arg $ csv_arg)
 
 let figures_cmd =
   let doc = "Render ASCII versions of the paper's Figures 1 and 2." in

@@ -26,6 +26,7 @@ type t = {
   n_max : int;
   max_wr : int;
   prune_constraints : bool;
+  domains : int;
 }
 
 let default =
@@ -53,6 +54,7 @@ let default =
     n_max = 8;
     max_wr = 30;
     prune_constraints = true;
+    domains = 1;
   }
 
 let block_count t ~n_units =

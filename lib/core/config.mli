@@ -47,6 +47,14 @@ type t = {
   n_max : int;  (** stop after this many non-improving rounds *)
   max_wr : int;  (** hard cap on weighted min-area calls *)
   prune_constraints : bool;
+  (* -- execution -- *)
+  domains : int;
+      (** worker domains for the parallel kernels ((W,D) matrices,
+          constraint generation): 1 = sequential (default), 0 = auto
+          ([Domain.recommended_domain_count]).  The [LACR_DOMAINS]
+          environment variable overrides this knob at pool creation
+          (see [Lacr_util.Pool.resolve_size]).  Results are
+          bit-identical for every value. *)
 }
 
 val default : t

@@ -25,24 +25,24 @@ let base_area (problem : Problem.t) =
     (fun inter -> if inter then 1.0 +. interconnect_bias else 1.0)
     problem.Problem.interconnect
 
-let outcome_of (problem : Problem.t) labels ~n_wr ~exec_seconds ~trace =
+let outcome_of ?pool (problem : Problem.t) labels ~n_wr ~exec_seconds ~trace =
   {
     labels;
     n_foa = Problem.violations problem ~labels;
-    n_f = Problem.ff_count problem ~labels;
-    n_fn = Problem.ff_in_interconnect problem ~labels;
+    n_f = Problem.ff_count ?pool problem ~labels;
+    n_fn = Problem.ff_in_interconnect ?pool problem ~labels;
     n_wr;
     exec_seconds;
     trace;
   }
 
-let min_area_baseline_problem (problem : Problem.t) constraints =
+let min_area_baseline_problem ?pool (problem : Problem.t) constraints =
   let start = Unix.gettimeofday () in
   match Min_area.solve_weighted problem.Problem.graph constraints ~area:(base_area problem) with
   | Error msg -> Error msg
   | Ok solution ->
     let exec_seconds = Unix.gettimeofday () -. start in
-    Ok (outcome_of problem solution.Min_area.labels ~n_wr:1 ~exec_seconds ~trace:[])
+    Ok (outcome_of ?pool problem solution.Min_area.labels ~n_wr:1 ~exec_seconds ~trace:[])
 
 (* Area weight of a vertex = current weight of its tile (untiled
    vertices stay neutral), with the epsilon interconnect bias folded
@@ -54,7 +54,7 @@ let vertex_areas (problem : Problem.t) tile_weight =
     problem.Problem.vertex_tile
 
 let retime_problem ?(alpha = Config.default.Config.alpha)
-    ?(n_max = Config.default.Config.n_max) ?(max_wr = Config.default.Config.max_wr)
+    ?(n_max = Config.default.Config.n_max) ?(max_wr = Config.default.Config.max_wr) ?pool
     (problem : Problem.t) constraints =
   if alpha < 0.0 || alpha > 1.0 then invalid_arg "Lac.retime: alpha out of [0,1]";
   let start = Unix.gettimeofday () in
@@ -73,7 +73,7 @@ let retime_problem ?(alpha = Config.default.Config.alpha)
         let labels = solution.Min_area.labels in
         let n_foa = Problem.violations problem ~labels in
         trace := (n_foa, solution.Min_area.ff_area) :: !trace;
-        let n_f = Problem.ff_count problem ~labels in
+        let n_f = Problem.ff_count ?pool problem ~labels in
         let improved =
           match !best with
           | None -> true
@@ -112,16 +112,18 @@ let retime_problem ?(alpha = Config.default.Config.alpha)
     (match !best with
     | None -> Error "LAC-retiming: no iteration completed"
     | Some (_, labels, _) ->
-      Ok (outcome_of problem labels ~n_wr:(List.length !trace) ~exec_seconds ~trace:(List.rev !trace)))
+      Ok
+        (outcome_of ?pool problem labels ~n_wr:(List.length !trace) ~exec_seconds
+           ~trace:(List.rev !trace)))
 
 (* --- instance-facing wrappers --- *)
 
-let min_area_baseline (inst : Build.instance) constraints =
-  min_area_baseline_problem (Problem.of_instance inst) constraints
+let min_area_baseline ?pool (inst : Build.instance) constraints =
+  min_area_baseline_problem ?pool (Problem.of_instance inst) constraints
 
-let retime ?alpha ?n_max ?max_wr (inst : Build.instance) constraints =
+let retime ?alpha ?n_max ?max_wr ?pool (inst : Build.instance) constraints =
   let cfg = inst.Build.config in
   let alpha = match alpha with Some a -> a | None -> cfg.Config.alpha in
   let n_max = match n_max with Some n -> n | None -> cfg.Config.n_max in
   let max_wr = match max_wr with Some n -> n | None -> cfg.Config.max_wr in
-  retime_problem ~alpha ~n_max ~max_wr (Problem.of_instance inst) constraints
+  retime_problem ~alpha ~n_max ~max_wr ?pool (Problem.of_instance inst) constraints

@@ -28,7 +28,10 @@ type outcome = {
 }
 
 val min_area_baseline :
-  Build.instance -> Lacr_retime.Constraints.t -> (outcome, string) result
+  ?pool:Lacr_util.Pool.t ->
+  Build.instance ->
+  Lacr_retime.Constraints.t ->
+  (outcome, string) result
 (** Plain (unit-weight) min-area retiming plus violation accounting —
     the comparison column of Table 1.  [n_wr = 1]. *)
 
@@ -36,10 +39,14 @@ val retime :
   ?alpha:float ->
   ?n_max:int ->
   ?max_wr:int ->
+  ?pool:Lacr_util.Pool.t ->
   Build.instance ->
   Lacr_retime.Constraints.t ->
   (outcome, string) result
-(** LAC-retiming.  Defaults come from the instance configuration. *)
+(** LAC-retiming.  Defaults come from the instance configuration.
+    [pool] (shared with the planner's (W,D)/constraint stages)
+    parallelizes the integer flip-flop accounting; outcomes are
+    pool-size independent. *)
 
 (** {1 Abstract-problem variants}
 
@@ -48,12 +55,16 @@ val retime :
     full physical-planning pipeline. *)
 
 val min_area_baseline_problem :
-  Problem.t -> Lacr_retime.Constraints.t -> (outcome, string) result
+  ?pool:Lacr_util.Pool.t ->
+  Problem.t ->
+  Lacr_retime.Constraints.t ->
+  (outcome, string) result
 
 val retime_problem :
   ?alpha:float ->
   ?n_max:int ->
   ?max_wr:int ->
+  ?pool:Lacr_util.Pool.t ->
   Problem.t ->
   Lacr_retime.Constraints.t ->
   (outcome, string) result

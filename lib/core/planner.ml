@@ -61,27 +61,24 @@ let growth_for (inst : Build.instance) (outcome : Lac.outcome) =
     report.Area.violated_tiles;
   fun name -> try Hashtbl.find by_block name with Not_found -> 0.0
 
-let retiming_setup (inst : Build.instance) =
+let retiming_setup ?pool (inst : Build.instance) =
   let g = inst.Build.graph in
   let t_init = Graph.clock_period g in
-  let wd = Paths.compute g in
+  let wd = Paths.compute ?pool g in
   let extra = inst.Build.pin_constraints in
   let cfg = inst.Build.config in
   let mp = Feasibility.min_period ~extra g wd in
   let t_min = mp.Feasibility.period in
   let t_clk = t_min +. (cfg.Config.clk_fraction *. (t_init -. t_min)) in
   let constraints =
-    Constraints.generate ~prune:cfg.Config.prune_constraints ~extra g wd ~period:t_clk
+    Constraints.generate ~prune:cfg.Config.prune_constraints ~extra ?pool g wd ~period:t_clk
   in
   (t_init, t_min, t_clk, constraints)
 
-let plan ?(config = Config.default) ?(second_iteration = true) netlist =
-  match Build.build ~config netlist with
-  | Error msg -> Error msg
-  | Ok instance ->
-    let t_init, t_min, t_clk, constraints = retiming_setup instance in
+let plan_with_pool ~pool ~config ~second_iteration instance netlist =
+    let t_init, t_min, t_clk, constraints = retiming_setup ~pool instance in
     (match
-       (Lac.min_area_baseline instance constraints, Lac.retime instance constraints)
+       (Lac.min_area_baseline ~pool instance constraints, Lac.retime ~pool instance constraints)
      with
     | Error msg, _ | _, Error msg -> Error msg
     | Ok minarea, Ok lac ->
@@ -98,13 +95,26 @@ let plan ?(config = Config.default) ?(second_iteration = true) netlist =
                s1269 case).  Generate fresh constraints at the same
                T_clk and report infeasibility honestly. *)
             let g2 = instance2.Build.graph in
-            let wd2 = Paths.compute g2 in
+            let wd2 = Paths.compute ~pool g2 in
             let constraints2 =
               Constraints.generate ~prune:config.Config.prune_constraints
-                ~extra:instance2.Build.pin_constraints g2 wd2 ~period:t_clk
+                ~extra:instance2.Build.pin_constraints ~pool g2 wd2 ~period:t_clk
             in
-            let lac2 = Lac.retime instance2 constraints2 in
+            let lac2 = Lac.retime ~pool instance2 constraints2 in
             Some { instance2; lac2 }
         end
       in
       Ok { instance; t_init; t_min; t_clk; minarea; lac; second })
+
+let plan ?(config = Config.default) ?(second_iteration = true) netlist =
+  match Build.build ~config netlist with
+  | Error msg -> Error msg
+  | Ok instance ->
+    (* One pool for the whole run: the (W,D) matrices, constraint
+       generation and the LAC flip-flop accounting of both planning
+       iterations share its worker domains.  Every stage is
+       bit-deterministic in the pool size, so plans are reproducible
+       under any --domains / LACR_DOMAINS setting. *)
+    Lacr_util.Pool.with_pool
+      ~size:(Lacr_util.Pool.resolve_size ~requested:config.Config.domains)
+      (fun pool -> plan_with_pool ~pool ~config ~second_iteration instance netlist)

@@ -44,18 +44,18 @@ let violations t ~labels =
     acc;
   !total
 
-let ff_count t ~labels =
-  Array.fold_left
-    (fun acc e -> acc + Graph.retimed_weight t.graph labels e)
-    0
-    (Graph.edges t.graph)
+(* Integer reductions over the edge set: per-chunk partial sums make
+   them exact and deterministic under any pool size. *)
+let ff_count ?(pool = Lacr_util.Pool.sequential) t ~labels =
+  let edges = Graph.edges t.graph in
+  Lacr_util.Pool.parallel_sum pool (Array.length edges) (fun i ->
+      Graph.retimed_weight t.graph labels edges.(i))
 
-let ff_in_interconnect t ~labels =
-  Array.fold_left
-    (fun acc (e : Graph.edge) ->
-      if t.interconnect.(e.Graph.src) then acc + Graph.retimed_weight t.graph labels e else acc)
-    0
-    (Graph.edges t.graph)
+let ff_in_interconnect ?(pool = Lacr_util.Pool.sequential) t ~labels =
+  let edges = Graph.edges t.graph in
+  Lacr_util.Pool.parallel_sum pool (Array.length edges) (fun i ->
+      let e = edges.(i) in
+      if t.interconnect.(e.Graph.src) then Graph.retimed_weight t.graph labels e else 0)
 
 let of_instance (inst : Build.instance) =
   let n = Graph.num_vertices inst.Build.graph in

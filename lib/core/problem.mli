@@ -26,8 +26,10 @@ val violations : t -> labels:int array -> int
 (** The N{_FOA} count: [sum_t ceil(max(0, AC(t) - capacity(t)) /
     ff_area)]. *)
 
-val ff_count : t -> labels:int array -> int
+val ff_count : ?pool:Lacr_util.Pool.t -> t -> labels:int array -> int
+(** Total retimed flip-flops.  Integer chunk-wise reduction over the
+    edge set: the result is exact and pool-size independent. *)
 
-val ff_in_interconnect : t -> labels:int array -> int
+val ff_in_interconnect : ?pool:Lacr_util.Pool.t -> t -> labels:int array -> int
 
 val of_instance : Build.instance -> t

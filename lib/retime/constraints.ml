@@ -12,15 +12,25 @@ let edge_constraints g =
   |> List.map (fun (e : Graph.edge) ->
          { Lacr_mcmf.Difference.a = e.Graph.src; b = e.Graph.dst; bound = e.Graph.weight })
 
-let period_constraints wd ~period =
-  let acc = ref [] in
-  Paths.iter_pairs wd (fun u v w_uv d_uv ->
-      (* Self pairs carry W(u,u) = 0, so a too-slow vertex produces the
-         infeasible bound -1; other self constraints are trivial and
-         skipped. *)
-      if d_uv > period +. epsilon && (u <> v || w_uv = 0) then
-        acc := { Lacr_mcmf.Difference.a = u; b = v; bound = w_uv - 1 } :: !acc);
-  !acc
+(* Rows are scanned in parallel (each source u fills its own slot) and
+   folded back in source order, reproducing exactly the list the
+   sequential prepend-as-you-go scan builds — constraint generation is
+   bit-for-bit independent of the pool size. *)
+let period_constraints ?(pool = Lacr_util.Pool.sequential) (wd : Paths.wd) ~period =
+  let n = Array.length wd.Paths.w in
+  let rows = Array.make n [] in
+  Lacr_util.Pool.parallel_for pool n (fun u ->
+      let wrow = wd.Paths.w.(u) and drow = wd.Paths.d.(u) in
+      let acc = ref [] in
+      for v = n - 1 downto 0 do
+        (* Self pairs carry W(u,u) = 0, so a too-slow vertex produces the
+           infeasible bound -1; other self constraints are trivial and
+           skipped. *)
+        if wrow.(v) <> max_int && drow.(v) > period +. epsilon && (u <> v || wrow.(v) = 0) then
+          acc := { Lacr_mcmf.Difference.a = u; b = v; bound = wrow.(v) - 1 } :: !acc
+      done;
+      rows.(u) <- !acc);
+  Array.fold_left (fun acc row -> List.rev_append row acc) [] rows
 
 (* Per-source dominance pruning (Maheshwari-Sapatnekar flavour): a
    period constraint r(u) - r(v) <= W(u,v) - 1 is implied by a kept
@@ -28,33 +38,35 @@ let period_constraints wd ~period =
    bound r(x) - r(v) <= W(x,v) whenever
    W(u,x) + W(x,v) <= W(u,v).  Scanning targets by ascending W keeps
    the retained set small (typically the W-frontier of each source). *)
-let pruned_period_constraints (wd : Paths.wd) ~period =
+let pruned_period_constraints ?(pool = Lacr_util.Pool.sequential) (wd : Paths.wd) ~period =
   let n = Array.length wd.Paths.w in
   (* Source-side pass: per source u, scanning targets by ascending
-     W(u,v), drop v when a kept x gives W(u,x) + W(x,v) <= W(u,v). *)
+     W(u,v), drop v when a kept x gives W(u,x) + W(x,v) <= W(u,v).
+     Sources are independent (each only reads wd and writes its own
+     survivor slot), so this pass parallelizes over the pool without
+     changing any survivor list. *)
   let survivors = Array.make n [] in
-  for u = 0 to n - 1 do
-    let wrow = wd.Paths.w.(u) and drow = wd.Paths.d.(u) in
-    let candidates = ref [] in
-    for v = 0 to n - 1 do
-      if wrow.(v) <> max_int && drow.(v) > period +. epsilon && (u <> v || wrow.(v) = 0) then
-        candidates := v :: !candidates
-    done;
-    let sorted = List.sort (fun a b -> compare wrow.(a) wrow.(b)) !candidates in
-    let kept = ref [] in
-    let consider v =
-      let implied =
-        List.exists
-          (fun x ->
-            let wxv = wd.Paths.w.(x).(v) in
-            wxv <> max_int && wrow.(x) + wxv <= wrow.(v))
-          !kept
+  Lacr_util.Pool.parallel_for pool n (fun u ->
+      let wrow = wd.Paths.w.(u) and drow = wd.Paths.d.(u) in
+      let candidates = ref [] in
+      for v = 0 to n - 1 do
+        if wrow.(v) <> max_int && drow.(v) > period +. epsilon && (u <> v || wrow.(v) = 0) then
+          candidates := v :: !candidates
+      done;
+      let sorted = List.sort (fun a b -> compare wrow.(a) wrow.(b)) !candidates in
+      let kept = ref [] in
+      let consider v =
+        let implied =
+          List.exists
+            (fun x ->
+              let wxv = wd.Paths.w.(x).(v) in
+              wxv <> max_int && wrow.(x) + wxv <= wrow.(v))
+            !kept
+        in
+        if not implied then kept := v :: !kept
       in
-      if not implied then kept := v :: !kept
-    in
-    List.iter consider sorted;
-    survivors.(u) <- !kept
-  done;
+      List.iter consider sorted;
+      survivors.(u) <- !kept);
   (* Target-side pass over the survivors: for fixed v (scanning sources
      by ascending W(u,v)), drop (u, v) when a kept (x, v) gives
      W(u,x) + W(x,v) <= W(u,v) — the mirrored implication through the
@@ -137,10 +149,11 @@ let compile ?(extra = []) g (wd : Paths.wd) ~period =
   done;
   { ca = !ca; cb = !cb; cbound = !cbound; m = !m }
 
-let generate ?(prune = false) ?(extra = []) g wd ~period =
+let generate ?(prune = false) ?(extra = []) ?pool g wd ~period =
   let ecs = extra @ edge_constraints g in
   let pcs =
-    if prune then pruned_period_constraints wd ~period else period_constraints wd ~period
+    if prune then pruned_period_constraints ?pool wd ~period
+    else period_constraints ?pool wd ~period
   in
   {
     period;

@@ -23,6 +23,7 @@ type t = {
 val generate :
   ?prune:bool ->
   ?extra:Lacr_mcmf.Difference.constr list ->
+  ?pool:Lacr_util.Pool.t ->
   Graph.t ->
   Paths.wd ->
   period:float ->
@@ -34,7 +35,11 @@ val generate :
 
     [extra] adds caller constraints (I/O pinning, guards); they join
     the system before pruning, which remains sound because pruning
-    only removes constraints implied by kept ones. *)
+    only removes constraints implied by kept ones.
+
+    [pool] (default sequential) parallelizes the per-source scans of
+    the (W,D) matrices; the returned constraint list — content {e and}
+    order — is identical for every pool size. *)
 
 val satisfied_by : t -> int array -> bool
 

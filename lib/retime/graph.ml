@@ -6,6 +6,14 @@ type t = {
   host : int;
   fanout : edge list array;
   fanin : edge list array;
+  (* CSR (compressed sparse row) fanout view: edges grouped by source
+     in original edge order; [csr_off] has n+1 entries, edge slots of
+     vertex v are [csr_off.(v), csr_off.(v+1)).  The flat arrays are
+     what the hot (W,D) loops walk — no list chasing, no pointer
+     indirection, and safe to read from many domains at once. *)
+  csr_off : int array;
+  csr_dst : int array;
+  csr_weight : int array;
 }
 
 let build delays edges host =
@@ -16,7 +24,22 @@ let build delays edges host =
     fanin.(e.dst) <- e :: fanin.(e.dst)
   in
   Array.iter record edges;
-  { delays; edges; host; fanout; fanin }
+  let m = Array.length edges in
+  let csr_off = Array.make (n + 1) 0 in
+  Array.iter (fun e -> csr_off.(e.src + 1) <- csr_off.(e.src + 1) + 1) edges;
+  for v = 1 to n do
+    csr_off.(v) <- csr_off.(v) + csr_off.(v - 1)
+  done;
+  let csr_dst = Array.make m 0 and csr_weight = Array.make m 0 in
+  let cursor = Array.copy csr_off in
+  Array.iter
+    (fun e ->
+      let slot = cursor.(e.src) in
+      cursor.(e.src) <- slot + 1;
+      csr_dst.(slot) <- e.dst;
+      csr_weight.(slot) <- e.weight)
+    edges;
+  { delays; edges; host; fanout; fanin; csr_off; csr_dst; csr_weight }
 
 let create ~delays ~edges ~host =
   let n = Array.length delays in
@@ -58,9 +81,13 @@ let num_vertices t = Array.length t.delays
 let num_edges t = Array.length t.edges
 let host t = t.host
 let delay t v = t.delays.(v)
+let delays t = t.delays
 let edges t = t.edges
 let fanout_edges t v = t.fanout.(v)
 let fanin_edges t v = t.fanin.(v)
+let csr_offsets t = t.csr_off
+let csr_dst t = t.csr_dst
+let csr_weight t = t.csr_weight
 
 let total_ffs t = Array.fold_left (fun acc e -> acc + e.weight) 0 t.edges
 

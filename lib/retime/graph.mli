@@ -38,6 +38,24 @@ val edges : t -> edge array
 val fanout_edges : t -> int -> edge list
 val fanin_edges : t -> int -> edge list
 
+(** {1 CSR fanout view}
+
+    Flat compressed-sparse-row arrays over the fanout adjacency,
+    grouped by source vertex in original edge order: vertex [v]'s
+    out-edges occupy slots [csr_offsets t .(v)] to
+    [csr_offsets t .(v+1) - 1] of [csr_dst]/[csr_weight].  These (and
+    {!delays}) back the hot (W,D) path loops; they are shared internal
+    arrays — callers must not mutate them. *)
+
+val csr_offsets : t -> int array
+(** [num_vertices t + 1] entries. *)
+
+val csr_dst : t -> int array
+val csr_weight : t -> int array
+
+val delays : t -> float array
+(** The shared vertex-delay array (same caveat: read-only). *)
+
 val total_ffs : t -> int
 (** Sum of edge weights. *)
 

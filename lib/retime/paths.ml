@@ -1,87 +1,138 @@
 type wd = { w : int array array; d : float array array }
 
+(* The per-source row computation runs on the graph's CSR fanout view
+   (flat int arrays, no list chasing) with a monomorphic int-priority
+   heap and reusable scratch, so one row costs one Dijkstra plus two
+   sweeps over the out-edges and allocates nothing beyond its two
+   output rows.  Rows are independent, which is what makes [compute]
+   embarrassingly parallel over a domain pool. *)
+
+type scratch = {
+  settled : Bytes.t;
+  heap : Lacr_util.Int_heap.t;
+  indeg : int array;
+  queue : int array;  (* FIFO for the tight-DAG topological pass *)
+}
+
+let make_scratch n =
+  {
+    settled = Bytes.create n;
+    heap = Lacr_util.Int_heap.create ~capacity:(max 16 n) ();
+    indeg = Array.make n 0;
+    queue = Array.make n 0;
+  }
+
 (* Dijkstra on edge weights from [source]; weights are small
-   non-negative integers, priorities fit floats exactly. *)
-let min_weights g source =
-  let n = Graph.num_vertices g in
-  let dist = Array.make n max_int in
-  let settled = Array.make n false in
-  let heap = Lacr_util.Heap.create () in
-  dist.(source) <- 0;
-  Lacr_util.Heap.push heap 0.0 source;
-  let rec loop () =
-    match Lacr_util.Heap.pop heap with
-    | None -> ()
-    | Some (_, u) ->
-      if not settled.(u) then begin
-        settled.(u) <- true;
-        let relax (e : Graph.edge) =
-          let v = e.Graph.dst in
-          if (not settled.(v)) && dist.(u) <> max_int then begin
-            let nd = dist.(u) + e.Graph.weight in
-            if nd < dist.(v) then begin
-              dist.(v) <- nd;
-              Lacr_util.Heap.push heap (float_of_int nd) v
-            end
+   non-negative integers.  Lazy deletion: push duplicates, skip
+   settled pops.  Returns the freshly allocated W row ([max_int] =
+   unreachable). *)
+let dijkstra_row ~off ~dst ~wgt ~n scratch source =
+  let wrow = Array.make n max_int in
+  let settled = scratch.settled in
+  Bytes.fill settled 0 n '\000';
+  let heap = scratch.heap in
+  Lacr_util.Int_heap.clear heap;
+  wrow.(source) <- 0;
+  Lacr_util.Int_heap.push heap ~prio:0 source;
+  while not (Lacr_util.Int_heap.is_empty heap) do
+    let u = Lacr_util.Int_heap.pop_min heap in
+    if Bytes.get settled u = '\000' then begin
+      Bytes.set settled u '\001';
+      let wu = wrow.(u) in
+      for i = off.(u) to off.(u + 1) - 1 do
+        let v = dst.(i) in
+        if Bytes.get settled v = '\000' then begin
+          let nd = wu + wgt.(i) in
+          if nd < wrow.(v) then begin
+            wrow.(v) <- nd;
+            Lacr_util.Int_heap.push heap ~prio:nd v
           end
-        in
-        List.iter relax (Graph.fanout_edges g u)
-      end;
-      loop ()
-  in
-  loop ();
-  dist
+        end
+      done
+    end
+  done;
+  wrow
 
 (* Among minimum-weight paths from [source], the maximum path delay to
-   each vertex: longest path over tight edges (a DAG), by repeated
-   relaxation in topological order.  Tight edges are those with
-   W(s,x) + w(e) = W(s,y). *)
-let max_delays g source wrow =
-  let n = Graph.num_vertices g in
-  let tight_out = Array.make n [] in
-  let indeg = Array.make n 0 in
-  let record (e : Graph.edge) =
-    let x = e.Graph.src and y = e.Graph.dst in
-    if wrow.(x) <> max_int && wrow.(y) <> max_int && wrow.(x) + e.Graph.weight = wrow.(y) then begin
-      tight_out.(x) <- y :: tight_out.(x);
-      indeg.(y) <- indeg.(y) + 1
-    end
-  in
-  Array.iter record (Graph.edges g);
-  let drow = Array.make n neg_infinity in
-  drow.(source) <- Graph.delay g source;
-  let queue = Queue.create () in
-  for v = 0 to n - 1 do
-    if indeg.(v) = 0 then Queue.add v queue
+   each vertex: longest path over tight edges (a DAG), by relaxation
+   in topological order.  Tight edges are those with
+   W(s,x) + w(e) = W(s,y); they cannot form a cycle because the
+   circuit has no zero-weight cycle, so every vertex is enqueued
+   exactly once and the scratch FIFO of size n suffices. *)
+let delay_row ~off ~dst ~wgt ~delays ~n scratch source wrow =
+  let indeg = scratch.indeg in
+  Array.fill indeg 0 n 0;
+  for x = 0 to n - 1 do
+    let wx = wrow.(x) in
+    if wx <> max_int then
+      for i = off.(x) to off.(x + 1) - 1 do
+        let y = dst.(i) in
+        if wrow.(y) <> max_int && wx + wgt.(i) = wrow.(y) then indeg.(y) <- indeg.(y) + 1
+      done
   done;
-  while not (Queue.is_empty queue) do
-    let x = Queue.pop queue in
-    let relax y =
-      if drow.(x) > neg_infinity then begin
-        let cand = drow.(x) +. Graph.delay g y in
-        if cand > drow.(y) then drow.(y) <- cand
-      end;
-      indeg.(y) <- indeg.(y) - 1;
-      if indeg.(y) = 0 then Queue.add y queue
-    in
-    List.iter relax tight_out.(x)
+  let drow = Array.make n neg_infinity in
+  drow.(source) <- delays.(source);
+  let queue = scratch.queue in
+  let head = ref 0 and tail = ref 0 in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then begin
+      queue.(!tail) <- v;
+      incr tail
+    end
+  done;
+  while !head < !tail do
+    let x = queue.(!head) in
+    incr head;
+    let wx = wrow.(x) in
+    if wx <> max_int then begin
+      let dx = drow.(x) in
+      for i = off.(x) to off.(x + 1) - 1 do
+        let y = dst.(i) in
+        if wrow.(y) <> max_int && wx + wgt.(i) = wrow.(y) then begin
+          if dx > neg_infinity then begin
+            let cand = dx +. delays.(y) in
+            if cand > drow.(y) then drow.(y) <- cand
+          end;
+          indeg.(y) <- indeg.(y) - 1;
+          if indeg.(y) = 0 then begin
+            queue.(!tail) <- y;
+            incr tail
+          end
+        end
+      done
+    end
   done;
   drow
 
-let compute g =
+let min_weights g source =
   let n = Graph.num_vertices g in
+  dijkstra_row ~off:(Graph.csr_offsets g) ~dst:(Graph.csr_dst g) ~wgt:(Graph.csr_weight g) ~n
+    (make_scratch n) source
+
+let compute ?(pool = Lacr_util.Pool.sequential) g =
+  let n = Graph.num_vertices g in
+  let off = Graph.csr_offsets g
+  and dst = Graph.csr_dst g
+  and wgt = Graph.csr_weight g
+  and delays = Graph.delays g in
   let w = Array.make n [||] and d = Array.make n [||] in
-  for u = 0 to n - 1 do
-    (* The trivial single-vertex path gives W(u,u) = 0, D(u,u) = d(u);
-       this is the Leiserson-Saxe convention that makes a vertex delay
-       exceeding the period show up as the infeasible self constraint
-       r(u) - r(u) <= -1.  Cycle paths back to u all have weight >= 1,
-       so they never displace the trivial self pair. *)
-    let wrow = min_weights g u in
-    let drow = max_delays g u wrow in
-    w.(u) <- wrow;
-    d.(u) <- drow
-  done;
+  (* Each chunk allocates its own scratch and each source writes only
+     its own w/d rows, so the parallel run is race-free and — because
+     every row is a pure function of (g, u) — bit-identical to the
+     sequential run for any pool size. *)
+  Lacr_util.Pool.parallel_for_chunks pool n (fun lo hi ->
+      let scratch = make_scratch n in
+      for u = lo to hi - 1 do
+        (* The trivial single-vertex path gives W(u,u) = 0, D(u,u) = d(u);
+           this is the Leiserson-Saxe convention that makes a vertex delay
+           exceeding the period show up as the infeasible self constraint
+           r(u) - r(u) <= -1.  Cycle paths back to u all have weight >= 1,
+           so they never displace the trivial self pair. *)
+        let wrow = dijkstra_row ~off ~dst ~wgt ~n scratch u in
+        let drow = delay_row ~off ~dst ~wgt ~delays ~n scratch u wrow in
+        w.(u) <- wrow;
+        d.(u) <- drow
+      done);
   { w; d }
 
 let reachable wd u v = wd.w.(u).(v) <> max_int

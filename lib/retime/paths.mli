@@ -3,16 +3,28 @@
     For a path [p : u ~> v], [w(p)] is the sum of edge weights and
     [d(p)] the sum of vertex delays including both endpoints.  Then
     [W(u,v) = min w(p)] and [D(u,v) = max d(p)] over minimum-weight
-    paths.  Computed per source as a plain Dijkstra on weights followed
-    by a longest-delay pass over the tight-edge DAG (tight edges cannot
-    form a cycle because the circuit has no zero-weight cycle). *)
+    paths.  Computed per source as a Dijkstra on weights (CSR adjacency
+    + monomorphic int heap) followed by a longest-delay pass over the
+    tight-edge DAG (tight edges cannot form a cycle because the circuit
+    has no zero-weight cycle). *)
 
 type wd = {
   w : int array array;  (** [w.(u).(v)]; [max_int] when unreachable *)
   d : float array array;  (** [d.(u).(v)]; meaningful when reachable *)
 }
 
-val compute : Graph.t -> wd
+val compute : ?pool:Lacr_util.Pool.t -> Graph.t -> wd
+(** Sources are independent, so the rows fill in parallel over [pool]
+    (default {!Lacr_util.Pool.sequential}): each worker owns its
+    scratch and writes only its own rows.  Every row is a pure
+    function of the graph and its source, so the result is
+    bit-identical — [w] and [d] cell for cell — for every pool size. *)
+
+val min_weights : Graph.t -> int -> int array
+(** One W row: minimum path weight from a source to every vertex
+    ([max_int] = unreachable).  The single-row CSR Dijkstra kernel,
+    exposed for callers and micro-benchmarks that do not need the full
+    matrices. *)
 
 val reachable : wd -> int -> int -> bool
 

@@ -1,0 +1,78 @@
+(* Monomorphic binary min-heap over (int priority, int value) pairs,
+   kept as two flat int arrays.  No per-entry allocation, no float
+   round-trips, no option boxing on the pop path — the Dijkstra inner
+   loop of the (W,D) path engine runs on this. *)
+
+type t = { mutable prio : int array; mutable value : int array; mutable len : int }
+
+let create ?(capacity = 16) () =
+  let capacity = max 1 capacity in
+  { prio = Array.make capacity 0; value = Array.make capacity 0; len = 0 }
+
+let is_empty h = h.len = 0
+
+let size h = h.len
+
+let clear h = h.len <- 0
+
+let ensure_capacity h =
+  let cap = Array.length h.prio in
+  if h.len = cap then begin
+    let ncap = cap * 2 in
+    let nprio = Array.make ncap 0 and nvalue = Array.make ncap 0 in
+    Array.blit h.prio 0 nprio 0 h.len;
+    Array.blit h.value 0 nvalue 0 h.len;
+    h.prio <- nprio;
+    h.value <- nvalue
+  end
+
+let push h ~prio value =
+  ensure_capacity h;
+  let p = h.prio and v = h.value in
+  (* Sift up with a hole instead of pairwise swaps. *)
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if prio < p.(parent) then begin
+      p.(!i) <- p.(parent);
+      v.(!i) <- v.(parent);
+      i := parent
+    end
+    else continue_ := false
+  done;
+  p.(!i) <- prio;
+  v.(!i) <- value
+
+let min_prio h = if h.len = 0 then invalid_arg "Int_heap.min_prio: empty" else h.prio.(0)
+
+let pop_min h =
+  if h.len = 0 then invalid_arg "Int_heap.pop_min: empty";
+  let p = h.prio and v = h.value in
+  let top = v.(0) in
+  h.len <- h.len - 1;
+  let len = h.len in
+  if len > 0 then begin
+    let mp = p.(len) and mv = v.(len) in
+    (* Sift the last element down from the root, again with a hole. *)
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let left = (2 * !i) + 1 in
+      if left >= len then continue_ := false
+      else begin
+        let right = left + 1 in
+        let smallest = if right < len && p.(right) < p.(left) then right else left in
+        if p.(smallest) < mp then begin
+          p.(!i) <- p.(smallest);
+          v.(!i) <- v.(smallest);
+          i := smallest
+        end
+        else continue_ := false
+      end
+    done;
+    p.(!i) <- mp;
+    v.(!i) <- mv
+  end;
+  top

@@ -1,0 +1,187 @@
+(* Fixed-size domain pool on the OCaml 5 stdlib (Domain + Mutex +
+   Condition + Atomic), no external dependencies.
+
+   Workers are spawned once and parked on a condition variable; each
+   [parallel_for_chunks] call publishes one job (a shared atomic chunk
+   cursor) and wakes everybody.  The caller participates as the size-th
+   worker, so a pool of size 1 never spawns a domain and degenerates to
+   a plain sequential loop.  Jobs must not be nested on the same pool:
+   a worker re-entering [parallel_for_chunks] would wait on itself. *)
+
+type job = {
+  cursor : int Atomic.t;  (* next un-claimed index *)
+  total : int;
+  chunk : int;
+  body : int -> int -> unit;  (* [body lo hi] over [lo, hi) *)
+  mutable pending : int;  (* workers that have not finished this job *)
+  failed : exn option Atomic.t;
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  finished : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.size
+
+let max_domains = 64
+
+let env_domains () =
+  match Sys.getenv_opt "LACR_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some (min n max_domains)
+    | Some _ | None -> None)
+
+let resolve_size ~requested =
+  match env_domains () with
+  | Some n -> n
+  | None ->
+    if requested >= 1 then min requested max_domains
+    else min max_domains (Domain.recommended_domain_count ())
+
+let run_chunks job =
+  let continue_ = ref true in
+  while !continue_ do
+    let lo = Atomic.fetch_and_add job.cursor job.chunk in
+    if lo >= job.total then continue_ := false
+    else begin
+      let hi = min job.total (lo + job.chunk) in
+      try job.body lo hi
+      with exn ->
+        ignore (Atomic.compare_and_set job.failed None (Some exn));
+        (* Park the cursor at the end so other workers stop early. *)
+        Atomic.set job.cursor job.total
+    end
+  done
+
+let rec worker_loop pool seen =
+  Mutex.lock pool.mutex;
+  while (not pool.stop) && pool.generation = seen do
+    Condition.wait pool.has_work pool.mutex
+  done;
+  if pool.stop then Mutex.unlock pool.mutex
+  else begin
+    let generation = pool.generation in
+    let job = pool.job in
+    Mutex.unlock pool.mutex;
+    (match job with
+    | None -> ()
+    | Some job ->
+      run_chunks job;
+      Mutex.lock pool.mutex;
+      job.pending <- job.pending - 1;
+      if job.pending = 0 then Condition.broadcast pool.finished;
+      Mutex.unlock pool.mutex);
+    worker_loop pool generation
+  end
+
+let create ?size () =
+  let size =
+    match size with
+    | Some n when n >= 1 -> min n max_domains
+    | Some _ | None -> resolve_size ~requested:0
+  in
+  let pool =
+    {
+      size;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      generation = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  pool.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+  pool
+
+let sequential =
+  {
+    size = 1;
+    mutex = Mutex.create ();
+    has_work = Condition.create ();
+    finished = Condition.create ();
+    job = None;
+    generation = 0;
+    stop = false;
+    domains = [];
+  }
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.has_work;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let with_pool ?size f =
+  let pool = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let default_chunk pool n = max 1 (n / (4 * pool.size))
+
+let parallel_for_chunks ?chunk pool n body =
+  if n > 0 then begin
+    let chunk =
+      match chunk with Some c when c > 0 -> c | Some _ | None -> default_chunk pool n
+    in
+    if pool.size = 1 || n <= chunk then body 0 n
+    else begin
+      let job =
+        {
+          cursor = Atomic.make 0;
+          total = n;
+          chunk;
+          body;
+          pending = pool.size - 1;
+          failed = Atomic.make None;
+        }
+      in
+      Mutex.lock pool.mutex;
+      pool.job <- Some job;
+      pool.generation <- pool.generation + 1;
+      Condition.broadcast pool.has_work;
+      Mutex.unlock pool.mutex;
+      run_chunks job;
+      Mutex.lock pool.mutex;
+      while job.pending > 0 do
+        Condition.wait pool.finished pool.mutex
+      done;
+      pool.job <- None;
+      Mutex.unlock pool.mutex;
+      match Atomic.get job.failed with Some exn -> raise exn | None -> ()
+    end
+  end
+
+let parallel_for ?chunk pool n f =
+  parallel_for_chunks ?chunk pool n (fun lo hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+
+let parallel_sum ?chunk pool n f =
+  if n <= 0 then 0
+  else begin
+    let chunk =
+      match chunk with Some c when c > 0 -> c | Some _ | None -> default_chunk pool n
+    in
+    let n_chunks = ((n - 1) / chunk) + 1 in
+    let partial = Array.make n_chunks 0 in
+    parallel_for_chunks ~chunk pool n (fun lo hi ->
+        let acc = ref 0 in
+        for i = lo to hi - 1 do
+          acc := !acc + f i
+        done;
+        partial.(lo / chunk) <- !acc);
+    Array.fold_left ( + ) 0 partial
+  end

@@ -1,0 +1,64 @@
+(** A small fixed-size domain pool on the OCaml 5 stdlib
+    ([Domain]/[Mutex]/[Condition]/[Atomic]) — the repo's scaling
+    primitive for embarrassingly parallel loops such as the per-source
+    rows of the retiming (W,D) matrices.
+
+    The pool owns [size - 1] parked worker domains; the calling domain
+    participates as the last worker, so a pool of size 1 spawns
+    nothing and every [parallel_for] degenerates to the plain
+    sequential loop.  Loop bodies must be race-free by construction
+    (e.g. each index writes only its own output slot); the pool adds
+    no synchronization around the body.
+
+    Calls on one pool must not be nested (a body must not call back
+    into the same pool) and a pool must be driven from one domain at a
+    time. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [create ~size ()] spawns [size - 1] worker domains.  Without
+    [size] (or with [size <= 0]) the size is taken from the
+    [LACR_DOMAINS] environment variable when set, else from
+    [Domain.recommended_domain_count ()].  An explicit [size >= 1] is
+    honoured as given (clamped to 64); [LACR_DOMAINS] only overrides
+    the auto default — resolve CLI/config requests with
+    {!resolve_size} first if the env var should win. *)
+
+val sequential : t
+(** A shared size-1 pool: no domains, no synchronization, plain
+    sequential execution.  The default for all library entry points,
+    which keeps the seed behaviour when no one asks for parallelism. *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Join the worker domains.  The pool must not be used afterwards. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exceptions). *)
+
+val env_domains : unit -> int option
+(** The validated [LACR_DOMAINS] value, if set. *)
+
+val resolve_size : requested:int -> int
+(** Pool size for a configuration request: [LACR_DOMAINS] wins when
+    set; otherwise [requested] when [>= 1]; otherwise
+    [Domain.recommended_domain_count ()].  Always in [1, 64]. *)
+
+val parallel_for_chunks : ?chunk:int -> t -> int -> (int -> int -> unit) -> unit
+(** [parallel_for_chunks ~chunk pool n body] covers [0, n) with
+    half-open ranges handed to [body lo hi], at most [chunk] indices
+    each (default [n / (4 * size)], at least 1).  Ranges are claimed
+    dynamically, so per-range scratch allocated inside [body] is
+    amortized over [chunk] items and never shared between domains.
+    The first exception raised by any worker is re-raised in the
+    caller after all workers stop. *)
+
+val parallel_for : ?chunk:int -> t -> int -> (int -> unit) -> unit
+(** Per-index variant of {!parallel_for_chunks}. *)
+
+val parallel_sum : ?chunk:int -> t -> int -> (int -> int) -> int
+(** [parallel_sum pool n f] is [sum of f i for i in 0..n-1] with
+    per-chunk partial sums — deterministic for integer reductions
+    regardless of pool size or scheduling. *)

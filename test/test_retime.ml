@@ -456,3 +456,104 @@ let suite =
       Alcotest.test_case "timing after retiming" `Quick test_timing_after_retiming;
       QCheck_alcotest.to_alcotest prop_timing_agrees_with_clock_period;
     ]
+
+(* --- parallel (W,D) engine and pooled constraint generation ---------- *)
+
+let wd_equal (a : Paths.wd) (b : Paths.wd) =
+  (* Structural equality is bitwise here: the w cells are ints and the
+     d cells are floats produced by the very same operations, so any
+     engine divergence (including NaN/infinity handling) fails it. *)
+  a.Paths.w = b.Paths.w && a.Paths.d = b.Paths.d
+
+let prop_parallel_wd_bit_identical =
+  QCheck2.Test.make ~count:40
+    ~name:"parallel Paths.compute (2 and 4 domains) is bit-identical to sequential" graph_gen
+    (fun params ->
+      let g = make_graph params in
+      let sequential = Paths.compute g in
+      List.for_all
+        (fun domains ->
+          Lacr_util.Pool.with_pool ~size:domains (fun pool ->
+              wd_equal sequential (Paths.compute ~pool g)))
+        [ 2; 4 ])
+
+let prop_parallel_wd_odd_pool =
+  (* An odd pool size (uneven chunking, one worker more than cores on
+     CI boxes) must still land every row bit-identically. *)
+  QCheck2.Test.make ~count:20 ~name:"parallel Paths.compute with an odd pool size" graph_gen
+    (fun params ->
+      let g = make_graph params in
+      let sequential = Paths.compute g in
+      Lacr_util.Pool.with_pool ~size:3 (fun pool ->
+          wd_equal sequential (Paths.compute ~pool g)))
+
+let test_pooled_constraints_identical () =
+  (* Constraints.generate must return the same list — contents AND
+     order — with the pool enabled, pruned or not, so downstream
+     solvers see byte-identical systems under any --domains. *)
+  let g = make_graph (9, 77013) in
+  let wd = Paths.compute g in
+  let extra = [ { Lacr_mcmf.Difference.a = 1; b = 0; bound = 0 } ] in
+  let mp = Feasibility.min_period ~extra g wd in
+  let period = mp.Feasibility.period +. 0.5 in
+  Lacr_util.Pool.with_pool ~size:4 (fun pool ->
+      List.iter
+        (fun prune ->
+          let seq = Constraints.generate ~prune ~extra g wd ~period in
+          let par = Constraints.generate ~prune ~extra ~pool g wd ~period in
+          check
+            (Printf.sprintf "constraint lists equal (prune=%b)" prune)
+            true
+            (seq.Constraints.constraints = par.Constraints.constraints);
+          check_int "n_period equal" seq.Constraints.n_period par.Constraints.n_period)
+        [ false; true ])
+
+let test_min_weights_row () =
+  (* The exported single-row kernel must agree with the full matrix. *)
+  let g = make_graph (8, 4242) in
+  let wd = Paths.compute g in
+  for u = 0 to Graph.num_vertices g - 1 do
+    check (Printf.sprintf "row %d" u) true (Paths.min_weights g u = wd.Paths.w.(u))
+  done
+
+let test_pooled_lac_outcome_identical () =
+  (* End-to-end: LAC-retiming outcomes are pool-size independent. *)
+  let rng = Rng.create 90210 in
+  let g = random_graph rng 8 in
+  let n = Graph.num_vertices g in
+  let n_tiles = 3 in
+  let problem =
+    {
+      Lacr_core.Problem.graph = g;
+      vertex_tile = Array.init n (fun v -> if v = 0 then -1 else v mod n_tiles);
+      n_tiles;
+      capacity = [| 1.0; 2.0; 1.0 |];
+      ff_area = 1.0;
+      interconnect = Array.init n (fun v -> v mod 2 = 0);
+    }
+  in
+  let wd = Paths.compute g in
+  let mp = Feasibility.min_period g wd in
+  let cs = Constraints.generate ~prune:true g wd ~period:(mp.Feasibility.period +. 1.0) in
+  match
+    ( Lacr_core.Lac.retime_problem problem cs,
+      Lacr_util.Pool.with_pool ~size:2 (fun pool ->
+          Lacr_core.Lac.retime_problem ~pool problem cs) )
+  with
+  | Ok a, Ok b ->
+    check "labels equal" true (a.Lacr_core.Lac.labels = b.Lacr_core.Lac.labels);
+    check_int "n_foa equal" a.Lacr_core.Lac.n_foa b.Lacr_core.Lac.n_foa;
+    check_int "n_f equal" a.Lacr_core.Lac.n_f b.Lacr_core.Lac.n_f;
+    check_int "n_fn equal" a.Lacr_core.Lac.n_fn b.Lacr_core.Lac.n_fn
+  | Error msg, _ | _, Error msg -> Alcotest.fail msg
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest prop_parallel_wd_bit_identical;
+      QCheck_alcotest.to_alcotest prop_parallel_wd_odd_pool;
+      Alcotest.test_case "pooled constraint generation identical" `Quick
+        test_pooled_constraints_identical;
+      Alcotest.test_case "min_weights row matches matrix" `Quick test_min_weights_row;
+      Alcotest.test_case "pooled LAC outcome identical" `Quick test_pooled_lac_outcome_identical;
+    ]

@@ -164,3 +164,124 @@ let suite =
       Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
       Alcotest.test_case "csv document" `Quick test_csv_document;
     ]
+
+(* --- Int_heap (monomorphic, allocation-free pop path) --- *)
+
+module Int_heap = Lacr_util.Int_heap
+
+let test_int_heap_sorts () =
+  let rng = Rng.create 11 in
+  let heap = Int_heap.create ~capacity:4 () in
+  let values = List.init 500 (fun _ -> Rng.int rng 10_000) in
+  List.iter (fun v -> Int_heap.push heap ~prio:v v) values;
+  check_int "size" 500 (Int_heap.size heap);
+  let last = ref min_int and drained = ref 0 in
+  while not (Int_heap.is_empty heap) do
+    let p = Int_heap.min_prio heap in
+    let v = Int_heap.pop_min heap in
+    check_int "priority equals value" p v;
+    check "non-decreasing" true (p >= !last);
+    last := p;
+    incr drained
+  done;
+  check_int "drained all" 500 !drained;
+  (match Int_heap.pop_min heap with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "pop on empty accepted");
+  Int_heap.push heap ~prio:7 42;
+  Int_heap.clear heap;
+  check "clear empties" true (Int_heap.is_empty heap)
+
+let test_int_heap_duplicates () =
+  (* Lazy-deletion Dijkstra pushes duplicate priorities; ordering must
+     hold with ties. *)
+  let heap = Int_heap.create () in
+  List.iter (fun (p, v) -> Int_heap.push heap ~prio:p v) [ (3, 0); (1, 1); (3, 2); (1, 3); (2, 4) ];
+  let order =
+    List.init 5 (fun _ ->
+        let p = Int_heap.min_prio heap in
+        let _v = Int_heap.pop_min heap in
+        p)
+  in
+  check "priorities sorted" true (order = [ 1; 1; 2; 3; 3 ])
+
+(* --- Pool (domain pool) --- *)
+
+module Pool = Lacr_util.Pool
+
+let test_pool_parallel_for_covers () =
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          check_int "pool size" size (Pool.size pool);
+          let n = 1000 in
+          let hits = Array.make n 0 in
+          (* Each index owns its slot: exactly-once coverage shows up
+             as all-ones regardless of scheduling. *)
+          Pool.parallel_for ~chunk:7 pool n (fun i -> hits.(i) <- hits.(i) + 1);
+          check "every index exactly once" true (Array.for_all (( = ) 1) hits)))
+    [ 1; 2; 4 ]
+
+let test_pool_parallel_for_chunks_ranges () =
+  Pool.with_pool ~size:3 (fun pool ->
+      let n = 101 in
+      let hits = Array.make n 0 in
+      Pool.parallel_for_chunks ~chunk:10 pool n (fun lo hi ->
+          check "range bounds" true (0 <= lo && lo < hi && hi <= n && hi - lo <= 10);
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      check "chunked coverage" true (Array.for_all (( = ) 1) hits))
+
+let test_pool_parallel_sum () =
+  let n = 12345 in
+  let expected = n * (n - 1) / 2 in
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          check_int "sum of 0..n-1" expected (Pool.parallel_sum ~chunk:100 pool n (fun i -> i));
+          check_int "empty sum" 0 (Pool.parallel_sum pool 0 (fun _ -> 1))))
+    [ 1; 4 ]
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~size:2 (fun pool ->
+      match Pool.parallel_for ~chunk:1 pool 100 (fun i -> if i = 37 then failwith "boom") with
+      | exception Failure msg -> Alcotest.(check string) "exn carried" "boom" msg
+      | () -> Alcotest.fail "exception swallowed");
+  (* The pool survives a failed job and runs the next one. *)
+  Pool.with_pool ~size:2 (fun pool ->
+      (try Pool.parallel_for pool 10 (fun _ -> failwith "first") with Failure _ -> ());
+      check_int "pool reusable after failure" 45 (Pool.parallel_sum pool 10 (fun i -> i)))
+
+let test_pool_sequential_reuse () =
+  (* The shared sequential pool spawns nothing and is always usable. *)
+  check_int "sequential size" 1 (Pool.size Pool.sequential);
+  check_int "sequential sum" 10 (Pool.parallel_sum Pool.sequential 5 (fun i -> i));
+  (* Many successive jobs on one pool: the parked-worker handshake must
+     not lose or double-run any generation. *)
+  Pool.with_pool ~size:4 (fun pool ->
+      for round = 1 to 50 do
+        let total = Pool.parallel_sum ~chunk:3 pool 100 (fun i -> i * round) in
+        check_int "round total" (4950 * round) total
+      done)
+
+let test_pool_resolve_size () =
+  (match Pool.env_domains () with
+  | None -> check_int "explicit request" 3 (Pool.resolve_size ~requested:3)
+  | Some n ->
+    (* LACR_DOMAINS set in this environment: it must win. *)
+    check_int "env override wins" n (Pool.resolve_size ~requested:3));
+  check "auto at least 1" true (Pool.resolve_size ~requested:0 >= 1)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "int heap sorts" `Quick test_int_heap_sorts;
+      Alcotest.test_case "int heap duplicates" `Quick test_int_heap_duplicates;
+      Alcotest.test_case "pool parallel_for covers" `Quick test_pool_parallel_for_covers;
+      Alcotest.test_case "pool chunk ranges" `Quick test_pool_parallel_for_chunks_ranges;
+      Alcotest.test_case "pool parallel_sum" `Quick test_pool_parallel_sum;
+      Alcotest.test_case "pool exception propagates" `Quick test_pool_exception_propagates;
+      Alcotest.test_case "pool sequential + reuse" `Quick test_pool_sequential_reuse;
+      Alcotest.test_case "pool resolve_size" `Quick test_pool_resolve_size;
+    ]
