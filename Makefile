@@ -1,7 +1,7 @@
 # One-command gate for every PR: full build, tier-1 tests, and a
 # planner smoke run on the embedded s27 circuit.
 
-.PHONY: all build test smoke check bench clean
+.PHONY: all build test smoke smoke-warm check bench clean
 
 all: build
 
@@ -14,7 +14,12 @@ test:
 smoke:
 	dune exec bin/lacr_cli.exe -- plan s27
 
-check: build test smoke
+# Warm/cold solver cross-check: the successive-instance MCMF engine
+# must reproduce the cold per-round outcomes exactly.
+smoke-warm:
+	dune exec bin/lacr_cli.exe -- verify-warm s27
+
+check: build test smoke smoke-warm
 
 bench:
 	LACR_BENCH_FAST=1 dune exec bench/main.exe -- --json BENCH_fast.json

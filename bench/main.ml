@@ -60,13 +60,35 @@ let json_path =
    | None -> ());
   !path
 
-type timing = { t_name : string; t_circuit : string; t_domains : int; t_ms : float }
+(* Aggregated flow-solver counters of one LAC run: number of weighted
+   retiming rounds plus the totals over every round's Mcmf.stats. *)
+type solver_totals = {
+  s_rounds : int;
+  s_phases : int;
+  s_settles : int;
+  s_pushes : int;
+  s_warm_hits : int;
+}
+
+type timing = {
+  t_name : string;
+  t_circuit : string;
+  t_domains : int;
+  t_ms : float;
+  t_solver : solver_totals option;
+}
 
 let timings : timing list ref = ref []
 
-let log_timing ~name ~circuit ~domains seconds =
+let log_timing ?solver ~name ~circuit ~domains seconds =
   timings :=
-    { t_name = name; t_circuit = circuit; t_domains = domains; t_ms = 1000.0 *. seconds }
+    {
+      t_name = name;
+      t_circuit = circuit;
+      t_domains = domains;
+      t_ms = 1000.0 *. seconds;
+      t_solver = solver;
+    }
     :: !timings
 
 let json_escape s =
@@ -86,8 +108,18 @@ let write_json path =
   output_string oc "[\n";
   List.iteri
     (fun i t ->
-      Printf.fprintf oc "  {\"name\": \"%s\", \"circuit\": \"%s\", \"domains\": %d, \"ms\": %.3f}%s\n"
-        (json_escape t.t_name) (json_escape t.t_circuit) t.t_domains t.t_ms
+      let solver =
+        match t.t_solver with
+        | None -> ""
+        | Some s ->
+          Printf.sprintf
+            ", \"solver\": {\"rounds\": %d, \"phases\": %d, \"settles\": %d, \"pushes\": %d, \
+             \"warm_hits\": %d}"
+            s.s_rounds s.s_phases s.s_settles s.s_pushes s.s_warm_hits
+      in
+      Printf.fprintf oc
+        "  {\"name\": \"%s\", \"circuit\": \"%s\", \"domains\": %d, \"ms\": %.3f%s}%s\n"
+        (json_escape t.t_name) (json_escape t.t_circuit) t.t_domains t.t_ms solver
         (if i = List.length !timings - 1 then "" else ","))
     (List.rev !timings);
   output_string oc "]\n";
@@ -256,6 +288,67 @@ let run_wd_scaling () =
   Printf.printf
     "\n(speedup = seed baseline / best engine time; 'identical' checks the w and d\n\
      matrices cell for cell across all engines and pool sizes)\n"
+
+(* --- Q: warm-started successive-instance MCMF engine --- *)
+
+let solver_totals (outcome : Lac.outcome) =
+  List.fold_left
+    (fun acc (s : Lacr_mcmf.Mcmf.stats) ->
+      {
+        acc with
+        s_phases = acc.s_phases + s.Lacr_mcmf.Mcmf.phases;
+        s_settles = acc.s_settles + s.Lacr_mcmf.Mcmf.settles;
+        s_pushes = acc.s_pushes + s.Lacr_mcmf.Mcmf.pushes;
+        s_warm_hits = (acc.s_warm_hits + if s.Lacr_mcmf.Mcmf.warm_start then 1 else 0);
+      })
+    {
+      s_rounds = List.length outcome.Lac.solver;
+      s_phases = 0;
+      s_settles = 0;
+      s_pushes = 0;
+      s_warm_hits = 0;
+    }
+    outcome.Lac.solver
+
+let lac_outcome_equal (a : Lac.outcome) (b : Lac.outcome) =
+  a.Lac.labels = b.Lac.labels && a.Lac.n_foa = b.Lac.n_foa && a.Lac.n_f = b.Lac.n_f
+  && a.Lac.n_fn = b.Lac.n_fn && a.Lac.trace = b.Lac.trace
+
+let run_warm_engine () =
+  section "Q   warm-started MCMF engine: per-round cold compiles vs successive instances";
+  let circuits = if fast_mode then [ "s526" ] else [ "s526"; "s953"; "s1423" ] in
+  let reps = if fast_mode then 2 else 3 in
+  Printf.printf "%-8s %6s | %10s %10s %10s | %8s %10s %10s\n" "circuit" "rounds" "cold(ms)"
+    "warm(ms)" "warm2d(ms)" "speedup" "warm-hits" "identical";
+  List.iter
+    (fun name ->
+      let netlist = Option.get (Suite.by_name name) in
+      let inst = match Build.build netlist with Ok i -> i | Error msg -> failwith msg in
+      let _, _, cs = constraint_setup inst in
+      let run ?reuse ?pool () =
+        match Lac.retime ?reuse ?pool inst cs with Ok o -> o | Error msg -> failwith (name ^ ": " ^ msg)
+      in
+      let cold, cold_dt = best_of_runs reps (fun () -> run ~reuse:false ()) in
+      log_timing ~name:"lac-cold" ~circuit:name ~domains:1 ~solver:(solver_totals cold) cold_dt;
+      let warm, warm_dt = best_of_runs reps (fun () -> run ()) in
+      log_timing ~name:"lac-warm" ~circuit:name ~domains:1 ~solver:(solver_totals warm) warm_dt;
+      let warm2, warm2_dt =
+        Lacr_util.Pool.with_pool ~size:2 (fun pool -> best_of_runs reps (fun () -> run ~pool ()))
+      in
+      log_timing ~name:"lac-warm" ~circuit:name ~domains:2 ~solver:(solver_totals warm2) warm2_dt;
+      let identical = lac_outcome_equal cold warm && lac_outcome_equal cold warm2 in
+      let totals = solver_totals warm in
+      Printf.printf "%-8s %6d | %10.2f %10.2f %10.2f | %7.2fx %6d/%-3d %10s\n%!" name
+        totals.s_rounds (1000.0 *. cold_dt) (1000.0 *. warm_dt) (1000.0 *. warm2_dt)
+        (cold_dt /. warm_dt) totals.s_warm_hits totals.s_rounds
+        (if identical then "yes" else "NO!");
+      if not identical then
+        failwith (name ^ ": warm-started engine outcome differs from cold per-round compiles"))
+    circuits;
+  Printf.printf
+    "\n(cold recompiles the flow network every re-weighting round; warm compiles once and\n\
+     reuses the previous round's dual potentials; 'identical' checks labels, N_FOA, N_F,\n\
+     N_FN and the full convergence trace across engines and pool sizes)\n"
 
 (* --- E1/E2/E3: Table 1 --- *)
 
@@ -504,6 +597,7 @@ let run_bechamel () =
 let () =
   Printf.printf "LAC-retiming benchmark harness (fast mode: %b)\n" fast_mode;
   run_wd_scaling ();
+  run_warm_engine ();
   run_table1 ();
   run_alpha_ablation ();
   run_runtime ();

@@ -158,6 +158,58 @@ let run_alpha circuit seed values =
         values;
       0)
 
+(* --- verify-warm: warm/cold solver cross-check --- *)
+
+let run_verify_warm circuit seed =
+  match load_circuit circuit with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok netlist ->
+    let config = config_with ?seed () in
+    (match Build.build ~config netlist with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok inst ->
+      let g = inst.Build.graph in
+      let wd = Lacr_retime.Paths.compute g in
+      let extra = inst.Build.pin_constraints in
+      let mp = Lacr_retime.Feasibility.min_period ~extra g wd in
+      let t_init = Lacr_retime.Graph.clock_period g in
+      let t_clk =
+        mp.Lacr_retime.Feasibility.period
+        +. (config.Config.clk_fraction *. (t_init -. mp.Lacr_retime.Feasibility.period))
+      in
+      let cs = Lacr_retime.Constraints.generate ~prune:true ~extra g wd ~period:t_clk in
+      (match (Lac.retime ~reuse:false inst cs, Lac.retime inst cs) with
+      | Error msg, _ | _, Error msg ->
+        Printf.eprintf "verify-warm %s: solver failed: %s\n" circuit msg;
+        1
+      | Ok cold, Ok warm ->
+        let identical =
+          cold.Lac.labels = warm.Lac.labels && cold.Lac.n_foa = warm.Lac.n_foa
+          && cold.Lac.n_f = warm.Lac.n_f && cold.Lac.n_fn = warm.Lac.n_fn
+          && cold.Lac.trace = warm.Lac.trace
+        in
+        let warm_hits =
+          List.length
+            (List.filter
+               (fun (s : Lacr_mcmf.Mcmf.stats) -> s.Lacr_mcmf.Mcmf.warm_start)
+               warm.Lac.solver)
+        in
+        Printf.printf
+          "verify-warm %s: rounds=%d warm_hits=%d cold=(N_FOA %d, N_F %d, N_FN %d) warm=(N_FOA \
+           %d, N_F %d, N_FN %d) -> %s\n"
+          inst.Build.circuit warm.Lac.n_wr warm_hits cold.Lac.n_foa cold.Lac.n_f cold.Lac.n_fn
+          warm.Lac.n_foa warm.Lac.n_f warm.Lac.n_fn
+          (if identical then "identical" else "MISMATCH");
+        if identical then 0
+        else begin
+          prerr_endline "verify-warm: warm-started engine diverged from cold per-round compiles";
+          1
+        end))
+
 (* --- retime: export a retimed .bench --- *)
 
 let run_retime circuit seed slack output =
@@ -353,6 +405,13 @@ let output_arg =
     & opt (some string) None
     & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the retimed .bench here (default stdout).")
 
+let verify_warm_cmd =
+  let doc =
+    "Cross-check the warm-started successive-instance LAC solver against cold per-round \
+     compiles (exits non-zero on any outcome mismatch)."
+  in
+  Cmd.v (Cmd.info "verify-warm" ~doc) Term.(const run_verify_warm $ circuit_arg $ seed_arg)
+
 let retime_cmd =
   let doc = "Min-area retime a circuit and emit the retimed .bench netlist." in
   Cmd.v (Cmd.info "retime" ~doc)
@@ -369,6 +428,16 @@ let stats_cmd =
 let main_cmd =
   let doc = "interconnect planning with local area constrained retiming (DATE 2003)" in
   Cmd.group (Cmd.info "lacr" ~version:"1.0.0" ~doc)
-    [ plan_cmd; table1_cmd; figures_cmd; alpha_cmd; info_cmd; retime_cmd; dot_cmd; stats_cmd ]
+    [
+      plan_cmd;
+      table1_cmd;
+      figures_cmd;
+      alpha_cmd;
+      info_cmd;
+      verify_warm_cmd;
+      retime_cmd;
+      dot_cmd;
+      stats_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -9,6 +9,7 @@ type outcome = {
   n_wr : int;
   exec_seconds : float;
   trace : (int * float) list;
+  solver : Lacr_mcmf.Mcmf.stats list;
 }
 
 let capacity_floor = 0.25
@@ -25,7 +26,7 @@ let base_area (problem : Problem.t) =
     (fun inter -> if inter then 1.0 +. interconnect_bias else 1.0)
     problem.Problem.interconnect
 
-let outcome_of ?pool (problem : Problem.t) labels ~n_wr ~exec_seconds ~trace =
+let outcome_of ?pool (problem : Problem.t) labels ~n_wr ~exec_seconds ~trace ~solver =
   {
     labels;
     n_foa = Problem.violations problem ~labels;
@@ -34,6 +35,7 @@ let outcome_of ?pool (problem : Problem.t) labels ~n_wr ~exec_seconds ~trace =
     n_wr;
     exec_seconds;
     trace;
+    solver;
   }
 
 let min_area_baseline_problem ?pool (problem : Problem.t) constraints =
@@ -42,88 +44,117 @@ let min_area_baseline_problem ?pool (problem : Problem.t) constraints =
   | Error msg -> Error msg
   | Ok solution ->
     let exec_seconds = Unix.gettimeofday () -. start in
-    Ok (outcome_of ?pool problem solution.Min_area.labels ~n_wr:1 ~exec_seconds ~trace:[])
+    Ok
+      (outcome_of ?pool problem solution.Min_area.labels ~n_wr:1 ~exec_seconds ~trace:[]
+         ~solver:[ solution.Min_area.stats ])
 
 (* Area weight of a vertex = current weight of its tile (untiled
    vertices stay neutral), with the epsilon interconnect bias folded
-   in. *)
-let vertex_areas (problem : Problem.t) tile_weight =
-  let base = base_area problem in
-  Array.mapi
-    (fun v tile -> if tile >= 0 then tile_weight.(tile) *. base.(v) else base.(v))
+   in.  Written into the caller's scratch: the LAC loop refreshes one
+   array in place every round instead of allocating two. *)
+let vertex_areas_into (problem : Problem.t) ~base tile_weight area =
+  Array.iteri
+    (fun v tile -> area.(v) <- (if tile >= 0 then tile_weight.(tile) *. base.(v) else base.(v)))
     problem.Problem.vertex_tile
 
 let retime_problem ?(alpha = Config.default.Config.alpha)
-    ?(n_max = Config.default.Config.n_max) ?(max_wr = Config.default.Config.max_wr) ?pool
-    (problem : Problem.t) constraints =
+    ?(n_max = Config.default.Config.n_max) ?(max_wr = Config.default.Config.max_wr)
+    ?(reuse = true) ?pool (problem : Problem.t) constraints =
   if alpha < 0.0 || alpha > 1.0 then invalid_arg "Lac.retime: alpha out of [0,1]";
   let start = Unix.gettimeofday () in
+  let n = Graph.num_vertices problem.Problem.graph in
   let tile_weight = Array.make problem.Problem.n_tiles 1.0 in
   let remaining tile = max capacity_floor problem.Problem.capacity.(tile) in
+  let base = base_area problem in
+  let area = Array.make n 0.0 in
   let best = ref None in
   let trace = ref [] in
+  let solver = ref [] in
   let stale = ref 0 in
-  let rec iterate n_wr =
-    if n_wr >= max_wr then Ok ()
-    else begin
-      let area = vertex_areas problem tile_weight in
-      match Min_area.solve_weighted problem.Problem.graph constraints ~area with
+  (* The successive-instance engine: constraints are fixed for the
+     whole run (paper §4.2 — generated once), so the flow network is
+     compiled once and every round after the first warm-starts from
+     the previous optimum's potentials.  [reuse = false] keeps the
+     cold path (fresh compile per round) for benchmarking; both return
+     bit-identical labellings. *)
+  let compiled =
+    if reuse then
+      match Min_area.compile problem.Problem.graph constraints with
+      | Ok c -> Ok (Some c)
       | Error msg -> Error msg
-      | Ok solution ->
-        let labels = solution.Min_area.labels in
-        let n_foa = Problem.violations problem ~labels in
-        trace := (n_foa, solution.Min_area.ff_area) :: !trace;
-        let n_f = Problem.ff_count ?pool problem ~labels in
-        let improved =
-          match !best with
-          | None -> true
-          | Some (best_foa, _, best_ffs) -> n_foa < best_foa || (n_foa = best_foa && n_f < best_ffs)
-        in
-        if improved then begin
-          best := Some (n_foa, labels, n_f);
-          stale := 0
-        end
-        else incr stale;
-        if n_foa = 0 || !stale > n_max then Ok ()
-        else begin
-          (* Paper step 6: New weight = Old * ((1-alpha) + alpha*AC/C). *)
-          let consumption = Problem.consumption problem ~labels in
-          Array.iteri
-            (fun tile used ->
-              let ratio = used /. remaining tile in
-              let factor = (1.0 -. alpha) +. (alpha *. ratio) in
-              tile_weight.(tile) <- tile_weight.(tile) *. factor)
-            consumption;
-          (* Renormalize so the smallest weight is 1 (pure scaling, the
-             optimum is unchanged) and cap the spread: extreme cost
-             ratios slow the min-cost-flow solver without changing the
-             argmin once a tile is priced out. *)
-          let lowest = Array.fold_left min infinity tile_weight in
-          if lowest > 0.0 && lowest < infinity then
-            Array.iteri (fun i w -> tile_weight.(i) <- min 1.0e4 (w /. lowest)) tile_weight;
-          iterate (n_wr + 1)
-        end
-    end
+    else Ok None
   in
-  match iterate 0 with
+  match compiled with
   | Error msg -> Error msg
-  | Ok () ->
-    let exec_seconds = Unix.gettimeofday () -. start in
-    (match !best with
-    | None -> Error "LAC-retiming: no iteration completed"
-    | Some (_, labels, _) ->
-      Ok
-        (outcome_of ?pool problem labels ~n_wr:(List.length !trace) ~exec_seconds
-           ~trace:(List.rev !trace)))
+  | Ok compiled ->
+    let solve_round () =
+      match compiled with
+      | Some c -> Min_area.solve_compiled ~warm:true c ~area
+      | None -> Min_area.solve_weighted problem.Problem.graph constraints ~area
+    in
+    let rec iterate n_wr =
+      if n_wr >= max_wr then Ok ()
+      else begin
+        vertex_areas_into problem ~base tile_weight area;
+        match solve_round () with
+        | Error msg -> Error msg
+        | Ok solution ->
+          let labels = solution.Min_area.labels in
+          let n_foa = Problem.violations problem ~labels in
+          trace := (n_foa, solution.Min_area.ff_area) :: !trace;
+          solver := solution.Min_area.stats :: !solver;
+          let n_f = Problem.ff_count ?pool problem ~labels in
+          let improved =
+            match !best with
+            | None -> true
+            | Some (best_foa, _, best_ffs) ->
+              n_foa < best_foa || (n_foa = best_foa && n_f < best_ffs)
+          in
+          if improved then begin
+            best := Some (n_foa, labels, n_f);
+            stale := 0
+          end
+          else incr stale;
+          if n_foa = 0 || !stale > n_max then Ok ()
+          else begin
+            (* Paper step 6: New weight = Old * ((1-alpha) + alpha*AC/C). *)
+            let consumption = Problem.consumption problem ~labels in
+            Array.iteri
+              (fun tile used ->
+                let ratio = used /. remaining tile in
+                let factor = (1.0 -. alpha) +. (alpha *. ratio) in
+                tile_weight.(tile) <- tile_weight.(tile) *. factor)
+              consumption;
+            (* Renormalize so the smallest weight is 1 (pure scaling, the
+               optimum is unchanged) and cap the spread: extreme cost
+               ratios slow the min-cost-flow solver without changing the
+               argmin once a tile is priced out. *)
+            let lowest = Array.fold_left min infinity tile_weight in
+            if lowest > 0.0 && lowest < infinity then
+              Array.iteri (fun i w -> tile_weight.(i) <- min 1.0e4 (w /. lowest)) tile_weight;
+            iterate (n_wr + 1)
+          end
+      end
+    in
+    (match iterate 0 with
+    | Error msg -> Error msg
+    | Ok () ->
+      let exec_seconds = Unix.gettimeofday () -. start in
+      (match !best with
+      | None -> Error "LAC-retiming: no iteration completed"
+      | Some (_, labels, _) ->
+        Ok
+          (outcome_of ?pool problem labels ~n_wr:(List.length !trace) ~exec_seconds
+             ~trace:(List.rev !trace) ~solver:(List.rev !solver))))
 
 (* --- instance-facing wrappers --- *)
 
 let min_area_baseline ?pool (inst : Build.instance) constraints =
   min_area_baseline_problem ?pool (Problem.of_instance inst) constraints
 
-let retime ?alpha ?n_max ?max_wr ?pool (inst : Build.instance) constraints =
+let retime ?alpha ?n_max ?max_wr ?reuse ?pool (inst : Build.instance) constraints =
   let cfg = inst.Build.config in
   let alpha = match alpha with Some a -> a | None -> cfg.Config.alpha in
   let n_max = match n_max with Some n -> n | None -> cfg.Config.n_max in
   let max_wr = match max_wr with Some n -> n | None -> cfg.Config.max_wr in
-  retime_problem ~alpha ~n_max ~max_wr ?pool (Problem.of_instance inst) constraints
+  retime_problem ~alpha ~n_max ~max_wr ?reuse ?pool (Problem.of_instance inst) constraints

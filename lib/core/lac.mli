@@ -12,6 +12,13 @@
     + otherwise re-weight every tile by
       [(1 - alpha) + alpha * AC(t)/C(t)] and repeat.
 
+    Because the constraint system is fixed for the whole run, the
+    weighted min-area solves form a {e successive instance} series:
+    the flow network is compiled once and every round after the first
+    warm-starts from the previous round's dual potentials
+    ([Lacr_retime.Min_area.solve_compiled]).  Per-round solver
+    counters land in {!outcome.solver}.
+
     Tiles with (near-)zero capacity use a small floor so the ratio
     stays finite; weights are clamped to a generous ceiling. *)
 
@@ -25,6 +32,10 @@ type outcome = {
   trace : (int * float) list;
       (** per iteration: (N_FOA, total weighted FF area) — the
           convergence record used by the ablation benches *)
+  solver : Lacr_mcmf.Mcmf.stats list;
+      (** per iteration, parallel to [trace]: flow-solver counters
+          (phases, Dijkstra settles, blocking-flow pushes, warm-start
+          hit) — the observability hook for the warm-started engine *)
 }
 
 val min_area_baseline :
@@ -39,14 +50,18 @@ val retime :
   ?alpha:float ->
   ?n_max:int ->
   ?max_wr:int ->
+  ?reuse:bool ->
   ?pool:Lacr_util.Pool.t ->
   Build.instance ->
   Lacr_retime.Constraints.t ->
   (outcome, string) result
 (** LAC-retiming.  Defaults come from the instance configuration.
-    [pool] (shared with the planner's (W,D)/constraint stages)
-    parallelizes the integer flip-flop accounting; outcomes are
-    pool-size independent. *)
+    [reuse] (default [true]) runs the warm-started compiled solver
+    across rounds; [reuse:false] recompiles cold every round (the
+    pre-engine behaviour, kept for benchmarking) — outcomes are
+    bit-identical either way.  [pool] (shared with the planner's
+    (W,D)/constraint stages) parallelizes the integer flip-flop
+    accounting; outcomes are pool-size independent. *)
 
 (** {1 Abstract-problem variants}
 
@@ -64,6 +79,7 @@ val retime_problem :
   ?alpha:float ->
   ?n_max:int ->
   ?max_wr:int ->
+  ?reuse:bool ->
   ?pool:Lacr_util.Pool.t ->
   Problem.t ->
   Lacr_retime.Constraints.t ->

@@ -6,31 +6,6 @@ type constr = { a : int; b : int; bound : int }
    relaxation loop runs over flat int arrays: feasibility probes inside
    min-period binary search hit systems with hundreds of thousands of
    constraints, where list traversal dominates. *)
-let feasible ~n constraints =
-  let m = List.length constraints in
-  let ca = Array.make m 0 and cb = Array.make m 0 and cc = Array.make m 0 in
-  List.iteri
-    (fun i { a; b; bound } ->
-      ca.(i) <- a;
-      cb.(i) <- b;
-      cc.(i) <- bound)
-    constraints;
-  let dist = Array.make n 0 in
-  let changed = ref true in
-  let rounds = ref 0 in
-  while !changed && !rounds <= n do
-    changed := false;
-    incr rounds;
-    for i = 0 to m - 1 do
-      let nd = dist.(cb.(i)) + cc.(i) in
-      if nd < dist.(ca.(i)) then begin
-        dist.(ca.(i)) <- nd;
-        changed := true
-      end
-    done
-  done;
-  if !changed then None else Some dist
-
 let feasible_arrays ~n ~a ~b ~bound ~m =
   let dist = Array.make n 0 in
   let changed = ref true in
@@ -48,48 +23,100 @@ let feasible_arrays ~n ~a ~b ~bound ~m =
   done;
   if !changed then None else Some dist
 
+let flatten constraints =
+  let m = List.length constraints in
+  let ca = Array.make m 0 and cb = Array.make m 0 and cc = Array.make m 0 in
+  List.iteri
+    (fun i { a; b; bound } ->
+      ca.(i) <- a;
+      cb.(i) <- b;
+      cc.(i) <- bound)
+    constraints;
+  (ca, cb, cc, m)
+
+let feasible ~n constraints =
+  let ca, cb, cc, m = flatten constraints in
+  feasible_arrays ~n ~a:ca ~b:cb ~bound:cc ~m
+
 type objective_error =
   | Infeasible_constraints
   | Unbounded_objective
 
-let optimize ~n ~objective ?guard constraints =
-  if Array.length objective <> n then invalid_arg "Difference.optimize: objective arity";
+(* Compiled instance: the constraint system flattened to parallel
+   arrays, proven feasible exactly once, with the min-cost-flow
+   network built exactly once.  Constraint arcs (and hence all arc
+   costs) never change afterwards — [reoptimize] only rewrites the
+   node supplies from a new objective, which is what lets the flow
+   engine reuse its residual network, CSR adjacency, scratch buffers
+   and (warm-started) potentials across the LAC re-weighting rounds. *)
+type instance = {
+  inst_n : int;
+  guard : int;
+  ca : int array;
+  cb : int array;
+  cbound : int array;
+  m : int;
+  net : Mcmf.t;
+}
+
+let compile ~n ?guard constraints =
   let guard = match guard with Some g -> g | None -> (4 * n) + 8 in
-  match feasible ~n constraints with
+  let ca, cb, cbound, m = flatten constraints in
+  match feasible_arrays ~n ~a:ca ~b:cb ~bound:cbound ~m with
   | None -> Error Infeasible_constraints
   | Some _ ->
     (* LP dual (cf. Mcmf doc): constraint x(a) - x(b) <= c becomes an
        uncapacitated arc a -> b with cost c; node supply is
        -objective(v) (we minimize, the flow dual maximizes); the
        optimal assignment is x = -potentials. *)
-    let problem = Mcmf.create n in
-    let add_constraint { a; b; bound } =
-      ignore (Mcmf.add_arc problem ~src:a ~dst:b ~capacity:infinity ~cost:(float_of_int bound))
-    in
-    List.iter add_constraint constraints;
+    let net = Mcmf.create n in
+    for i = 0 to m - 1 do
+      ignore (Mcmf.add_arc net ~src:ca.(i) ~dst:cb.(i) ~capacity:infinity ~cost:cbound.(i))
+    done;
     for v = 1 to n - 1 do
-      ignore (Mcmf.add_arc problem ~src:v ~dst:0 ~capacity:infinity ~cost:(float_of_int guard));
-      ignore (Mcmf.add_arc problem ~src:0 ~dst:v ~capacity:infinity ~cost:(float_of_int guard))
+      ignore (Mcmf.add_arc net ~src:v ~dst:0 ~capacity:infinity ~cost:guard);
+      ignore (Mcmf.add_arc net ~src:0 ~dst:v ~capacity:infinity ~cost:guard)
     done;
-    (* The assignment is normalized to x(0) = 0 afterwards, so the LP
-       objective may be shifted to sum to zero (making it invariant
-       under uniform translation); this balances the flow supplies. *)
-    let total = Array.fold_left ( +. ) 0.0 objective in
-    for v = 0 to n - 1 do
-      let coeff = if v = 0 then objective.(v) -. total else objective.(v) in
-      Mcmf.add_supply problem v (-.coeff)
-    done;
-    (match Mcmf.solve problem with
-    | Error (Mcmf.Negative_cycle | Mcmf.Infeasible | Mcmf.Unbalanced _) ->
-      (* Guards make the flow feasible and feasibility was pre-checked,
-         so any failure here indicates an unbalanced objective. *)
-      Error Unbounded_objective
-    | Ok solution ->
-      let x = Array.init n (fun v -> -.solution.Mcmf.potentials.(v)) in
-      let base = x.(0) in
-      let labels = Array.map (fun xv -> int_of_float (Float.round (xv -. base))) x in
-      let against_guard = Array.exists (fun l -> abs l >= guard) labels in
-      if against_guard then Error Unbounded_objective else Ok labels)
+    Ok { inst_n = n; guard; ca; cb; cbound; m; net }
+
+let reoptimize ?(warm = true) inst ~objective =
+  if Array.length objective <> inst.inst_n then
+    invalid_arg "Difference.reoptimize: objective arity";
+  (* The assignment is normalized to x(0) = 0 afterwards, so the LP
+     objective may be shifted to sum to zero (making it invariant
+     under uniform translation); this balances the flow supplies. *)
+  let total = Array.fold_left ( +. ) 0.0 objective in
+  for v = 0 to inst.inst_n - 1 do
+    let coeff = if v = 0 then objective.(v) -. total else objective.(v) in
+    Mcmf.set_supply inst.net v (-.coeff)
+  done;
+  match Mcmf.solve ~warm inst.net with
+  | Error (Mcmf.Negative_cycle | Mcmf.Infeasible | Mcmf.Unbalanced _) ->
+    (* Guards make the flow feasible and feasibility was checked at
+       compile time, so any failure here indicates an unbalanced
+       objective. *)
+    Error Unbounded_objective
+  | Ok solution ->
+    (* x = -potentials, normalized so that x(0) = 0. *)
+    let pi = solution.Mcmf.potentials in
+    let labels = Array.init inst.inst_n (fun v -> pi.(0) - pi.(v)) in
+    let against_guard = Array.exists (fun l -> abs l >= inst.guard) labels in
+    if against_guard then Error Unbounded_objective else Ok labels
+
+let solver_stats inst = Mcmf.last_stats inst.net
+
+let check_instance inst x =
+  let ok = ref true in
+  for i = 0 to inst.m - 1 do
+    if x.(inst.ca.(i)) - x.(inst.cb.(i)) > inst.cbound.(i) then ok := false
+  done;
+  !ok
+
+let optimize ~n ~objective ?guard constraints =
+  if Array.length objective <> n then invalid_arg "Difference.optimize: objective arity";
+  match compile ~n ?guard constraints with
+  | Error e -> Error e
+  | Ok inst -> reoptimize ~warm:false inst ~objective
 
 let check constraints x =
   List.for_all (fun { a; b; bound } -> x.(a) - x.(b) <= bound) constraints

@@ -1,10 +1,16 @@
 (** Systems of difference constraints [x(a) - x(b) <= c].
 
-    Two services:
+    Three services:
     - {!feasible}: Bellman-Ford feasibility / witness assignment, used
       by the clock-period feasibility test of min-period retiming;
     - {!optimize}: minimize a linear objective over the system by LP
-      duality through {!Mcmf}, used by (weighted) min-area retiming.
+      duality through {!Mcmf}, used by one-shot min-area retiming;
+    - {!compile} / {!reoptimize}: the successive-instance form — check
+      feasibility and build the flow network {e once}, then optimize a
+      series of objectives over the same constraints with a
+      warm-started solver.  This is the engine of the LAC re-weighting
+      loop, where the constraint system is fixed for the whole run and
+      only the tile-weighted objective changes per round.
 
     Constraint right-hand sides are integers (flip-flop counts);
     objective coefficients are reals (tile-weighted areas). *)
@@ -28,11 +34,42 @@ type objective_error =
   | Infeasible_constraints
   | Unbounded_objective
 
+(** {1 Compiled successive-instance API} *)
+
+type instance
+(** A feasible constraint system compiled to flat arrays plus a
+    reusable min-cost-flow network.  Feasibility is established once
+    at compile time; every {!reoptimize} skips the redundant
+    Bellman-Ford probe the one-shot path used to pay per solve. *)
+
+val compile : n:int -> ?guard:int -> constr list -> (instance, objective_error) result
+(** Flatten, prove feasibility (or return [Infeasible_constraints])
+    and build the flow network.  [guard] as in {!optimize}. *)
+
+val reoptimize :
+  ?warm:bool -> instance -> objective:float array -> (int array, objective_error) result
+(** Minimize [sum objective.(v) * x(v)] over the compiled system,
+    returning an optimal integral assignment normalized so that
+    [x(0) = 0].  [warm] (default [true]) reuses the previous round's
+    potentials when they are still dual-feasible — always the case
+    here, because the compiled arc costs never change.  Warm and cold
+    solves return bit-identical assignments ({!Mcmf} canonicalizes the
+    potentials). *)
+
+val solver_stats : instance -> Mcmf.stats
+(** Flow-solver counters of the last {!reoptimize}. *)
+
+val check_instance : instance -> int array -> bool
+(** {!check} over the compiled flat arrays — no list re-walking. *)
+
+(** {1 One-shot API} *)
+
 val optimize :
   n:int -> objective:float array -> ?guard:int -> constr list -> (int array, objective_error) result
 (** [optimize ~n ~objective cs] minimizes [sum objective.(v) * x(v)]
     subject to [cs], returning an optimal integral assignment
-    normalized so that [x(0) = 0].
+    normalized so that [x(0) = 0].  Equivalent to {!compile} followed
+    by one cold {!reoptimize}.
 
     [guard] (default [4 * n + 8]) adds box constraints
     [|x(v) - x(0)| <= guard] so the LP is never unbounded in a

@@ -1,16 +1,57 @@
 (* Successive shortest paths with potentials.  Residual arcs are stored
    in pairs: arc [2k] is the forward arc of handle [k], arc [2k+1] its
    reverse.  Reduced costs [c + pi(u) - pi(v)] stay non-negative on
-   residual arcs, so the inner loop is a plain Dijkstra. *)
+   residual arcs, so the inner loop is a plain Dijkstra.
+
+   Arc costs are integers (retiming bounds are flip-flop counts), so
+   potentials, Dijkstra distances and admissibility tests are exact
+   integer arithmetic — no float boxing and no epsilon comparisons on
+   the hot paths.  Capacities and supplies stay floats (tile weights
+   are real).
+
+   The instance is *reusable*: the first [solve] seals the arc set,
+   snapshots capacities, appends one permanent super-source and
+   super-sink arc pair per node (capacity set from the supply sign
+   each round, so the CSR topology never changes) and allocates the
+   per-phase scratch.  Subsequent solves reset the residual in place
+   and may warm-start from the previous round's potentials — valid
+   whenever every positive-residual arc still has non-negative reduced
+   cost, which [solve ~warm:true] verifies in one O(arcs) scan before
+   skipping the Bellman-Ford bootstrap. *)
+
+type stats = {
+  phases : int;  (* Dijkstra + blocking-flow rounds *)
+  settles : int;  (* nodes settled across all phase Dijkstras *)
+  pushes : int;  (* arc-level pushes inside blocking flows *)
+  warm_start : bool;  (* previous potentials reused (validated) *)
+}
+
+let zero_stats = { phases = 0; settles = 0; pushes = 0; warm_start = false }
 
 type t = {
   n : int;
   mutable arc_dst : int array;  (* indexed by residual arc id *)
   mutable arc_src : int array;
   mutable arc_cap : float array;  (* remaining capacity *)
-  mutable arc_cost : float array;
+  mutable arc_cost : int array;
   mutable n_arcs : int;  (* residual arcs used *)
   supply : float array;
+  (* --- persistent-engine state, set up by [seal] on first solve --- *)
+  mutable sealed : bool;
+  mutable user_arcs : int;  (* residual arcs before the super arcs *)
+  mutable orig_cap : float array;  (* capacity snapshot of user arcs *)
+  mutable csr_row : int array;
+  mutable csr_arc : int array;
+  (* Scratch reused across solves and phases. *)
+  mutable pi : int array;  (* potentials over n + 2 nodes *)
+  mutable has_pi : bool;  (* pi holds a previous solve's optimum *)
+  mutable dist : int array;
+  mutable settled : bool array;
+  mutable level : int array;
+  mutable queue : int array;
+  mutable cursor : int array;
+  heap : Lacr_util.Int_heap.t;
+  mutable last_stats : stats;
 }
 
 let eps = 1e-7
@@ -21,9 +62,23 @@ let create n =
     arc_dst = Array.make 16 0;
     arc_src = Array.make 16 0;
     arc_cap = Array.make 16 0.0;
-    arc_cost = Array.make 16 0.0;
+    arc_cost = Array.make 16 0;
     n_arcs = 0;
     supply = Array.make n 0.0;
+    sealed = false;
+    user_arcs = 0;
+    orig_cap = [||];
+    csr_row = [||];
+    csr_arc = [||];
+    pi = [||];
+    has_pi = false;
+    dist = [||];
+    settled = [||];
+    level = [||];
+    queue = [||];
+    cursor = [||];
+    heap = Lacr_util.Int_heap.create ();
+    last_stats = zero_stats;
   }
 
 let ensure_room t =
@@ -38,11 +93,11 @@ let ensure_room t =
     t.arc_dst <- extend t.arc_dst 0;
     t.arc_src <- extend t.arc_src 0;
     t.arc_cap <- extend t.arc_cap 0.0;
-    t.arc_cost <- extend t.arc_cost 0.0
+    t.arc_cost <- extend t.arc_cost 0
   end
 
-(* No range validation: also used internally for the super-source,
-   whose index is one past the public node range. *)
+(* No range validation: also used internally for the super-source and
+   super-sink, whose indices are past the public node range. *)
 let append_arc t ~src ~dst ~capacity ~cost =
   ensure_room t;
   let fwd = t.n_arcs and bwd = t.n_arcs + 1 in
@@ -53,11 +108,12 @@ let append_arc t ~src ~dst ~capacity ~cost =
   t.arc_src.(bwd) <- dst;
   t.arc_dst.(bwd) <- src;
   t.arc_cap.(bwd) <- 0.0;
-  t.arc_cost.(bwd) <- -.cost;
+  t.arc_cost.(bwd) <- -cost;
   t.n_arcs <- t.n_arcs + 2;
   fwd / 2
 
 let add_arc t ~src ~dst ~capacity ~cost =
+  if t.sealed then invalid_arg "Mcmf.add_arc: instance already solved (arc set is sealed)";
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then invalid_arg "Mcmf.add_arc: node range";
   if capacity < 0.0 then invalid_arg "Mcmf.add_arc: negative capacity";
   append_arc t ~src ~dst ~capacity ~cost
@@ -66,7 +122,11 @@ let add_supply t v amount =
   if v < 0 || v >= t.n then invalid_arg "Mcmf.add_supply: node range";
   t.supply.(v) <- t.supply.(v) +. amount
 
-type solution = { total_cost : float; potentials : float array; flow : float array }
+let set_supply t v amount =
+  if v < 0 || v >= t.n then invalid_arg "Mcmf.set_supply: node range";
+  t.supply.(v) <- amount
+
+type solution = { total_cost : float; potentials : int array; flow : float array }
 
 type error =
   | Unbalanced of float
@@ -78,35 +138,10 @@ let error_to_string = function
   | Negative_cycle -> "negative-cost cycle of uncapacitated arcs"
   | Infeasible -> "excess supply cannot reach any deficit"
 
-(* Bellman-Ford over arcs with positive capacity, all nodes starting at
-   distance 0 (equivalent to a zero-cost virtual source): produces
-   initial potentials that make every residual reduced cost
-   non-negative, and detects negative cycles. *)
-let initial_potentials t ~n_nodes =
-  let dist = Array.make n_nodes 0.0 in
-  let changed = ref true in
-  let rounds = ref 0 in
-  while !changed && !rounds <= t.n do
-    changed := false;
-    incr rounds;
-    for a = 0 to t.n_arcs - 1 do
-      if t.arc_cap.(a) > eps then begin
-        let u = t.arc_src.(a) and v = t.arc_dst.(a) in
-        let nd = dist.(u) +. t.arc_cost.(a) in
-        if nd < dist.(v) -. 1e-12 then begin
-          dist.(v) <- nd;
-          changed := true
-        end
-      end
-    done
-  done;
-  if !changed then None else Some dist
-
 (* Compressed adjacency (CSR): the Dijkstra inner loop runs many times
-   per solve, so arc ids are packed into one flat array.  [n_nodes]
-   includes the internal super-source appended by [solve]. *)
-type csr = { row_start : int array; arc_ids : int array }
-
+   per solve, so arc ids are packed into one flat array.  Built once at
+   seal time — super arcs are permanent, only their capacities change
+   between solves, so the topology is static. *)
 let build_csr t ~n_nodes =
   let counts = Array.make (n_nodes + 1) 0 in
   for a = 0 to t.n_arcs - 1 do
@@ -122,7 +157,101 @@ let build_csr t ~n_nodes =
     arc_ids.(cursor.(s)) <- a;
     cursor.(s) <- cursor.(s) + 1
   done;
-  { row_start = counts; arc_ids }
+  t.csr_row <- counts;
+  t.csr_arc <- arc_ids
+
+(* First solve: freeze the user arc set, snapshot capacities, append
+   the permanent super arcs (capacity 0 until a solve sets them from
+   the supply signs) and allocate every scratch buffer at its final
+   size. *)
+let seal t =
+  let source = t.n and sink = t.n + 1 in
+  let n_nodes = t.n + 2 in
+  t.user_arcs <- t.n_arcs;
+  t.orig_cap <- Array.sub t.arc_cap 0 t.n_arcs;
+  for v = 0 to t.n - 1 do
+    ignore (append_arc t ~src:source ~dst:v ~capacity:0.0 ~cost:0 : int);
+    ignore (append_arc t ~src:v ~dst:sink ~capacity:0.0 ~cost:0 : int)
+  done;
+  build_csr t ~n_nodes;
+  t.pi <- Array.make n_nodes 0;
+  t.dist <- Array.make n_nodes max_int;
+  t.settled <- Array.make n_nodes false;
+  t.level <- Array.make n_nodes (-1);
+  t.queue <- Array.make n_nodes 0;
+  t.cursor <- Array.make n_nodes 0;
+  t.sealed <- true
+
+(* Rewind the residual network to the pristine arc capacities and load
+   this round's supplies into the super arcs.  Returns the total
+   amount to route. *)
+let reset_residual t =
+  Array.blit t.orig_cap 0 t.arc_cap 0 t.user_arcs;
+  let remaining = ref 0.0 in
+  for v = 0 to t.n - 1 do
+    let s = t.supply.(v) in
+    let sup = t.user_arcs + (4 * v) and def = t.user_arcs + (4 * v) + 2 in
+    t.arc_cap.(sup) <- (if s > eps then s else 0.0);
+    t.arc_cap.(sup + 1) <- 0.0;
+    t.arc_cap.(def) <- (if s < -.eps then -.s else 0.0);
+    t.arc_cap.(def + 1) <- 0.0;
+    if s > eps then remaining := !remaining +. s
+  done;
+  !remaining
+
+(* Bellman-Ford over arcs with positive capacity, all nodes starting at
+   distance 0 (equivalent to a zero-cost virtual source): produces
+   initial potentials that make every residual reduced cost
+   non-negative, and detects negative cycles. *)
+let bellman_ford_potentials t ~n_nodes =
+  let dist = t.pi in
+  Array.fill dist 0 n_nodes 0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n_nodes do
+    changed := false;
+    incr rounds;
+    for a = 0 to t.n_arcs - 1 do
+      if t.arc_cap.(a) > eps then begin
+        let u = t.arc_src.(a) and v = t.arc_dst.(a) in
+        let nd = dist.(u) + t.arc_cost.(a) in
+        if nd < dist.(v) then begin
+          dist.(v) <- nd;
+          changed := true
+        end
+      end
+    done
+  done;
+  not !changed
+
+(* A previous optimum's potentials stay valid for the next round iff
+   every positive-residual arc keeps a non-negative reduced cost.  In
+   the difference-constraint instances behind LAC-retiming this always
+   holds (user arcs are uncapacitated so they never saturate, and arc
+   costs never change after sealing); the scan makes warm-starting
+   safe for arbitrary capacitated instances too. *)
+let try_warm_potentials t =
+  if not t.has_pi then false
+  else begin
+    let source = t.n and sink = t.n + 1 in
+    let hi = ref min_int and lo = ref max_int in
+    for v = 0 to t.n - 1 do
+      if t.pi.(v) > !hi then hi := t.pi.(v);
+      if t.pi.(v) < !lo then lo := t.pi.(v)
+    done;
+    t.pi.(source) <- !hi;
+    t.pi.(sink) <- !lo;
+    let ok = ref true in
+    let a = ref 0 in
+    while !ok && !a < t.n_arcs do
+      if
+        t.arc_cap.(!a) > eps
+        && t.arc_cost.(!a) + t.pi.(t.arc_src.(!a)) - t.pi.(t.arc_dst.(!a)) < 0
+      then ok := false;
+      incr a
+    done;
+    !ok
+  end
 
 (* Primal-dual with blocking flows.  Each phase runs one Dijkstra on
    reduced costs from the super-source S to the super-sink T, updates
@@ -132,89 +261,94 @@ let build_csr t ~n_nodes =
    current cost level — crucial here because weighted min-area
    retiming instances give almost every node a non-zero supply. *)
 
-let dijkstra t csr pi ~source ~sink ~n_nodes =
-  let dist = Array.make n_nodes infinity in
-  let settled = Array.make n_nodes false in
-  let heap = Lacr_util.Heap.create () in
-  dist.(source) <- 0.0;
-  Lacr_util.Heap.push heap 0.0 source;
+let dijkstra t ~source ~sink ~n_nodes ~settles =
+  let dist = t.dist and settled = t.settled and pi = t.pi and heap = t.heap in
+  Array.fill dist 0 n_nodes max_int;
+  Array.fill settled 0 n_nodes false;
+  Lacr_util.Int_heap.clear heap;
+  dist.(source) <- 0;
+  Lacr_util.Int_heap.push heap ~prio:0 source;
   (try
-     let rec loop () =
-       match Lacr_util.Heap.pop heap with
-       | None -> ()
-       | Some (d, u) ->
-         if not settled.(u) then begin
-           settled.(u) <- true;
-           if u = sink then raise Exit;
-           for slot = csr.row_start.(u) to csr.row_start.(u + 1) - 1 do
-             let a = csr.arc_ids.(slot) in
-             if t.arc_cap.(a) > eps then begin
-               let v = t.arc_dst.(a) in
-               if not settled.(v) then begin
-                 let rc = t.arc_cost.(a) +. pi.(u) -. pi.(v) in
-                 let rc = if rc < 0.0 then 0.0 else rc in
-                 let nd = d +. rc in
-                 if nd < dist.(v) -. 1e-12 then begin
-                   dist.(v) <- nd;
-                   Lacr_util.Heap.push heap nd v
-                 end
+     while not (Lacr_util.Int_heap.is_empty heap) do
+       let d = Lacr_util.Int_heap.min_prio heap in
+       let u = Lacr_util.Int_heap.pop_min heap in
+       if not settled.(u) then begin
+         settled.(u) <- true;
+         incr settles;
+         if u = sink then raise Exit;
+         for slot = t.csr_row.(u) to t.csr_row.(u + 1) - 1 do
+           let a = t.csr_arc.(slot) in
+           if t.arc_cap.(a) > eps then begin
+             let v = t.arc_dst.(a) in
+             if not settled.(v) then begin
+               let rc = t.arc_cost.(a) + pi.(u) - pi.(v) in
+               let rc = if rc < 0 then 0 else rc in
+               let nd = d + rc in
+               if nd < dist.(v) then begin
+                 dist.(v) <- nd;
+                 Lacr_util.Int_heap.push heap ~prio:nd v
                end
              end
-           done
-         end;
-         loop ()
-     in
-     loop ()
+           end
+         done
+       end
+     done
    with Exit -> ());
   dist
 
 (* Dinic blocking flow restricted to residual arcs of zero reduced
-   cost.  BFS levels orient the zero-cost subgraph (it contains two
-   cycles through reverse arcs, which levels break); the DFS uses
-   current-arc pointers. *)
-let blocking_flow t csr pi ~source ~sink ~n_nodes =
+   cost (exact integer test).  BFS levels orient the zero-cost
+   subgraph; the DFS uses current-arc pointers.  The BFS frontier and
+   both pointer arrays come from the instance scratch — no per-phase
+   allocation. *)
+let blocking_flow t ~source ~sink ~pushes =
+  let pi = t.pi in
   let admissible a =
-    t.arc_cap.(a) > eps
-    && abs_float (t.arc_cost.(a) +. pi.(t.arc_src.(a)) -. pi.(t.arc_dst.(a))) < 1e-9
+    t.arc_cap.(a) > eps && t.arc_cost.(a) + pi.(t.arc_src.(a)) - pi.(t.arc_dst.(a)) = 0
   in
+  let level = t.level and queue = t.queue and cursor = t.cursor in
+  let n_nodes = Array.length level in
   let total_pushed = ref 0.0 in
   let continue_phases = ref true in
   while !continue_phases do
     (* BFS levels over admissible arcs. *)
-    let level = Array.make n_nodes (-1) in
+    Array.fill level 0 n_nodes (-1);
     level.(source) <- 0;
-    let queue = Queue.create () in
-    Queue.add source queue;
-    while not (Queue.is_empty queue) do
-      let u = Queue.pop queue in
-      for slot = csr.row_start.(u) to csr.row_start.(u + 1) - 1 do
-        let a = csr.arc_ids.(slot) in
+    queue.(0) <- source;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      for slot = t.csr_row.(u) to t.csr_row.(u + 1) - 1 do
+        let a = t.csr_arc.(slot) in
         if admissible a then begin
           let v = t.arc_dst.(a) in
           if level.(v) < 0 then begin
             level.(v) <- level.(u) + 1;
-            Queue.add v queue
+            queue.(!tail) <- v;
+            incr tail
           end
         end
       done
     done;
     if level.(sink) < 0 then continue_phases := false
     else begin
-      let cursor = Array.map (fun s -> s) (Array.sub csr.row_start 0 n_nodes) in
+      Array.blit t.csr_row 0 cursor 0 n_nodes;
       (* DFS pushing one augmenting path at a time (paths are short:
          S -> ... -> T through the level graph). *)
       let rec dfs u limit =
         if u = sink then limit
         else begin
           let pushed = ref 0.0 in
-          while !pushed < limit -. eps && cursor.(u) < csr.row_start.(u + 1) do
-            let a = csr.arc_ids.(cursor.(u)) in
+          while !pushed < limit -. eps && cursor.(u) < t.csr_row.(u + 1) do
+            let a = t.csr_arc.(cursor.(u)) in
             let v = t.arc_dst.(a) in
             if admissible a && level.(v) = level.(u) + 1 then begin
               let sent = dfs v (min (limit -. !pushed) t.arc_cap.(a)) in
               if sent > eps then begin
                 t.arc_cap.(a) <- t.arc_cap.(a) -. sent;
                 t.arc_cap.(a lxor 1) <- t.arc_cap.(a lxor 1) +. sent;
+                incr pushes;
                 pushed := !pushed +. sent
               end
               else cursor.(u) <- cursor.(u) + 1
@@ -230,43 +364,84 @@ let blocking_flow t csr pi ~source ~sink ~n_nodes =
   done;
   !total_pushed
 
-let solve t =
+(* Canonicalize the optimal potentials: shortest distances from a
+   zero-cost virtual source to every node over the final residual
+   graph.  The dual optimal face is the same for every optimal flow
+   (complementary slackness fixes it from any primal optimum), and
+   these distances are its unique pointwise-maximal element with
+   non-positive entries — so the returned potentials do not depend on
+   the path the solver took to the optimum.  This is what makes the
+   warm-started engine return bit-identical labels to a cold solve.
+   One Dijkstra over reduced costs (the final [pi] certifies
+   non-negativity), then un-reduce. *)
+let canonicalize_potentials t ~n_nodes =
+  let dist = t.dist and settled = t.settled and pi = t.pi and heap = t.heap in
+  let hi = ref min_int in
+  for v = 0 to n_nodes - 1 do
+    if pi.(v) > !hi then hi := pi.(v)
+  done;
+  let m = !hi in
+  Array.fill settled 0 n_nodes false;
+  Lacr_util.Int_heap.clear heap;
+  for v = 0 to n_nodes - 1 do
+    dist.(v) <- m - pi.(v);
+    Lacr_util.Int_heap.push heap ~prio:dist.(v) v
+  done;
+  while not (Lacr_util.Int_heap.is_empty heap) do
+    let d = Lacr_util.Int_heap.min_prio heap in
+    let u = Lacr_util.Int_heap.pop_min heap in
+    if not settled.(u) then begin
+      settled.(u) <- true;
+      for slot = t.csr_row.(u) to t.csr_row.(u + 1) - 1 do
+        let a = t.csr_arc.(slot) in
+        if t.arc_cap.(a) > eps then begin
+          let v = t.arc_dst.(a) in
+          if not settled.(v) then begin
+            let rc = t.arc_cost.(a) + pi.(u) - pi.(v) in
+            let rc = if rc < 0 then 0 else rc in
+            let nd = d + rc in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              Lacr_util.Int_heap.push heap ~prio:nd v
+            end
+          end
+        end
+      done
+    end
+  done;
+  (* Un-reduce in place: true distance = reduced - m + pi. *)
+  for v = 0 to n_nodes - 1 do
+    pi.(v) <- dist.(v) - m + pi.(v)
+  done
+
+let solve ?(warm = false) t =
   let total_supply = Array.fold_left ( +. ) 0.0 t.supply in
   if abs_float total_supply > 1e-5 then Error (Unbalanced total_supply)
   else begin
-    (* Super-source S = t.n feeds every excess node; super-sink
-       T = t.n + 1 drains every deficit node; both at cost 0.  The
-       super arcs are appended before the Bellman-Ford bootstrap so
-       the initial potentials cover them too. *)
+    if not t.sealed then seal t;
     let source = t.n and sink = t.n + 1 in
     let n_nodes = t.n + 2 in
-    let user_arcs = t.n_arcs in
-    let remaining = ref 0.0 in
-    Array.iteri
-      (fun v s ->
-        if s > eps then begin
-          ignore (append_arc t ~src:source ~dst:v ~capacity:s ~cost:0.0 : int);
-          remaining := !remaining +. s
-        end
-        else if s < -.eps then
-          ignore (append_arc t ~src:v ~dst:sink ~capacity:(-.s) ~cost:0.0 : int))
-      t.supply;
-    match initial_potentials t ~n_nodes with
-    | None -> Error Negative_cycle
-    | Some pi ->
-      let csr = build_csr t ~n_nodes in
+    let remaining = ref (reset_residual t) in
+    let warm_started = warm && try_warm_potentials t in
+    let bootstrap_ok = warm_started || bellman_ford_potentials t ~n_nodes in
+    t.has_pi <- false;
+    if not bootstrap_ok then Error Negative_cycle
+    else begin
+      let pi = t.pi in
+      let phases = ref 0 and settles = ref 0 and pushes = ref 0 in
       let rec drive () =
         if !remaining <= 1e-6 then Ok ()
         else begin
-          let dist = dijkstra t csr pi ~source ~sink ~n_nodes in
-          if dist.(sink) = infinity then Error Infeasible
+          let dist = dijkstra t ~source ~sink ~n_nodes ~settles in
+          if dist.(sink) = max_int then Error Infeasible
           else begin
+            incr phases;
             let dt = dist.(sink) in
             for v = 0 to n_nodes - 1 do
               let dv = if dist.(v) < dt then dist.(v) else dt in
-              if dv < infinity then pi.(v) <- pi.(v) +. dv
+              pi.(v) <- pi.(v) + dv
             done;
-            let pushed = blocking_flow t csr pi ~source ~sink ~n_nodes in
+            let pushed = blocking_flow t ~source ~sink ~pushes in
             if pushed <= eps then Error Infeasible
             else begin
               remaining := !remaining -. pushed;
@@ -275,19 +450,27 @@ let solve t =
           end
         end
       in
-      (match drive () with
+      let result = drive () in
+      t.last_stats <-
+        { phases = !phases; settles = !settles; pushes = !pushes; warm_start = warm_started };
+      match result with
       | Error e -> Error e
       | Ok () ->
-        let n_handles = user_arcs / 2 in
+        canonicalize_potentials t ~n_nodes;
+        t.has_pi <- true;
+        let n_handles = t.user_arcs / 2 in
         let flow = Array.init n_handles (fun k -> t.arc_cap.((2 * k) + 1)) in
         (* Total cost from the realized flows (cheaper than tracking
            during pushes). *)
         let total_cost = ref 0.0 in
         for k = 0 to n_handles - 1 do
-          total_cost := !total_cost +. (flow.(k) *. t.arc_cost.(2 * k))
+          total_cost := !total_cost +. (flow.(k) *. float_of_int t.arc_cost.(2 * k))
         done;
         let potentials = Array.sub pi 0 t.n in
-        Ok { total_cost = !total_cost; potentials; flow })
+        Ok { total_cost = !total_cost; potentials; flow }
+    end
   end
+
+let last_stats t = t.last_stats
 
 let flow_on sol handle = sol.flow.(handle)

@@ -4,31 +4,60 @@
     This is the solver behind (weighted) minimum-area retiming: the
     retiming LP is the dual of an uncapacitated min-cost flow, and the
     optimal retiming labels are read off the node potentials (see
-    {!Lp_dual} and [Lacr_retime.Min_area]).
+    {!Difference} and [Lacr_retime.Min_area]).
 
-    Capacities, costs and supplies are floats; costs may be negative
-    (Bellman-Ford bootstraps the initial potentials).  With integral
-    arc costs the returned potentials are integral. *)
+    Arc costs are {e integers} (constraint bounds are flip-flop
+    counts), so potentials, reduced costs and Dijkstra distances are
+    exact integer arithmetic on the hot paths — no float boxing, no
+    epsilon comparisons.  Capacities and supplies are floats (tile
+    weights are real) and costs may be negative (Bellman-Ford
+    bootstraps the initial potentials).
+
+    {2 Reusable instances}
+
+    The instance is persistent across solves: the first {!solve} seals
+    the arc set and snapshots capacities; later calls reset the
+    residual network in place, pick up the current supplies (see
+    {!set_supply}) and reuse every scratch buffer.  [solve ~warm:true]
+    additionally re-uses the previous optimum's potentials instead of
+    re-running the Bellman-Ford bootstrap whenever they are still
+    dual-feasible (verified in one scan) — the successive-instance
+    structure of the LAC re-weighting loop, where arc costs never
+    change and only the objective does.
+
+    The returned potentials are canonical (shortest distances from a
+    zero-cost virtual source over the final residual graph), so
+    warm-started and cold solves of the same instance return
+    bit-identical solutions. *)
 
 type t
-(** Mutable problem under construction. *)
+(** Mutable problem under construction, then a reusable solver
+    instance after the first {!solve}. *)
 
 val create : int -> t
 (** [create n] prepares a problem over nodes [0 .. n-1]. *)
 
-val add_arc : t -> src:int -> dst:int -> capacity:float -> cost:float -> int
+val add_arc : t -> src:int -> dst:int -> capacity:float -> cost:int -> int
 (** Add a directed arc; returns an arc handle for {!flow_on}.
-    Use [infinity] for uncapacitated arcs. *)
+    Use [infinity] for uncapacitated arcs.
+    @raise Invalid_argument after the first {!solve} (the arc set is
+    sealed so the adjacency structure can be reused). *)
 
 val add_supply : t -> int -> float -> unit
 (** Add to the node's supply (positive = source, negative = sink).
     Total supply must cancel to ~0 at [solve] time. *)
 
+val set_supply : t -> int -> float -> unit
+(** Overwrite the node's supply — the reusable-instance way to load a
+    fresh objective between solves. *)
+
 type solution = {
   total_cost : float;
-  potentials : float array;
+  potentials : int array;
       (** Optimal dual values [pi]; [y = -pi] solves
-          [max sum b(v) y(v)] s.t. [y(u) - y(v) <= cost(u,v)]. *)
+          [max sum b(v) y(v)] s.t. [y(u) - y(v) <= cost(u,v)].
+          Canonical: independent of warm-starting and of which optimal
+          flow the solver reached. *)
   flow : float array;  (** Flow per arc handle. *)
 }
 
@@ -37,9 +66,27 @@ type error =
   | Negative_cycle  (** negative-cost cycle of uncapacitated arcs *)
   | Infeasible  (** some supply cannot reach any deficit *)
 
-val solve : t -> (solution, error) result
+type stats = {
+  phases : int;  (** Dijkstra + blocking-flow rounds of the last solve *)
+  settles : int;  (** nodes settled across all phase Dijkstras *)
+  pushes : int;  (** arc-level pushes inside blocking flows *)
+  warm_start : bool;
+      (** the last solve reused the previous potentials (skipping the
+          Bellman-Ford bootstrap) *)
+}
+
+val zero_stats : stats
+
+val solve : ?warm:bool -> t -> (solution, error) result
+(** Solve with the current supplies.  [warm] (default [false])
+    requests reuse of the previous solve's potentials; it silently
+    falls back to the Bellman-Ford bootstrap when there is no previous
+    optimum or it is no longer dual-feasible, so it is always safe. *)
+
+val last_stats : t -> stats
+(** Counters of the most recent {!solve} (zeroes before the first). *)
 
 val flow_on : solution -> int -> float
-(** Flow on the arc handle returned by [add_arc]. *)
+(** Flow on the arc handle returned by {!add_arc}. *)
 
 val error_to_string : error -> string

@@ -1,17 +1,26 @@
-type solution = { labels : int array; ff_count : int; ff_area : float }
+type solution = {
+  labels : int array;
+  ff_count : int;
+  ff_area : float;
+  stats : Lacr_mcmf.Mcmf.stats;
+}
 
-let objective_coefficients g ~area =
+let objective_coefficients_into g ~area coeff =
   let n = Graph.num_vertices g in
   if Array.length area <> n then invalid_arg "Min_area: area arity mismatch";
   Array.iter (fun a -> if a < 0.0 then invalid_arg "Min_area: negative area weight") area;
-  let coeff = Array.make n 0.0 in
+  Array.fill coeff 0 n 0.0;
   let tally (e : Graph.edge) =
     (* Each flip-flop on e is charged A(src): contributes +A(src) per
        unit of r(dst) and -A(src) per unit of r(src). *)
     coeff.(e.Graph.dst) <- coeff.(e.Graph.dst) +. area.(e.Graph.src);
     coeff.(e.Graph.src) <- coeff.(e.Graph.src) -. area.(e.Graph.src)
   in
-  Array.iter tally (Graph.edges g);
+  Array.iter tally (Graph.edges g)
+
+let objective_coefficients g ~area =
+  let coeff = Array.make (Graph.num_vertices g) 0.0 in
+  objective_coefficients_into g ~area coeff;
   coeff
 
 let weighted_ff_area g ~area labels =
@@ -39,10 +48,24 @@ let shared_registers g labels =
 let count_ffs g labels =
   Array.fold_left (fun acc e -> acc + Graph.retimed_weight g labels e) 0 (Graph.edges g)
 
-let solve_weighted g (cs : Constraints.t) ~area =
+(* Compiled instance: the constraint system proven feasible and the
+   flow network built once, plus an objective scratch vector — the
+   per-round state of the LAC re-weighting loop. *)
+type compiled = { cg : Graph.t; inst : Lacr_mcmf.Difference.instance; objective : float array }
+
+let compile g (cs : Constraints.t) =
   let n = Graph.num_vertices g in
-  let objective = objective_coefficients g ~area in
-  match Lacr_mcmf.Difference.optimize ~n ~objective cs.Constraints.constraints with
+  match Lacr_mcmf.Difference.compile ~n cs.Constraints.constraints with
+  | Error Lacr_mcmf.Difference.Infeasible_constraints ->
+    Error "min-area retiming: clock period constraints infeasible"
+  | Error Lacr_mcmf.Difference.Unbounded_objective ->
+    Error "min-area retiming: objective unbounded (malformed graph)"
+  | Ok inst -> Ok { cg = g; inst; objective = Array.make n 0.0 }
+
+let solve_compiled ?(warm = true) c ~area =
+  let g = c.cg in
+  objective_coefficients_into g ~area c.objective;
+  match Lacr_mcmf.Difference.reoptimize ~warm c.inst ~objective:c.objective with
   | Error Lacr_mcmf.Difference.Infeasible_constraints ->
     Error "min-area retiming: clock period constraints infeasible"
   | Error Lacr_mcmf.Difference.Unbounded_objective ->
@@ -57,7 +80,13 @@ let solve_weighted g (cs : Constraints.t) ~area =
           labels;
           ff_count = count_ffs g labels;
           ff_area = weighted_ff_area g ~area labels;
+          stats = Lacr_mcmf.Difference.solver_stats c.inst;
         }
+
+let solve_weighted g cs ~area =
+  match compile g cs with
+  | Error msg -> Error msg
+  | Ok c -> solve_compiled ~warm:false c ~area
 
 let solve g cs =
   let area = Array.make (Graph.num_vertices g) 1.0 in

@@ -8,12 +8,21 @@
     [const + sum_v r(v) (fi(v) - fo(v))] with
     [fi(v) = sum_{u in FI(v)} A(u)] and [fo(v) = A(v) |FO(v)|].
     Both reduce to the difference-constraint LP solved by min-cost
-    flow in [Lacr_mcmf]. *)
+    flow in [Lacr_mcmf].
+
+    The LAC loop solves a {e series} of these problems over one fixed
+    constraint system; {!compile} + {!solve_compiled} is the
+    successive-instance path that checks feasibility and builds the
+    flow network once, then warm-starts every later round from the
+    previous optimum's potentials. *)
 
 type solution = {
   labels : int array;  (** optimal retiming, [r(host) = 0] *)
   ff_count : int;  (** unweighted flip-flop count after retiming *)
   ff_area : float;  (** weighted flip-flop area after retiming *)
+  stats : Lacr_mcmf.Mcmf.stats;
+      (** flow-solver counters of this solve (phases, settles, pushes,
+          warm-start) — surfaced into the LAC trace and bench dumps *)
 }
 
 val solve : Graph.t -> Constraints.t -> (solution, string) Stdlib.result
@@ -21,8 +30,25 @@ val solve : Graph.t -> Constraints.t -> (solution, string) Stdlib.result
 
 val solve_weighted : Graph.t -> Constraints.t -> area:float array -> (solution, string) Stdlib.result
 (** [area.(v)] is the flip-flop area weight charged to vertex [v]'s
-    tile (must be non-negative).  @raise Invalid_argument on arity
-    mismatch or a negative weight. *)
+    tile (must be non-negative).  One-shot: compiles a fresh instance
+    and solves it cold.  @raise Invalid_argument on arity mismatch or
+    a negative weight. *)
+
+(** {1 Successive-instance API} *)
+
+type compiled
+(** Constraint system compiled once (feasibility proven, flow network
+    and objective scratch allocated) for a series of re-weighted
+    solves over the same graph and constraints. *)
+
+val compile : Graph.t -> Constraints.t -> (compiled, string) Stdlib.result
+
+val solve_compiled :
+  ?warm:bool -> compiled -> area:float array -> (solution, string) Stdlib.result
+(** One weighted solve over the compiled instance.  [warm] (default
+    [true]) reuses the previous round's dual potentials; results are
+    bit-identical to a cold solve (the flow engine canonicalizes its
+    potentials). *)
 
 val objective_coefficients : Graph.t -> area:float array -> float array
 (** The [fi(v) - fo(v)] vector (exposed for tests). *)

@@ -193,6 +193,66 @@ let test_report_row_and_table () =
          table;
        !found)
 
+(* Pinned LAC outcomes on s27 and s386, captured from the seed (cold,
+   per-round recompiling) engine.  The warm-started successive-instance
+   engine must reproduce them exactly — same violation/flip-flop
+   counts, same number of rounds, same convergence trace — and its
+   per-round solver stats must show round 1 cold and every later round
+   warm.  Guards the canonical-potential argument: warm starts may not
+   steer the re-weighting loop onto a different trajectory. *)
+let run_lac name =
+  let netlist = Option.get (Suite.by_name name) in
+  match Build.build netlist with
+  | Error msg -> Alcotest.failf "%s build: %s" name msg
+  | Ok inst -> (
+    let cs = setup_constraints inst in
+    match Lac.retime inst cs with
+    | Error msg -> Alcotest.failf "%s lac: %s" name msg
+    | Ok outcome -> outcome)
+
+let check_pinned name outcome ~n_foa ~n_f ~n_fn ~n_wr ~trace =
+  check_int (name ^ " n_foa") n_foa outcome.Lac.n_foa;
+  check_int (name ^ " n_f") n_f outcome.Lac.n_f;
+  check_int (name ^ " n_fn") n_fn outcome.Lac.n_fn;
+  check_int (name ^ " n_wr") n_wr outcome.Lac.n_wr;
+  check_int (name ^ " trace length") n_wr (List.length outcome.Lac.trace);
+  List.iteri
+    (fun i ((foa, area), (got_foa, got_area)) ->
+      check_int (Printf.sprintf "%s trace[%d] foa" name i) foa got_foa;
+      check (Printf.sprintf "%s trace[%d] area" name i) true (abs_float (area -. got_area) < 1e-4))
+    (List.combine trace outcome.Lac.trace);
+  (* Solver observability: one stats record per round, first cold,
+     rest warm-started. *)
+  check_int (name ^ " solver length") n_wr (List.length outcome.Lac.solver);
+  List.iteri
+    (fun i (s : Lacr_mcmf.Mcmf.stats) ->
+      check
+        (Printf.sprintf "%s round %d warm flag" name i)
+        (i > 0) s.Lacr_mcmf.Mcmf.warm_start;
+      check (Printf.sprintf "%s round %d phases" name i) true (s.Lacr_mcmf.Mcmf.phases >= 1))
+    outcome.Lac.solver
+
+let test_pinned_s27 () =
+  check_pinned "s27" (run_lac "s27") ~n_foa:0 ~n_f:3 ~n_fn:0 ~n_wr:1 ~trace:[ (0, 3.0) ]
+
+let test_pinned_s386 () =
+  check_pinned "s386" (run_lac "s386") ~n_foa:3 ~n_f:44 ~n_fn:11 ~n_wr:12
+    ~trace:
+      [
+        (7, 44.000500);
+        (4, 53.837873);
+        (3, 66.146254);
+        (3, 81.207840);
+        (3, 100.118695);
+        (3, 123.789629);
+        (4, 153.332508);
+        (3, 191.018035);
+        (3, 238.467597);
+        (3, 299.468484);
+        (3, 376.807697);
+        (4, 477.400061);
+      ]
+
 let test_figures_render () =
   let flow = Report.render_flow_figure () in
   check "flow mentions retiming" true
@@ -218,6 +278,8 @@ let suite =
     Alcotest.test_case "plan end to end" `Slow test_plan_end_to_end;
     Alcotest.test_case "plan deterministic" `Slow test_plan_deterministic;
     Alcotest.test_case "s27 plan" `Quick test_s27_plan;
+    Alcotest.test_case "pinned lac outcome s27" `Quick test_pinned_s27;
+    Alcotest.test_case "pinned lac outcome s386" `Slow test_pinned_s386;
     Alcotest.test_case "report row and table" `Slow test_report_row_and_table;
     Alcotest.test_case "figures render" `Quick test_figures_render;
   ]

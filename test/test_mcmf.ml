@@ -15,7 +15,7 @@ let check_int = Alcotest.(check int)
 
 let test_single_arc () =
   let p = Mcmf.create 2 in
-  let a = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:10.0 ~cost:3.0 in
+  let a = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:10.0 ~cost:3 in
   Mcmf.add_supply p 0 4.0;
   Mcmf.add_supply p 1 (-4.0);
   match Mcmf.solve p with
@@ -27,9 +27,9 @@ let test_single_arc () =
 let test_two_paths_prefers_cheap () =
   (* 0 -> 1 (cost 1, cap 3) and 0 -> 2 -> 1 (cost 2+2, cap inf): send 5. *)
   let p = Mcmf.create 3 in
-  let cheap = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:3.0 ~cost:1.0 in
-  let leg1 = Mcmf.add_arc p ~src:0 ~dst:2 ~capacity:infinity ~cost:2.0 in
-  let leg2 = Mcmf.add_arc p ~src:2 ~dst:1 ~capacity:infinity ~cost:2.0 in
+  let cheap = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:3.0 ~cost:1 in
+  let leg1 = Mcmf.add_arc p ~src:0 ~dst:2 ~capacity:infinity ~cost:2 in
+  let leg2 = Mcmf.add_arc p ~src:2 ~dst:1 ~capacity:infinity ~cost:2 in
   Mcmf.add_supply p 0 5.0;
   Mcmf.add_supply p 1 (-5.0);
   match Mcmf.solve p with
@@ -42,8 +42,8 @@ let test_two_paths_prefers_cheap () =
 
 let test_negative_cost_arc () =
   let p = Mcmf.create 3 in
-  let _ = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:2.0 ~cost:(-5.0) in
-  let _ = Mcmf.add_arc p ~src:1 ~dst:2 ~capacity:2.0 ~cost:1.0 in
+  let _ = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:2.0 ~cost:(-5) in
+  let _ = Mcmf.add_arc p ~src:1 ~dst:2 ~capacity:2.0 ~cost:1 in
   Mcmf.add_supply p 0 2.0;
   Mcmf.add_supply p 2 (-2.0);
   match Mcmf.solve p with
@@ -52,7 +52,7 @@ let test_negative_cost_arc () =
 
 let test_unbalanced_detected () =
   let p = Mcmf.create 2 in
-  let _ = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:1.0 ~cost:0.0 in
+  let _ = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:1.0 ~cost:0 in
   Mcmf.add_supply p 0 1.0;
   match Mcmf.solve p with
   | Error (Mcmf.Unbalanced _) -> ()
@@ -62,7 +62,7 @@ let test_unbalanced_detected () =
 let test_infeasible_detected () =
   (* No arc reaches the deficit. *)
   let p = Mcmf.create 3 in
-  let _ = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:5.0 ~cost:1.0 in
+  let _ = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:5.0 ~cost:1 in
   Mcmf.add_supply p 0 1.0;
   Mcmf.add_supply p 2 (-1.0);
   match Mcmf.solve p with
@@ -72,8 +72,8 @@ let test_infeasible_detected () =
 
 let test_negative_cycle_detected () =
   let p = Mcmf.create 2 in
-  let _ = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:infinity ~cost:(-1.0) in
-  let _ = Mcmf.add_arc p ~src:1 ~dst:0 ~capacity:infinity ~cost:0.0 in
+  let _ = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:infinity ~cost:(-1) in
+  let _ = Mcmf.add_arc p ~src:1 ~dst:0 ~capacity:infinity ~cost:0 in
   match Mcmf.solve p with
   | Error Mcmf.Negative_cycle -> ()
   | Error e -> Alcotest.failf "wrong error: %s" (Mcmf.error_to_string e)
@@ -89,13 +89,13 @@ let test_conservation_random () =
     let arcs = ref [] in
     (* A Hamiltonian backbone guarantees feasibility. *)
     for v = 0 to n - 2 do
-      arcs := (v, v + 1, Mcmf.add_arc p ~src:v ~dst:(v + 1) ~capacity:infinity ~cost:(float_of_int (Rng.int rng 5))) :: !arcs;
-      arcs := (v + 1, v, Mcmf.add_arc p ~src:(v + 1) ~dst:v ~capacity:infinity ~cost:(float_of_int (Rng.int rng 5))) :: !arcs
+      arcs := (v, v + 1, Mcmf.add_arc p ~src:v ~dst:(v + 1) ~capacity:infinity ~cost:(Rng.int rng 5)) :: !arcs;
+      arcs := (v + 1, v, Mcmf.add_arc p ~src:(v + 1) ~dst:v ~capacity:infinity ~cost:(Rng.int rng 5)) :: !arcs
     done;
     for _extra = 1 to n do
       let u = Rng.int rng n and v = Rng.int rng n in
       if u <> v then
-        arcs := (u, v, Mcmf.add_arc p ~src:u ~dst:v ~capacity:(float_of_int (1 + Rng.int rng 9)) ~cost:(float_of_int (Rng.int rng 7))) :: !arcs
+        arcs := (u, v, Mcmf.add_arc p ~src:u ~dst:v ~capacity:(float_of_int (1 + Rng.int rng 9)) ~cost:(Rng.int rng 7)) :: !arcs
     done;
     let supplies = Array.make n 0.0 in
     for v = 0 to n - 2 do
@@ -254,10 +254,10 @@ let test_capacitated_diamond () =
   (* Two parallel 2-arc paths; the cheap one has capacity 1, so 3
      units split 1 cheap + 2 expensive. *)
   let p = Mcmf.create 4 in
-  let cheap1 = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:1.0 ~cost:1.0 in
-  let cheap2 = Mcmf.add_arc p ~src:1 ~dst:3 ~capacity:5.0 ~cost:1.0 in
-  let dear1 = Mcmf.add_arc p ~src:0 ~dst:2 ~capacity:5.0 ~cost:3.0 in
-  let dear2 = Mcmf.add_arc p ~src:2 ~dst:3 ~capacity:5.0 ~cost:3.0 in
+  let cheap1 = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:1.0 ~cost:1 in
+  let cheap2 = Mcmf.add_arc p ~src:1 ~dst:3 ~capacity:5.0 ~cost:1 in
+  let dear1 = Mcmf.add_arc p ~src:0 ~dst:2 ~capacity:5.0 ~cost:3 in
+  let dear2 = Mcmf.add_arc p ~src:2 ~dst:3 ~capacity:5.0 ~cost:3 in
   Mcmf.add_supply p 0 3.0;
   Mcmf.add_supply p 3 (-3.0);
   match Mcmf.solve p with
@@ -292,7 +292,7 @@ let brute_force_flow ~n ~arcs ~supplies =
         Array.iteri
           (fun i f ->
             let _, _, _, c = arcs_arr.(i) in
-            cost := !cost +. (float_of_int f *. c))
+            cost := !cost +. float_of_int (f * c))
           flow;
         if !cost < !best then best := !cost
       end
@@ -316,11 +316,11 @@ let test_capacitated_matches_brute_force () =
     let arcs = ref [] in
     (* Backbone for feasibility. *)
     for v = 0 to n - 2 do
-      arcs := (v, v + 1, 4, float_of_int (Rng.int rng 5)) :: !arcs
+      arcs := (v, v + 1, 4, Rng.int rng 5) :: !arcs
     done;
     for _i = 1 to n_arcs - (n - 1) + 1 do
       let u = Rng.int rng n and v = Rng.int rng n in
-      if u <> v then arcs := (u, v, 1 + Rng.int rng 3, float_of_int (Rng.int rng 6)) :: !arcs
+      if u <> v then arcs := (u, v, 1 + Rng.int rng 3, Rng.int rng 6) :: !arcs
     done;
     let arcs = !arcs in
     let supplies = Array.make n 0 in
@@ -346,4 +346,197 @@ let suite =
       Alcotest.test_case "capacitated diamond" `Quick test_capacitated_diamond;
       Alcotest.test_case "capacitated matches brute force" `Quick
         test_capacitated_matches_brute_force;
+    ]
+
+(* --- reusable instances, warm starts and solver stats ---------------- *)
+
+let test_instance_reuse_two_rounds () =
+  (* One instance solved twice with different supplies must match two
+     fresh instances solved once each. *)
+  let build () =
+    let p = Mcmf.create 3 in
+    let a01 = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:4.0 ~cost:2 in
+    let a12 = Mcmf.add_arc p ~src:1 ~dst:2 ~capacity:4.0 ~cost:1 in
+    let a02 = Mcmf.add_arc p ~src:0 ~dst:2 ~capacity:1.0 ~cost:5 in
+    (p, a01, a12, a02)
+  in
+  let solve_with p supplies =
+    Array.iteri (fun v s -> Mcmf.set_supply p v s) supplies;
+    match Mcmf.solve p with
+    | Error e -> Alcotest.failf "solve: %s" (Mcmf.error_to_string e)
+    | Ok sol -> sol
+  in
+  let reused, _, _, _ = build () in
+  let r1 = solve_with reused [| 2.0; 0.0; -2.0 |] in
+  let r2 = solve_with reused [| 3.0; -1.0; -2.0 |] in
+  let fresh1, _, _, _ = build () in
+  let f1 = solve_with fresh1 [| 2.0; 0.0; -2.0 |] in
+  let fresh2, _, _, _ = build () in
+  let f2 = solve_with fresh2 [| 3.0; -1.0; -2.0 |] in
+  check_float "round 1 cost" f1.Mcmf.total_cost r1.Mcmf.total_cost;
+  check_float "round 2 cost" f2.Mcmf.total_cost r2.Mcmf.total_cost;
+  check "round 1 potentials" true (r1.Mcmf.potentials = f1.Mcmf.potentials);
+  check "round 2 potentials" true (r2.Mcmf.potentials = f2.Mcmf.potentials);
+  check "round 2 flow" true (r2.Mcmf.flow = f2.Mcmf.flow)
+
+let test_sealed_instance_rejects_arcs () =
+  let p = Mcmf.create 2 in
+  let _ = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:1.0 ~cost:1 in
+  Mcmf.add_supply p 0 1.0;
+  Mcmf.add_supply p 1 (-1.0);
+  (match Mcmf.solve p with Ok _ -> () | Error e -> Alcotest.failf "%s" (Mcmf.error_to_string e));
+  match Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:1.0 ~cost:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "add_arc accepted after seal"
+
+let random_reusable_instance rng =
+  (* Uncapacitated backbone plus capacitated chords: the shape of the
+     retiming dual (warm potentials always stay valid on the
+     uncapacitated arcs; the scan handles the rest). *)
+  let n = 3 + Rng.int rng 4 in
+  let p = Mcmf.create n in
+  for v = 0 to n - 2 do
+    ignore (Mcmf.add_arc p ~src:v ~dst:(v + 1) ~capacity:infinity ~cost:(Rng.int_in rng (-2) 4));
+    ignore (Mcmf.add_arc p ~src:(v + 1) ~dst:v ~capacity:infinity ~cost:(2 + Rng.int rng 4))
+  done;
+  for _extra = 1 to n do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then
+      ignore
+        (Mcmf.add_arc p ~src:u ~dst:v
+           ~capacity:(float_of_int (1 + Rng.int rng 4))
+           ~cost:(Rng.int rng 6))
+  done;
+  (n, p)
+
+let random_supplies rng n =
+  let supplies = Array.make n 0.0 in
+  for v = 0 to n - 2 do
+    supplies.(v) <- float_of_int (Rng.int_in rng (-3) 3)
+  done;
+  supplies.(n - 1) <- -.Array.fold_left ( +. ) 0.0 (Array.sub supplies 0 (n - 1));
+  supplies
+
+let test_warm_equals_cold_random () =
+  (* Across several re-supply rounds, the warm-started reused instance
+     must return bit-identical potentials (and costs) to a cold fresh
+     instance: the potentials are canonical. *)
+  let rng = Rng.create 1337 in
+  for _trial = 1 to 25 do
+    let seed = Rng.int rng 1_000_000 in
+    let mk () = random_reusable_instance (Rng.create seed) in
+    let n, reused = mk () in
+    let srng = Rng.create (seed + 1) in
+    for _round = 1 to 3 do
+      let supplies = random_supplies srng n in
+      let _, fresh = mk () in
+      Array.iteri (fun v s -> Mcmf.set_supply reused v s) supplies;
+      Array.iteri (fun v s -> Mcmf.set_supply fresh v s) supplies;
+      match (Mcmf.solve ~warm:true reused, Mcmf.solve fresh) with
+      | Ok w, Ok c ->
+        check_float "warm cost = cold cost" c.Mcmf.total_cost w.Mcmf.total_cost;
+        if w.Mcmf.potentials <> c.Mcmf.potentials then
+          Alcotest.fail "warm potentials differ from cold"
+      | Error we, Error ce ->
+        if we <> ce then
+          Alcotest.failf "warm error %s vs cold %s" (Mcmf.error_to_string we)
+            (Mcmf.error_to_string ce)
+      | Ok _, Error e -> Alcotest.failf "cold failed where warm solved: %s" (Mcmf.error_to_string e)
+      | Error e, Ok _ -> Alcotest.failf "warm failed where cold solved: %s" (Mcmf.error_to_string e)
+    done
+  done
+
+let test_solver_stats_and_warm_hit () =
+  (* Uncapacitated instance: the second warm solve must actually hit
+     the warm-start path (skip Bellman-Ford) and still do work. *)
+  let p = Mcmf.create 3 in
+  let _ = Mcmf.add_arc p ~src:0 ~dst:1 ~capacity:infinity ~cost:1 in
+  let _ = Mcmf.add_arc p ~src:1 ~dst:2 ~capacity:infinity ~cost:1 in
+  let _ = Mcmf.add_arc p ~src:2 ~dst:0 ~capacity:infinity ~cost:3 in
+  check "no stats before solve" true (Mcmf.last_stats p = Mcmf.zero_stats);
+  Mcmf.set_supply p 0 2.0;
+  Mcmf.set_supply p 2 (-2.0);
+  (match Mcmf.solve p with Ok _ -> () | Error e -> Alcotest.failf "%s" (Mcmf.error_to_string e));
+  let cold = Mcmf.last_stats p in
+  check "cold solve is not warm" false cold.Mcmf.warm_start;
+  check "cold phases positive" true (cold.Mcmf.phases >= 1);
+  check "cold settles positive" true (cold.Mcmf.settles >= 1);
+  check "cold pushes positive" true (cold.Mcmf.pushes >= 1);
+  Mcmf.set_supply p 0 1.0;
+  Mcmf.set_supply p 1 1.0;
+  Mcmf.set_supply p 2 (-2.0);
+  (match Mcmf.solve ~warm:true p with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%s" (Mcmf.error_to_string e));
+  let warm = Mcmf.last_stats p in
+  check "second solve hits warm start" true warm.Mcmf.warm_start;
+  check "warm phases positive" true (warm.Mcmf.phases >= 1)
+
+(* --- compiled difference instances ----------------------------------- *)
+
+let random_system rng =
+  let n = 2 + Rng.int rng 3 in
+  let constraints = ref [] in
+  for _c = 1 to 1 + Rng.int rng 6 do
+    let a = Rng.int rng n and b = Rng.int rng n in
+    if a <> b then
+      constraints := { Difference.a; b; bound = Rng.int_in rng (-2) 4 } :: !constraints
+  done;
+  for v = 1 to n - 1 do
+    constraints := { Difference.a = v; b = 0; bound = 3 } :: !constraints;
+    constraints := { Difference.a = 0; b = v; bound = 3 } :: !constraints
+  done;
+  (n, !constraints)
+
+let test_compiled_matches_one_shot () =
+  (* A compiled instance re-optimized (warm) over a series of random
+     objectives returns bit-identical labels to the one-shot cold
+     path, round after round. *)
+  let rng = Rng.create 2024 in
+  for _trial = 1 to 40 do
+    let n, cs = random_system rng in
+    match Difference.compile ~n cs with
+    | Error Difference.Infeasible_constraints ->
+      check "one-shot agrees infeasible" true
+        (Difference.optimize ~n ~objective:(Array.make n 0.0) cs
+        = Error Difference.Infeasible_constraints)
+    | Error Difference.Unbounded_objective -> Alcotest.fail "compile cannot be unbounded"
+    | Ok inst ->
+      for _round = 1 to 4 do
+        let objective = Array.init n (fun _ -> float_of_int (Rng.int_in rng (-3) 3)) in
+        let compiled = Difference.reoptimize inst ~objective in
+        let one_shot = Difference.optimize ~n ~objective cs in
+        (match (compiled, one_shot) with
+        | Ok x, Ok y ->
+          if x <> y then Alcotest.fail "compiled labels differ from one-shot";
+          check "check_instance agrees" true (Difference.check_instance inst x = Difference.check cs x)
+        | Error Difference.Unbounded_objective, Error Difference.Unbounded_objective -> ()
+        | _ -> Alcotest.fail "compiled/one-shot disagree on outcome")
+      done
+  done
+
+let test_compiled_stats_warm_progression () =
+  let cs = [ { Difference.a = 1; b = 0; bound = 2 }; { Difference.a = 0; b = 1; bound = 0 } ] in
+  match Difference.compile ~n:2 cs with
+  | Error _ -> Alcotest.fail "compile failed"
+  | Ok inst ->
+    (match Difference.reoptimize inst ~objective:[| 0.0; -0.75 |] with
+    | Ok x -> check_int "first round optimum" 2 x.(1)
+    | Error _ -> Alcotest.fail "first round failed");
+    check "first round is cold" false (Difference.solver_stats inst).Mcmf.warm_start;
+    (match Difference.reoptimize inst ~objective:[| 0.0; 0.5 |] with
+    | Ok x -> check_int "second round optimum" 0 x.(1)
+    | Error _ -> Alcotest.fail "second round failed");
+    check "second round warm" true (Difference.solver_stats inst).Mcmf.warm_start
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "instance reuse two rounds" `Quick test_instance_reuse_two_rounds;
+      Alcotest.test_case "sealed instance rejects arcs" `Quick test_sealed_instance_rejects_arcs;
+      Alcotest.test_case "warm equals cold on random instances" `Quick test_warm_equals_cold_random;
+      Alcotest.test_case "solver stats and warm hit" `Quick test_solver_stats_and_warm_hit;
+      Alcotest.test_case "compiled matches one-shot" `Quick test_compiled_matches_one_shot;
+      Alcotest.test_case "compiled stats warm progression" `Quick
+        test_compiled_stats_warm_progression;
     ]

@@ -279,6 +279,40 @@ let prop_cycle_weight_invariant =
         in
         ring_weight g = ring_weight retimed)
 
+let prop_warm_compiled_matches_cold =
+  (* The LAC loop's successive-instance path: compile once, then solve
+     a series of re-weighted objectives warm.  Every round must return
+     bit-identical labels and ff_area to a cold one-shot solve of the
+     same weighted problem (the flow engine canonicalizes its
+     potentials, so the dual it lands on is path-independent). *)
+  QCheck2.Test.make ~count:40 ~name:"warm compiled solves are bit-identical to cold solves"
+    graph_gen (fun ((_, seed) as params) ->
+      let g = make_graph params in
+      let n = Graph.num_vertices g in
+      let wd = Paths.compute g in
+      let mp = Feasibility.min_period g wd in
+      let cs = Constraints.generate g wd ~period:(mp.Feasibility.period +. 1.0) in
+      match Min_area.compile g cs with
+      | Error _ -> false
+      | Ok compiled ->
+        let rng = Rng.create (seed lxor 0x5eed) in
+        let area = Array.init n (fun _ -> 0.5 +. Rng.float rng 2.0) in
+        let rounds = 3 + Rng.int rng 3 in
+        let ok = ref true in
+        for _round = 1 to rounds do
+          (match (Min_area.solve_compiled ~warm:true compiled ~area, Min_area.solve_weighted g cs ~area) with
+          | Ok warm, Ok cold ->
+            if
+              warm.Min_area.labels <> cold.Min_area.labels
+              || warm.Min_area.ff_area <> cold.Min_area.ff_area
+              || warm.Min_area.ff_count <> cold.Min_area.ff_count
+            then ok := false
+          | _ -> ok := false);
+          (* Mimic the LAC re-weighting: multiplicative per-vertex bumps. *)
+          Array.iteri (fun v a -> area.(v) <- a *. (0.8 +. Rng.float rng 0.6)) area
+        done;
+        !ok)
+
 let suite =
   [
     Alcotest.test_case "correlator initial period" `Quick test_correlator_period;
@@ -294,6 +328,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_min_period_legal;
     QCheck_alcotest.to_alcotest prop_min_area_not_worse_than_witness;
     QCheck_alcotest.to_alcotest prop_cycle_weight_invariant;
+    QCheck_alcotest.to_alcotest prop_warm_compiled_matches_cold;
   ]
 
 (* --- cycle-ratio lower bound and compiled feasibility systems --- *)
