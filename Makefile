@@ -1,7 +1,7 @@
 # One-command gate for every PR: full build, tier-1 tests, and a
 # planner smoke run on the embedded s27 circuit.
 
-.PHONY: all build test smoke smoke-warm check bench clean
+.PHONY: all build test smoke smoke-warm smoke-trace check bench clean
 
 all: build
 
@@ -19,7 +19,17 @@ smoke:
 smoke-warm:
 	dune exec bin/lacr_cli.exe -- verify-warm s27
 
-check: build test smoke smoke-warm
+# Observability smoke: a traced s27 plan must emit a valid Chrome
+# trace (monotone per-track timestamps, the pipeline's span names
+# present) and a valid metrics dump.
+smoke-trace:
+	dune exec bin/lacr_cli.exe -- plan s27 \
+	  --trace _build/smoke_trace.json --metrics _build/smoke_metrics.json
+	dune exec bin/lacr_cli.exe -- trace-check _build/smoke_trace.json \
+	  --metrics _build/smoke_metrics.json \
+	  --expect plan,build,route.all,paths.compute,constraints.generate,lac.retime,lac.round
+
+check: build test smoke smoke-warm smoke-trace
 
 bench:
 	LACR_BENCH_FAST=1 dune exec bench/main.exe -- --json BENCH_fast.json

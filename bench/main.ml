@@ -2,6 +2,7 @@
    plus the ablations called out in DESIGN.md.
 
    Sections
+     T      observability: traced per-stage breakdown, trace-off guard
      E1/E2  Table 1 (min-area vs LAC-retiming, second iteration)
      E3     flip-flops-in-interconnect summary (paper 5)
      E4     alpha ablation (paper 4.2: alpha ~ 0.2 best)
@@ -26,6 +27,7 @@ module Paths = Lacr_retime.Paths
 module Feasibility = Lacr_retime.Feasibility
 module Constraints = Lacr_retime.Constraints
 module Min_area = Lacr_retime.Min_area
+module Trace = Lacr_obs.Trace
 
 let section title =
   Printf.printf "\n%s\n%s\n%s\n\n%!" (String.make 78 '=') title (String.make 78 '=')
@@ -40,9 +42,12 @@ let fast_mode =
 
 (* --- machine-readable timing log (--json FILE) ---
 
-   Every recorded timing lands in FILE as a JSON array of
-   {name, circuit, domains, ms} objects, so later PRs can track a
-   BENCH_*.json trajectory without scraping the ASCII report. *)
+   Schema 2: FILE holds {schema: 2, timings: [...], stages: [...]}.
+   [timings] keeps the schema-1 {name, circuit, domains, ms} objects;
+   [stages] adds the per-stage breakdown of a traced planning run
+   ({name, circuit, depth, count, ms} per pipeline span), so later PRs
+   can track a BENCH_*.json trajectory without scraping the ASCII
+   report. *)
 
 let json_path =
   let path = ref None in
@@ -80,6 +85,20 @@ type timing = {
 
 let timings : timing list ref = ref []
 
+(* One row of the traced planner's per-stage breakdown (section T). *)
+type stage = {
+  g_name : string;
+  g_circuit : string;
+  g_depth : int;
+  g_count : int;
+  g_ms : float;
+}
+
+let stages : stage list ref = ref []
+
+let log_stage ~name ~circuit ~depth ~count ms =
+  stages := { g_name = name; g_circuit = circuit; g_depth = depth; g_count = count; g_ms = ms } :: !stages
+
 let log_timing ?solver ~name ~circuit ~domains seconds =
   timings :=
     {
@@ -105,7 +124,7 @@ let json_escape s =
 
 let write_json path =
   let oc = open_out path in
-  output_string oc "[\n";
+  output_string oc "{\n  \"schema\": 2,\n  \"timings\": [\n";
   List.iteri
     (fun i t ->
       let solver =
@@ -118,13 +137,22 @@ let write_json path =
             s.s_rounds s.s_phases s.s_settles s.s_pushes s.s_warm_hits
       in
       Printf.fprintf oc
-        "  {\"name\": \"%s\", \"circuit\": \"%s\", \"domains\": %d, \"ms\": %.3f%s}%s\n"
+        "    {\"name\": \"%s\", \"circuit\": \"%s\", \"domains\": %d, \"ms\": %.3f%s}%s\n"
         (json_escape t.t_name) (json_escape t.t_circuit) t.t_domains t.t_ms solver
         (if i = List.length !timings - 1 then "" else ","))
     (List.rev !timings);
-  output_string oc "]\n";
+  output_string oc "  ],\n  \"stages\": [\n";
+  List.iteri
+    (fun i s ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"circuit\": \"%s\", \"depth\": %d, \"count\": %d, \"ms\": %.3f}%s\n"
+        (json_escape s.g_name) (json_escape s.g_circuit) s.g_depth s.g_count s.g_ms
+        (if i = List.length !stages - 1 then "" else ","))
+    (List.rev !stages);
+  output_string oc "  ]\n}\n";
   close_out oc;
-  Printf.printf "\nwrote timing log: %s (%d entries)\n" path (List.length !timings)
+  Printf.printf "\nwrote timing log: %s (%d timings, %d stages)\n" path (List.length !timings)
+    (List.length !stages)
 
 let table1_circuits () =
   let all = Suite.table1 () in
@@ -349,6 +377,58 @@ let run_warm_engine () =
     "\n(cold recompiles the flow network every re-weighting round; warm compiles once and\n\
      reuses the previous round's dual potentials; 'identical' checks labels, N_FOA, N_F,\n\
      N_FN and the full convergence trace across engines and pool sizes)\n"
+
+(* --- T: observability — traced stage breakdown and overhead guard --- *)
+
+let run_trace_observability () =
+  section "T   Observability: traced per-stage breakdown; trace-off overhead guard";
+  let name = if fast_mode then "s526" else "s1423" in
+  (* One traced planning run; its span summary is the per-stage
+     breakdown, and the rows land in the --json stage log. *)
+  let netlist = Option.get (Suite.by_name name) in
+  let ctx = Trace.create () in
+  (match Planner.plan ~second_iteration:false ~trace:ctx netlist with
+  | Error msg -> Printf.printf "%s: planning failed (%s)\n" name msg
+  | Ok _ ->
+    Printf.printf "per-stage breakdown of one traced planning run (%s):\n\n" name;
+    print_string (Report.render_trace_summary ctx);
+    List.iter
+      (fun (depth, sname, count, total_s) ->
+        log_stage ~name:sname ~circuit:name ~depth ~count (1000.0 *. total_s))
+      (Trace.span_summary ~max_depth:2 ctx));
+  (* Guard: with tracing off (the default), the hottest kernel must run
+     at its untraced speed (<= 2% tolerance) and allocate not one word
+     more — the disabled context reduces every hook to a constant
+     pattern match. *)
+  let g = retime_graph_of name in
+  let reps = 10 in
+  let _, base_dt = best_of_runs reps (fun () -> Paths.compute g) in
+  let _, off_dt = best_of_runs reps (fun () -> Paths.compute ~trace:Trace.disabled g) in
+  let live = Trace.create () in
+  let _, on_dt = best_of_runs reps (fun () -> Paths.compute ~trace:live g) in
+  log_timing ~name:"wd-trace-off" ~circuit:name ~domains:1 off_dt;
+  log_timing ~name:"wd-trace-on" ~circuit:name ~domains:1 on_dt;
+  let alloc f =
+    let before = Gc.minor_words () in
+    ignore (f ());
+    Gc.minor_words () -. before
+  in
+  ignore (alloc (fun () -> Paths.compute g));
+  let base_words = alloc (fun () -> Paths.compute g) in
+  let off_words = alloc (fun () -> Paths.compute ~trace:Trace.disabled g) in
+  let overhead = 100.0 *. (off_dt -. base_dt) /. base_dt in
+  Printf.printf
+    "\n(W,D) on %s: default %.2f ms, trace-off %.2f ms (%+.1f%%), trace-on %.2f ms\n" name
+    (1000.0 *. base_dt) (1000.0 *. off_dt) overhead (1000.0 *. on_dt);
+  Printf.printf "allocation per run: default %.0f minor words, trace-off %.0f\n" base_words
+    off_words;
+  (* Passing [~trace] explicitly boxes one [Some] at the call site; the
+     kernel itself must not allocate a word more on the disabled path. *)
+  if off_words -. base_words > 16.0 then
+    failwith "disabled tracing allocates in the (W,D) kernel";
+  if off_dt -. base_dt > 0.02 *. base_dt then
+    Printf.printf "WARNING: trace-off time outside the 2%% guard (likely machine noise; re-run)\n"
+  else Printf.printf "trace-off overhead within the 2%% guard\n"
 
 (* --- E1/E2/E3: Table 1 --- *)
 
@@ -598,6 +678,7 @@ let () =
   Printf.printf "LAC-retiming benchmark harness (fast mode: %b)\n" fast_mode;
   run_wd_scaling ();
   run_warm_engine ();
+  run_trace_observability ();
   run_table1 ();
   run_alpha_ablation ();
   run_runtime ();

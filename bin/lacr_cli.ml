@@ -44,14 +44,20 @@ let config_with ?seed ?alpha ?grid ?domains () =
 
 (* --- plan --- *)
 
-let run_plan circuit seed domains verbose second =
+let run_plan circuit seed domains verbose second trace_file metrics_file =
   match load_circuit circuit with
   | Error msg ->
     prerr_endline msg;
     1
   | Ok netlist ->
     let config = config_with ?seed ?domains () in
-    (match Planner.plan ~config ~second_iteration:second netlist with
+    (* The collector is only live when an output was requested, so a
+       plain `lacr plan` keeps the zero-overhead disabled path. *)
+    let trace =
+      if trace_file <> None || metrics_file <> None then Lacr_obs.Trace.create ()
+      else Lacr_obs.Trace.disabled
+    in
+    (match Planner.plan ~config ~second_iteration:second ~trace netlist with
     | Error msg ->
       Printf.eprintf "planning failed: %s\n" msg;
       1
@@ -70,14 +76,63 @@ let run_plan circuit seed domains verbose second =
           inst.Build.routing.Lacr_routing.Global_router.total_wirelength
           inst.Build.routing.Lacr_routing.Global_router.overflow;
         (match run.Planner.second with
-        | Some { Planner.lac2 = Ok o2; _ } ->
+        | Some (Ok { Planner.lac2 = Ok o2; _ }) ->
           Printf.printf "second planning iteration: N_FOA %d -> %d\n" run.Planner.lac.Lac.n_foa
             o2.Lac.n_foa
-        | Some { Planner.lac2 = Error msg; _ } ->
+        | Some (Ok { Planner.lac2 = Error msg; _ }) ->
           Printf.printf "second planning iteration infeasible: %s\n" msg
+        | Some (Error msg) -> Printf.printf "second planning iteration build failed: %s\n" msg
         | None -> ())
       end;
+      if Lacr_obs.Trace.enabled trace then begin
+        print_newline ();
+        print_string (Report.render_trace_summary trace)
+      end;
+      (match trace_file with
+      | Some path ->
+        Lacr_obs.Export.write_chrome_trace trace path;
+        Printf.printf "wrote Chrome trace %s (load in chrome://tracing or Perfetto)\n" path
+      | None -> ());
+      (match metrics_file with
+      | Some path ->
+        Lacr_obs.Export.write_metrics trace path;
+        Printf.printf "wrote metrics %s\n" path
+      | None -> ());
       0)
+
+(* --- trace-check: validate exporter output --- *)
+
+let run_trace_check trace_file metrics_file expect =
+  let trace_ok =
+    match trace_file with
+    | None -> true
+    | Some path ->
+      (match Lacr_obs.Export.validate_trace_file ~expect path with
+      | Ok n ->
+        Printf.printf "%s: valid Chrome trace, %d spans\n" path n;
+        true
+      | Error msg ->
+        Printf.eprintf "%s: INVALID trace: %s\n" path msg;
+        false)
+  in
+  let metrics_ok =
+    match metrics_file with
+    | None -> true
+    | Some path ->
+      (match Lacr_obs.Export.validate_metrics_file path with
+      | Ok n ->
+        Printf.printf "%s: valid metrics, %d counters\n" path n;
+        true
+      | Error msg ->
+        Printf.eprintf "%s: INVALID metrics: %s\n" path msg;
+        false)
+  in
+  if trace_file = None && metrics_file = None then begin
+    prerr_endline "trace-check: nothing to check (pass a trace file and/or --metrics FILE)";
+    1
+  end
+  else if trace_ok && metrics_ok then 0
+  else 1
 
 (* --- table1 --- *)
 
@@ -365,10 +420,60 @@ let alphas_arg =
     & opt (list float) [ 0.0; 0.1; 0.2; 0.3; 0.5; 0.8; 1.0 ]
     & info [ "alphas" ] ~docv:"LIST" ~doc:"Alpha values to sweep.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of the run (nested spans for build, routing, \
+           repeater insertion, (W,D) paths, constraints and every LAC re-weighting round; one \
+           track per worker domain). Load it in chrome://tracing or https://ui.perfetto.dev. \
+           Tracing never changes planner output.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write flat metrics of the run (counters, histograms, per-stage span totals) as JSON, \
+           or CSV when FILE ends in .csv. Counter aggregates are bit-identical for every \
+           $(b,--domains) setting.")
+
 let plan_cmd =
   let doc = "Run the interconnect planner on one circuit." in
   Cmd.v (Cmd.info "plan" ~doc)
-    Term.(const run_plan $ circuit_arg $ seed_arg $ domains_arg $ verbose_arg $ second_arg)
+    Term.(
+      const run_plan $ circuit_arg $ seed_arg $ domains_arg $ verbose_arg $ second_arg
+      $ trace_arg $ metrics_arg)
+
+let trace_check_file_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"TRACE" ~doc:"Chrome trace JSON produced by $(b,plan --trace).")
+
+let trace_check_metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE" ~doc:"Metrics JSON/CSV produced by $(b,plan --metrics).")
+
+let expect_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "expect" ] ~docv:"NAMES"
+        ~doc:"Comma-separated span names that must appear in the trace.")
+
+let trace_check_cmd =
+  let doc =
+    "Validate observability exports: well-formed Chrome trace JSON with strictly monotone \
+     per-track timestamps (and expected span names), well-formed metrics dumps."
+  in
+  Cmd.v (Cmd.info "trace-check" ~doc)
+    Term.(const run_trace_check $ trace_check_file_arg $ trace_check_metrics_arg $ expect_arg)
 
 let csv_arg =
   Arg.(
@@ -438,6 +543,7 @@ let main_cmd =
       retime_cmd;
       dot_cmd;
       stats_cmd;
+      trace_check_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

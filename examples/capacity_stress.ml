@@ -55,13 +55,15 @@ let () =
     show "min-area" run.Planner.minarea;
     show "LAC" run.Planner.lac;
     (match run.Planner.second with
-    | Some { Planner.lac2 = Ok o2; _ } ->
+    | Some (Ok { Planner.lac2 = Ok o2; _ }) ->
       Printf.printf
         "\nafter expanding the congested soft blocks (2nd planning iteration): N_FOA = %d\n"
         o2.Lac.n_foa
-    | Some { Planner.lac2 = Error msg; _ } ->
+    | Some (Ok { Planner.lac2 = Error msg; _ }) ->
       Printf.printf "\n2nd planning iteration became infeasible (%s) —\n" msg;
       print_endline "the paper observed the same failure mode on s1269."
+    | Some (Error msg) ->
+      Printf.printf "\n2nd planning iteration build failed (%s).\n" msg
     | None -> print_endline "\nno second iteration was needed.");
     print_newline ();
     print_string (Lacr_core.Report.render_tile_figure inst)

@@ -13,6 +13,7 @@ module Graph = Lacr_retime.Graph
 module Point = Lacr_geometry.Point
 module Rect = Lacr_geometry.Rect
 module Rng = Lacr_util.Rng
+module Obs = Lacr_obs.Trace
 
 type instance = {
   circuit : string;
@@ -94,18 +95,28 @@ let sequence_pair_of_rects rects =
   Array.sort (fun a b -> compare (key_neg a) (key_neg b)) neg;
   { Lacr_floorplan.Sequence_pair.pos; neg }
 
-let build ?(config = Config.default) ?(soft_growth = fun _ -> 0.0) ?layout netlist =
+let build ?(config = Config.default) ?(soft_growth = fun _ -> 0.0) ?layout
+    ?(trace = Obs.disabled) netlist =
   match Seqview.of_netlist netlist with
   | Error msg -> Error ("build: " ^ msg)
   | Ok view ->
     if Seqview.has_combinational_cycle view then Error "build: combinational cycle in netlist"
-    else begin
+    else
+      Obs.with_span trace ~cat:"core"
+        ~attrs:[ ("circuit", Obs.Str view.Seqview.circuit) ]
+        "build"
+      @@ fun () ->
       let rng = Rng.create config.Config.seed in
       let n_units = Seqview.num_units view in
       (* --- partition --- *)
       let problem = Kway.of_seqview view in
       let k = Config.block_count config ~n_units in
-      let block_of_unit = Kway.partition ~options:config.Config.fm rng problem ~k in
+      let block_of_unit =
+        Obs.with_span trace ~cat:"core"
+          ~attrs:[ ("units", Obs.Int n_units); ("blocks", Obs.Int k) ]
+          "build.partition"
+          (fun () -> Kway.partition ~options:config.Config.fm rng problem ~k)
+      in
       let logic_area = Array.make k 0.0 in
       Array.iteri
         (fun u b -> logic_area.(b) <- logic_area.(b) +. unit_area view.Seqview.units.(u))
@@ -154,6 +165,10 @@ let build ?(config = Config.default) ?(soft_growth = fun _ -> 0.0) ?layout netli
                if a = b then None else Some { Annealer.pins = [| a; b |]; weight = 1.0 })
       in
       let sequence, dims =
+        Obs.with_span trace ~cat:"core"
+          ~attrs:[ ("incremental", Obs.Bool (layout <> None)) ]
+          "build.floorplan"
+        @@ fun () ->
         match layout with
         | None ->
           (match config.Config.floorplanner with
@@ -204,8 +219,9 @@ let build ?(config = Config.default) ?(soft_growth = fun _ -> 0.0) ?layout netli
       let logic_mm2 = Array.map (fun a -> a *. mm2_per_unit) logic_area in
       let resident_ff_mm2 = Array.map (fun a -> a *. mm2_per_unit) orig_ff_area in
       let tilegraph =
-        Tilegraph.build ~config:tile_config ~resident_ff_area:resident_ff_mm2 fp
-          ~logic_area:logic_mm2
+        Obs.with_span trace ~cat:"core" "build.tilegraph" (fun () ->
+            Tilegraph.build ~config:tile_config ~resident_ff_area:resident_ff_mm2 fp
+              ~logic_area:logic_mm2)
       in
       let occupancy = Occupancy.create tilegraph in
       (* --- unit placement and routing --- *)
@@ -239,24 +255,31 @@ let build ?(config = Config.default) ?(soft_growth = fun _ -> 0.0) ?layout netli
         fanouts;
       let nets = Array.of_list (List.rev !nets) in
       let net_edge_slots = Array.of_list (List.rev !net_edge_slots) in
-      let routing = Global_router.route_all ~options:config.Config.router tilegraph nets in
+      let routing =
+        Global_router.route_all ~options:config.Config.router ~trace tilegraph nets
+      in
       (* --- repeater insertion per sink path --- *)
       let model = config.Config.delay_model in
       let n_edges = Seqview.num_edges view in
       let edge_buffered : Insertion.buffered_path option array = Array.make n_edges None in
       let n_repeaters = ref 0 in
-      Array.iteri
-        (fun ni routed ->
-          let slots = net_edge_slots.(ni) in
+      Obs.with_span trace ~cat:"core" "build.repeaters" (fun () ->
           Array.iteri
-            (fun si path ->
-              let buffered = Insertion.insert model occupancy ~path in
-              n_repeaters := !n_repeaters + List.length buffered.Insertion.repeater_cells;
-              edge_buffered.(slots.(si)) <- Some buffered)
-            routed.Global_router.sink_paths)
-        routing.Global_router.nets;
+            (fun ni routed ->
+              let slots = net_edge_slots.(ni) in
+              Array.iteri
+                (fun si path ->
+                  let buffered = Insertion.insert ~trace model occupancy ~path in
+                  n_repeaters := !n_repeaters + List.length buffered.Insertion.repeater_cells;
+                  edge_buffered.(slots.(si)) <- Some buffered)
+                routed.Global_router.sink_paths)
+            routing.Global_router.nets;
+          if Obs.enabled trace then
+            Obs.span_attr trace "repeaters" (Obs.Int !n_repeaters));
       (* --- retiming graph assembly --- *)
-      let delays = ref [] and tiles_rev = ref [] in
+      let graph, pin_constraints, vertex_tile, n_interconnect_units =
+        Obs.with_span trace ~cat:"core" "build.graph" @@ fun () ->
+        let delays = ref [] and tiles_rev = ref [] in
       let n_vertices = ref n_units in
       let add_vertex delay tile =
         delays := delay :: !delays;
@@ -297,6 +320,8 @@ let build ?(config = Config.default) ?(soft_growth = fun _ -> 0.0) ?layout netli
       let vertex_tile = Array.append unit_tiles extra_tiles in
       let graph = Graph.create ~delays:all_delays ~edges:!edges ~host in
       let pin_constraints = Graph.io_pin_constraints view ~host in
+      (graph, pin_constraints, vertex_tile, Array.length extra - 1)
+      in
       Ok
         {
           circuit = view.Seqview.circuit;
@@ -314,11 +339,10 @@ let build ?(config = Config.default) ?(soft_growth = fun _ -> 0.0) ?layout netli
           pin_constraints;
           vertex_tile;
           n_units;
-          n_interconnect_units = Array.length extra - 1;
+          n_interconnect_units;
           n_repeaters = !n_repeaters;
           mm2_per_unit;
         }
-    end
 
 let interconnect_vertex inst v =
   v >= inst.n_units && v <> Graph.host inst.graph

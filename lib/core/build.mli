@@ -48,6 +48,7 @@ val build :
   ?config:Config.t ->
   ?soft_growth:(string -> float) ->
   ?layout:Lacr_floorplan.Sequence_pair.t * (float * float) array ->
+  ?trace:Lacr_obs.Trace.ctx ->
   Lacr_netlist.Netlist.t ->
   (instance, string) result
 (** [soft_growth] feeds the second planning iteration: each soft
@@ -57,7 +58,13 @@ val build :
     [layout] skips simulated annealing and reuses a previous
     iteration's sequence pair and block outlines (grown blocks are
     scaled isotropically) — the paper's "incremental change of the
-    floorplan" between planning iterations. *)
+    floorplan" between planning iterations.
+
+    [trace] (default disabled) wraps the pipeline in a [build] span
+    with one child span per stage ([build.partition] /
+    [build.floorplan] / [build.tilegraph] / [route.all] /
+    [build.repeaters] / [build.graph]) and threads the context into
+    routing and repeater insertion for their counters. *)
 
 val interconnect_vertex : instance -> int -> bool
 (** True for interconnect-unit vertices (not units, not host). *)

@@ -1,5 +1,6 @@
 module Graph = Lacr_retime.Graph
 module Min_area = Lacr_retime.Min_area
+module Obs = Lacr_obs.Trace
 
 type outcome = {
   labels : int array;
@@ -38,9 +39,13 @@ let outcome_of ?pool (problem : Problem.t) labels ~n_wr ~exec_seconds ~trace ~so
     solver;
   }
 
-let min_area_baseline_problem ?pool (problem : Problem.t) constraints =
+let min_area_baseline_problem ?pool ?(obs = Obs.disabled) (problem : Problem.t) constraints =
+  Obs.with_span obs ~cat:"lac" "lac.minarea" @@ fun () ->
   let start = Unix.gettimeofday () in
-  match Min_area.solve_weighted problem.Problem.graph constraints ~area:(base_area problem) with
+  match
+    Min_area.solve_weighted ~trace:obs problem.Problem.graph constraints
+      ~area:(base_area problem)
+  with
   | Error msg -> Error msg
   | Ok solution ->
     let exec_seconds = Unix.gettimeofday () -. start in
@@ -59,8 +64,12 @@ let vertex_areas_into (problem : Problem.t) ~base tile_weight area =
 
 let retime_problem ?(alpha = Config.default.Config.alpha)
     ?(n_max = Config.default.Config.n_max) ?(max_wr = Config.default.Config.max_wr)
-    ?(reuse = true) ?pool (problem : Problem.t) constraints =
+    ?(reuse = true) ?pool ?(obs = Obs.disabled) (problem : Problem.t) constraints =
   if alpha < 0.0 || alpha > 1.0 then invalid_arg "Lac.retime: alpha out of [0,1]";
+  Obs.with_span obs ~cat:"lac"
+    ~attrs:[ ("alpha", Obs.Float alpha); ("max_wr", Obs.Int max_wr) ]
+    "lac.retime"
+  @@ fun () ->
   let start = Unix.gettimeofday () in
   let n = Graph.num_vertices problem.Problem.graph in
   let tile_weight = Array.make problem.Problem.n_tiles 1.0 in
@@ -79,7 +88,10 @@ let retime_problem ?(alpha = Config.default.Config.alpha)
      bit-identical labellings. *)
   let compiled =
     if reuse then
-      match Min_area.compile problem.Problem.graph constraints with
+      match
+        Obs.with_span obs ~cat:"lac" "lac.compile" (fun () ->
+            Min_area.compile problem.Problem.graph constraints)
+      with
       | Ok c -> Ok (Some c)
       | Error msg -> Error msg
     else Ok None
@@ -89,52 +101,77 @@ let retime_problem ?(alpha = Config.default.Config.alpha)
   | Ok compiled ->
     let solve_round () =
       match compiled with
-      | Some c -> Min_area.solve_compiled ~warm:true c ~area
-      | None -> Min_area.solve_weighted problem.Problem.graph constraints ~area
+      | Some c -> Min_area.solve_compiled ~warm:true ~trace:obs c ~area
+      | None -> Min_area.solve_weighted ~trace:obs problem.Problem.graph constraints ~area
+    in
+    (* One [lac.round] span per re-weighting round, carrying the flow
+       solver's counters and the round's violation count.  The spans
+       are siblings (the recursion advances {e outside} the span), so
+       the Chrome export shows the rounds side by side under
+       [lac.retime] rather than as a max_wr-deep nest. *)
+    let round n_wr =
+      Obs.with_span obs ~cat:"lac"
+        ~attrs:[ ("round", Obs.Int n_wr) ]
+        "lac.round"
+      @@ fun () ->
+      vertex_areas_into problem ~base tile_weight area;
+      match solve_round () with
+      | Error msg -> Error msg
+      | Ok solution ->
+        let labels = solution.Min_area.labels in
+        let n_foa = Problem.violations problem ~labels in
+        trace := (n_foa, solution.Min_area.ff_area) :: !trace;
+        solver := solution.Min_area.stats :: !solver;
+        let n_f = Problem.ff_count ?pool problem ~labels in
+        if Obs.enabled obs then begin
+          let st = solution.Min_area.stats in
+          Obs.span_attr obs "n_foa" (Obs.Int n_foa);
+          Obs.span_attr obs "ff_area" (Obs.Float solution.Min_area.ff_area);
+          Obs.span_attr obs "phases" (Obs.Int st.Lacr_mcmf.Mcmf.phases);
+          Obs.span_attr obs "settles" (Obs.Int st.Lacr_mcmf.Mcmf.settles);
+          Obs.span_attr obs "pushes" (Obs.Int st.Lacr_mcmf.Mcmf.pushes);
+          Obs.span_attr obs "warm" (Obs.Bool st.Lacr_mcmf.Mcmf.warm_start);
+          Obs.incr (Obs.counter obs "lac.rounds");
+          Obs.add (Obs.counter obs "lac.violations") n_foa
+        end;
+        let improved =
+          match !best with
+          | None -> true
+          | Some (best_foa, _, best_ffs) ->
+            n_foa < best_foa || (n_foa = best_foa && n_f < best_ffs)
+        in
+        if improved then begin
+          best := Some (n_foa, labels, n_f);
+          stale := 0
+        end
+        else incr stale;
+        if n_foa = 0 || !stale > n_max then Ok `Done
+        else begin
+          (* Paper step 6: New weight = Old * ((1-alpha) + alpha*AC/C). *)
+          let consumption = Problem.consumption problem ~labels in
+          Array.iteri
+            (fun tile used ->
+              let ratio = used /. remaining tile in
+              let factor = (1.0 -. alpha) +. (alpha *. ratio) in
+              tile_weight.(tile) <- tile_weight.(tile) *. factor)
+            consumption;
+          (* Renormalize so the smallest weight is 1 (pure scaling, the
+             optimum is unchanged) and cap the spread: extreme cost
+             ratios slow the min-cost-flow solver without changing the
+             argmin once a tile is priced out. *)
+          let lowest = Array.fold_left min infinity tile_weight in
+          if lowest > 0.0 && lowest < infinity then
+            Array.iteri (fun i w -> tile_weight.(i) <- min 1.0e4 (w /. lowest)) tile_weight;
+          Ok `Continue
+        end
     in
     let rec iterate n_wr =
       if n_wr >= max_wr then Ok ()
-      else begin
-        vertex_areas_into problem ~base tile_weight area;
-        match solve_round () with
+      else
+        match round n_wr with
         | Error msg -> Error msg
-        | Ok solution ->
-          let labels = solution.Min_area.labels in
-          let n_foa = Problem.violations problem ~labels in
-          trace := (n_foa, solution.Min_area.ff_area) :: !trace;
-          solver := solution.Min_area.stats :: !solver;
-          let n_f = Problem.ff_count ?pool problem ~labels in
-          let improved =
-            match !best with
-            | None -> true
-            | Some (best_foa, _, best_ffs) ->
-              n_foa < best_foa || (n_foa = best_foa && n_f < best_ffs)
-          in
-          if improved then begin
-            best := Some (n_foa, labels, n_f);
-            stale := 0
-          end
-          else incr stale;
-          if n_foa = 0 || !stale > n_max then Ok ()
-          else begin
-            (* Paper step 6: New weight = Old * ((1-alpha) + alpha*AC/C). *)
-            let consumption = Problem.consumption problem ~labels in
-            Array.iteri
-              (fun tile used ->
-                let ratio = used /. remaining tile in
-                let factor = (1.0 -. alpha) +. (alpha *. ratio) in
-                tile_weight.(tile) <- tile_weight.(tile) *. factor)
-              consumption;
-            (* Renormalize so the smallest weight is 1 (pure scaling, the
-               optimum is unchanged) and cap the spread: extreme cost
-               ratios slow the min-cost-flow solver without changing the
-               argmin once a tile is priced out. *)
-            let lowest = Array.fold_left min infinity tile_weight in
-            if lowest > 0.0 && lowest < infinity then
-              Array.iteri (fun i w -> tile_weight.(i) <- min 1.0e4 (w /. lowest)) tile_weight;
-            iterate (n_wr + 1)
-          end
-      end
+        | Ok `Done -> Ok ()
+        | Ok `Continue -> iterate (n_wr + 1)
     in
     (match iterate 0 with
     | Error msg -> Error msg
@@ -149,12 +186,12 @@ let retime_problem ?(alpha = Config.default.Config.alpha)
 
 (* --- instance-facing wrappers --- *)
 
-let min_area_baseline ?pool (inst : Build.instance) constraints =
-  min_area_baseline_problem ?pool (Problem.of_instance inst) constraints
+let min_area_baseline ?pool ?obs (inst : Build.instance) constraints =
+  min_area_baseline_problem ?pool ?obs (Problem.of_instance inst) constraints
 
-let retime ?alpha ?n_max ?max_wr ?reuse ?pool (inst : Build.instance) constraints =
+let retime ?alpha ?n_max ?max_wr ?reuse ?pool ?obs (inst : Build.instance) constraints =
   let cfg = inst.Build.config in
   let alpha = match alpha with Some a -> a | None -> cfg.Config.alpha in
   let n_max = match n_max with Some n -> n | None -> cfg.Config.n_max in
   let max_wr = match max_wr with Some n -> n | None -> cfg.Config.max_wr in
-  retime_problem ~alpha ~n_max ~max_wr ?reuse ?pool (Problem.of_instance inst) constraints
+  retime_problem ~alpha ~n_max ~max_wr ?reuse ?pool ?obs (Problem.of_instance inst) constraints

@@ -40,6 +40,7 @@ type outcome = {
 
 val min_area_baseline :
   ?pool:Lacr_util.Pool.t ->
+  ?obs:Lacr_obs.Trace.ctx ->
   Build.instance ->
   Lacr_retime.Constraints.t ->
   (outcome, string) result
@@ -52,6 +53,7 @@ val retime :
   ?max_wr:int ->
   ?reuse:bool ->
   ?pool:Lacr_util.Pool.t ->
+  ?obs:Lacr_obs.Trace.ctx ->
   Build.instance ->
   Lacr_retime.Constraints.t ->
   (outcome, string) result
@@ -61,7 +63,14 @@ val retime :
     pre-engine behaviour, kept for benchmarking) — outcomes are
     bit-identical either way.  [pool] (shared with the planner's
     (W,D)/constraint stages) parallelizes the integer flip-flop
-    accounting; outcomes are pool-size independent. *)
+    accounting; outcomes are pool-size independent.
+
+    [obs] (default disabled) wraps the run in a [lac.retime] span with
+    one sibling [lac.round] span per re-weighting round, each carrying
+    the round's violation count and the flow solver's counters
+    (phases, settles, pushes, warm-start); [lac.rounds] /
+    [lac.violations] and the [mcmf.*] counters accumulate alongside.
+    Enabling it changes no outcome. *)
 
 (** {1 Abstract-problem variants}
 
@@ -71,6 +80,7 @@ val retime :
 
 val min_area_baseline_problem :
   ?pool:Lacr_util.Pool.t ->
+  ?obs:Lacr_obs.Trace.ctx ->
   Problem.t ->
   Lacr_retime.Constraints.t ->
   (outcome, string) result
@@ -81,6 +91,7 @@ val retime_problem :
   ?max_wr:int ->
   ?reuse:bool ->
   ?pool:Lacr_util.Pool.t ->
+  ?obs:Lacr_obs.Trace.ctx ->
   Problem.t ->
   Lacr_retime.Constraints.t ->
   (outcome, string) result

@@ -4,6 +4,7 @@ module Constraints = Lacr_retime.Constraints
 module Feasibility = Lacr_retime.Feasibility
 module Tilegraph = Lacr_tilegraph.Tilegraph
 module Occupancy = Lacr_tilegraph.Occupancy
+module Obs = Lacr_obs.Trace
 
 type run = {
   instance : Build.instance;
@@ -12,7 +13,7 @@ type run = {
   t_clk : float;
   minarea : Lac.outcome;
   lac : Lac.outcome;
-  second : second option;
+  second : (second, string) result option;
 }
 
 and second = {
@@ -22,7 +23,7 @@ and second = {
 
 (* Grow each over-utilized soft block (the floorplanner "allocates
    additional space to those over-utilized soft blocks", paper §1). *)
-let growth_for (inst : Build.instance) (outcome : Lac.outcome) =
+let growth_table (inst : Build.instance) (outcome : Lac.outcome) =
   (* Growth covers the tile's full overflow — relocated flip-flops AND
      the repeaters already parked there: a tile overfull from
      repeaters alone leaves C(t) = 0, so its resident flip-flops can
@@ -55,59 +56,80 @@ let growth_for (inst : Build.instance) (outcome : Lac.outcome) =
             sized_units *. cfg.Config.block_area_inflation *. cfg.Config.soft_fill_factor
           in
           let factor = 1.3 *. full_excess /. max 1.0 capacity_per_growth in
-          Hashtbl.replace by_block name factor
+          (* Max-merge: when several violated tiles map to one block
+             (a block spanning tiles, or duplicate report entries) the
+             strongest demand wins, independent of the order the tiles
+             are visited in. *)
+          let prev = try Hashtbl.find by_block name with Not_found -> 0.0 in
+          Hashtbl.replace by_block name (Float.max prev factor)
         end
       | Tilegraph.Channel | Tilegraph.Hard_cell _ -> ())
     report.Area.violated_tiles;
-  fun name -> try Hashtbl.find by_block name with Not_found -> 0.0
+  Hashtbl.fold (fun name factor acc -> (name, factor) :: acc) by_block []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let retiming_setup ?pool (inst : Build.instance) =
+let growth_for inst outcome =
+  let table = growth_table inst outcome in
+  fun name -> match List.assoc_opt name table with Some f -> f | None -> 0.0
+
+let retiming_setup ?pool ?(trace = Obs.disabled) (inst : Build.instance) =
+  Obs.with_span trace ~cat:"core" "retiming.setup" @@ fun () ->
   let g = inst.Build.graph in
   let t_init = Graph.clock_period g in
-  let wd = Paths.compute ?pool g in
+  let wd = Paths.compute ?pool ~trace g in
   let extra = inst.Build.pin_constraints in
   let cfg = inst.Build.config in
-  let mp = Feasibility.min_period ~extra g wd in
+  let mp =
+    Obs.with_span trace ~cat:"core" "feasibility.min_period" (fun () ->
+        Feasibility.min_period ~extra g wd)
+  in
   let t_min = mp.Feasibility.period in
   let t_clk = t_min +. (cfg.Config.clk_fraction *. (t_init -. t_min)) in
   let constraints =
-    Constraints.generate ~prune:cfg.Config.prune_constraints ~extra ?pool g wd ~period:t_clk
+    Constraints.generate ~prune:cfg.Config.prune_constraints ~extra ?pool ~trace g wd
+      ~period:t_clk
   in
   (t_init, t_min, t_clk, constraints)
 
-let plan_with_pool ~pool ~config ~second_iteration instance netlist =
-    let t_init, t_min, t_clk, constraints = retiming_setup ~pool instance in
-    (match
-       (Lac.min_area_baseline ~pool instance constraints, Lac.retime ~pool instance constraints)
-     with
-    | Error msg, _ | _, Error msg -> Error msg
-    | Ok minarea, Ok lac ->
-      let second =
-        if (not second_iteration) || lac.Lac.n_foa = 0 then None
-        else begin
-          let grow = growth_for instance lac in
-          let layout = (instance.Build.sequence, instance.Build.dims) in
-          match Build.build ~config ~soft_growth:grow ~layout netlist with
-          | Error _ -> None
-          | Ok instance2 ->
-            (* The expanded floorplan changes interconnect delays; the
-               original T_clk may no longer be feasible (the paper's
-               s1269 case).  Generate fresh constraints at the same
-               T_clk and report infeasibility honestly. *)
-            let g2 = instance2.Build.graph in
-            let wd2 = Paths.compute ~pool g2 in
-            let constraints2 =
-              Constraints.generate ~prune:config.Config.prune_constraints
-                ~extra:instance2.Build.pin_constraints ~pool g2 wd2 ~period:t_clk
-            in
-            let lac2 = Lac.retime ~pool instance2 constraints2 in
-            Some { instance2; lac2 }
-        end
-      in
-      Ok { instance; t_init; t_min; t_clk; minarea; lac; second })
+let plan_with_pool ~pool ~config ~second_iteration ?(trace = Obs.disabled) instance netlist =
+  let t_init, t_min, t_clk, constraints = retiming_setup ~pool ~trace instance in
+  (match
+     ( Lac.min_area_baseline ~pool ~obs:trace instance constraints,
+       Lac.retime ~pool ~obs:trace instance constraints )
+   with
+  | Error msg, _ | _, Error msg -> Error msg
+  | Ok minarea, Ok lac ->
+    let second =
+      if (not second_iteration) || lac.Lac.n_foa = 0 then None
+      else
+        Obs.with_span trace ~cat:"core" "plan.second" @@ fun () ->
+        let grow = growth_for instance lac in
+        let layout = (instance.Build.sequence, instance.Build.dims) in
+        match Build.build ~config ~soft_growth:grow ~layout ~trace netlist with
+        | Error msg ->
+          (* The failed expansion is part of the run's story: surface
+             it instead of silently reporting first-iteration numbers
+             as final. *)
+          Some (Error msg)
+        | Ok instance2 ->
+          (* The expanded floorplan changes interconnect delays; the
+             original T_clk may no longer be feasible (the paper's
+             s1269 case).  Generate fresh constraints at the same
+             T_clk and report infeasibility honestly. *)
+          let g2 = instance2.Build.graph in
+          let wd2 = Paths.compute ~pool ~trace g2 in
+          let constraints2 =
+            Constraints.generate ~prune:config.Config.prune_constraints
+              ~extra:instance2.Build.pin_constraints ~pool ~trace g2 wd2 ~period:t_clk
+          in
+          let lac2 = Lac.retime ~pool ~obs:trace instance2 constraints2 in
+          Some (Ok { instance2; lac2 })
+    in
+    Ok { instance; t_init; t_min; t_clk; minarea; lac; second })
 
-let plan ?(config = Config.default) ?(second_iteration = true) netlist =
-  match Build.build ~config netlist with
+let plan ?(config = Config.default) ?(second_iteration = true) ?(trace = Obs.disabled) netlist =
+  Obs.with_span trace ~cat:"core" "plan" @@ fun () ->
+  match Build.build ~config ~trace netlist with
   | Error msg -> Error msg
   | Ok instance ->
     (* One pool for the whole run: the (W,D) matrices, constraint
@@ -117,4 +139,4 @@ let plan ?(config = Config.default) ?(second_iteration = true) netlist =
        under any --domains / LACR_DOMAINS setting. *)
     Lacr_util.Pool.with_pool
       ~size:(Lacr_util.Pool.resolve_size ~requested:config.Config.domains)
-      (fun pool -> plan_with_pool ~pool ~config ~second_iteration instance netlist)
+      (fun pool -> plan_with_pool ~pool ~config ~second_iteration ~trace instance netlist)

@@ -17,7 +17,12 @@ type run = {
   t_clk : float;
   minarea : Lac.outcome;
   lac : Lac.outcome;
-  second : second option;
+  second : (second, string) result option;
+      (** [None]: no second iteration was attempted (disabled, or the
+          first iteration already reached zero violations).
+          [Some (Error msg)]: the expansion re-build itself failed —
+          recorded rather than swallowed, so reports can say why the
+          first-iteration numbers are final. *)
 }
 
 and second = {
@@ -27,10 +32,30 @@ and second = {
           become infeasible after a drastic floorplan change *)
 }
 
-val plan : ?config:Config.t -> ?second_iteration:bool -> Lacr_netlist.Netlist.t -> (run, string) result
+val plan :
+  ?config:Config.t ->
+  ?second_iteration:bool ->
+  ?trace:Lacr_obs.Trace.ctx ->
+  Lacr_netlist.Netlist.t ->
+  (run, string) result
 (** [second_iteration] (default [true]) controls the expansion
-    re-plan. *)
+    re-plan.
+
+    [trace] (default disabled) wraps the whole run in a [plan] span
+    and threads the observability context through every stage: build
+    (with per-stage child spans), routing, repeater insertion, (W,D)
+    computation, constraint generation, min-period feasibility, both
+    retimings (one [lac.round] span per re-weighting round) and the
+    optional [plan.second] re-plan.  Counter and histogram aggregates
+    are bit-identical for every [config.domains]; enabling tracing
+    changes no field of the returned {!run}. *)
 
 val growth_for : Build.instance -> Lac.outcome -> string -> float
 (** Soft-block growth factors for the second iteration: proportional
     to the block tile's excess area, zero for untouched blocks. *)
+
+val growth_table : Build.instance -> Lac.outcome -> (string * float) list
+(** The factors behind {!growth_for}, as a name-sorted association
+    list.  When several violated tiles land in one soft block the
+    largest factor wins (max-merge), so the table is independent of
+    the order violations are reported in.  Exposed for tests. *)

@@ -17,15 +17,17 @@ type row = {
   lac_n_wr : int;
   lac_exec : float;
   decrease_pct : float option;
+  second_error : string option;
 }
 
 let row_of_run ~name (run : Planner.run) =
   let ma = run.Planner.minarea and lac = run.Planner.lac in
-  let second =
+  let second, second_error =
     match run.Planner.second with
-    | Some { Planner.lac2 = Ok outcome; _ } -> Some outcome.Lac.n_foa
-    | Some { Planner.lac2 = Error _; _ } -> None
-    | None -> None
+    | Some (Ok { Planner.lac2 = Ok outcome; _ }) -> (Some outcome.Lac.n_foa, None)
+    | Some (Ok { Planner.lac2 = Error msg; _ }) -> (None, Some msg)
+    | Some (Error msg) -> (None, Some msg)
+    | None -> (None, None)
   in
   let decrease_pct =
     if ma.Lac.n_foa = 0 then None
@@ -50,6 +52,7 @@ let row_of_run ~name (run : Planner.run) =
     lac_n_wr = lac.Lac.n_wr;
     lac_exec = lac.Lac.exec_seconds;
     decrease_pct;
+    second_error;
   }
 
 let average_decrease rows =
@@ -121,7 +124,17 @@ let render_table1 rows =
       "Average"; ""; ""; ""; ""; ""; ""; ""; ""; ""; ""; "";
       Printf.sprintf "%.0f%%" (average_decrease rows);
     ];
-  render t
+  let notes =
+    List.filter_map
+      (fun r ->
+        match r.second_error with
+        | Some msg -> Some (Printf.sprintf "  note: %s: second iteration failed: %s" r.circuit msg)
+        | None -> None)
+      rows
+  in
+  match notes with
+  | [] -> render t
+  | _ -> render t ^ "\n" ^ String.concat "\n" notes ^ "\n"
 
 let render_flow_figure () =
   String.concat "\n"
@@ -173,7 +186,7 @@ let csv_header =
   [
     "circuit"; "t_clk_ns"; "t_init_ns"; "ma_n_foa"; "ma_n_f"; "ma_n_fn"; "ma_exec_s";
     "lac_n_foa"; "lac_n_foa_2nd"; "lac_n_f"; "lac_n_fn"; "lac_n_wr"; "lac_exec_s";
-    "decrease_pct";
+    "decrease_pct"; "second_error";
   ]
 
 let csv_row r =
@@ -192,4 +205,51 @@ let csv_row r =
     string_of_int r.lac_n_wr;
     Printf.sprintf "%.3f" r.lac_exec;
     (match r.decrease_pct with Some p -> Printf.sprintf "%.1f" p | None -> "");
+    (match r.second_error with Some msg -> msg | None -> "");
   ]
+
+(* --- observability summary --- *)
+
+let render_trace_summary trace =
+  let buf = Buffer.create 1024 in
+  let spans = Lacr_obs.Trace.span_summary ~max_depth:2 trace in
+  if spans <> [] then begin
+    let open Table in
+    let t = create [ ("span", Left); ("count", Right); ("total(ms)", Right) ] in
+    List.iter
+      (fun (depth, name, count, total_s) ->
+        add_row t
+          [
+            String.make (2 * depth) ' ' ^ name;
+            string_of_int count;
+            Printf.sprintf "%.2f" (1000.0 *. total_s);
+          ])
+      spans;
+    Buffer.add_string buf (render t)
+  end;
+  let counters = Lacr_obs.Trace.counter_totals trace in
+  if counters <> [] then begin
+    let open Table in
+    let t = create [ ("counter", Left); ("total", Right) ] in
+    List.iter (fun (name, total) -> add_row t [ name; string_of_int total ]) counters;
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    Buffer.add_string buf (render t)
+  end;
+  let histograms = Lacr_obs.Trace.histogram_totals trace in
+  if histograms <> [] then begin
+    let open Table in
+    let t = create [ ("histogram", Left); ("bucket", Right); ("count", Right) ] in
+    List.iter
+      (fun (name, bounds, counts) ->
+        Array.iteri
+          (fun i count ->
+            let bucket =
+              if i < Array.length bounds then Printf.sprintf "<=%d" bounds.(i) else "overflow"
+            in
+            add_row t [ (if i = 0 then name else ""); bucket; string_of_int count ])
+          counts)
+      histograms;
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    Buffer.add_string buf (render t)
+  end;
+  Buffer.contents buf

@@ -18,6 +18,9 @@ type row = {
   decrease_pct : float option;
       (** N_FOA decrease, [None] when the baseline had none (the
           paper prints N/A) *)
+  second_error : string option;
+      (** why the second planning iteration produced no numbers: the
+          re-build failed or the frozen T_clk became infeasible *)
 }
 
 val row_of_run : name:string -> Planner.run -> row
@@ -42,3 +45,9 @@ val render_tile_figure : Build.instance -> string
 val csv_header : string list
 val csv_row : row -> string list
 (** CSV projection of a Table-1 row ([Lacr_util.Csv] friendly). *)
+
+val render_trace_summary : Lacr_obs.Trace.ctx -> string
+(** Human-readable digest of an observability context: span
+    aggregates (indented by nesting depth, with call counts and total
+    wall-clock), counter totals and histogram buckets.  Empty string
+    for a disabled or empty context. *)

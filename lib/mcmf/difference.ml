@@ -79,7 +79,7 @@ let compile ~n ?guard constraints =
     done;
     Ok { inst_n = n; guard; ca; cb; cbound; m; net }
 
-let reoptimize ?(warm = true) inst ~objective =
+let reoptimize ?(warm = true) ?trace inst ~objective =
   if Array.length objective <> inst.inst_n then
     invalid_arg "Difference.reoptimize: objective arity";
   (* The assignment is normalized to x(0) = 0 afterwards, so the LP
@@ -90,7 +90,7 @@ let reoptimize ?(warm = true) inst ~objective =
     let coeff = if v = 0 then objective.(v) -. total else objective.(v) in
     Mcmf.set_supply inst.net v (-.coeff)
   done;
-  match Mcmf.solve ~warm inst.net with
+  match Mcmf.solve ~warm ?trace inst.net with
   | Error (Mcmf.Negative_cycle | Mcmf.Infeasible | Mcmf.Unbalanced _) ->
     (* Guards make the flow feasible and feasibility was checked at
        compile time, so any failure here indicates an unbalanced

@@ -47,7 +47,11 @@ val compile : n:int -> ?guard:int -> constr list -> (instance, objective_error) 
     and build the flow network.  [guard] as in {!optimize}. *)
 
 val reoptimize :
-  ?warm:bool -> instance -> objective:float array -> (int array, objective_error) result
+  ?warm:bool ->
+  ?trace:Lacr_obs.Trace.ctx ->
+  instance ->
+  objective:float array ->
+  (int array, objective_error) result
 (** Minimize [sum objective.(v) * x(v)] over the compiled system,
     returning an optimal integral assignment normalized so that
     [x(0) = 0].  [warm] (default [true]) reuses the previous round's

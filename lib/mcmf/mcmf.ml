@@ -414,7 +414,7 @@ let canonicalize_potentials t ~n_nodes =
     pi.(v) <- dist.(v) - m + pi.(v)
   done
 
-let solve ?(warm = false) t =
+let solve ?(warm = false) ?(trace = Lacr_obs.Trace.disabled) t =
   let total_supply = Array.fold_left ( +. ) 0.0 t.supply in
   if abs_float total_supply > 1e-5 then Error (Unbalanced total_supply)
   else begin
@@ -453,6 +453,14 @@ let solve ?(warm = false) t =
       let result = drive () in
       t.last_stats <-
         { phases = !phases; settles = !settles; pushes = !pushes; warm_start = warm_started };
+      if Lacr_obs.Trace.enabled trace then begin
+        let bump name n = Lacr_obs.Trace.add (Lacr_obs.Trace.counter trace name) n in
+        bump "mcmf.solves" 1;
+        bump "mcmf.phases" !phases;
+        bump "mcmf.settles" !settles;
+        bump "mcmf.pushes" !pushes;
+        bump (if warm_started then "mcmf.warm_starts" else "mcmf.cold_starts") 1
+      end;
       match result with
       | Error e -> Error e
       | Ok () ->

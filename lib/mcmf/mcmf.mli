@@ -77,11 +77,14 @@ type stats = {
 
 val zero_stats : stats
 
-val solve : ?warm:bool -> t -> (solution, error) result
+val solve : ?warm:bool -> ?trace:Lacr_obs.Trace.ctx -> t -> (solution, error) result
 (** Solve with the current supplies.  [warm] (default [false])
     requests reuse of the previous solve's potentials; it silently
     falls back to the Bellman-Ford bootstrap when there is no previous
-    optimum or it is no longer dual-feasible, so it is always safe. *)
+    optimum or it is no longer dual-feasible, so it is always safe.
+    [trace] (default disabled) accumulates the solve's counters into
+    the observability context ([mcmf.solves]/[phases]/[settles]/
+    [pushes]/[warm_starts]/[cold_starts]). *)
 
 val last_stats : t -> stats
 (** Counters of the most recent {!solve} (zeroes before the first). *)

@@ -1,0 +1,31 @@
+(** A deliberately tiny JSON tree with an emitter and a strict parser
+    — the dependency-free backbone of the trace/metrics exporters and
+    their validators ([lacr_cli trace-check], [make smoke-trace], unit
+    tests).  Not a general-purpose JSON library: numbers are floats,
+    non-ASCII [\u] escapes do not round-trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val of_int : int -> t
+
+val to_string : ?indent:bool -> t -> string
+(** [indent] (default false) pretty-prints with two-space indents. *)
+
+val write_file : string -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document (trailing garbage is an
+    error). *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

@@ -56,9 +56,25 @@ let prefix_distances tg path =
   done;
   (arr, dist)
 
-let insert model occupancy ~path =
+(* Per-path metric recording, skipped entirely when tracing is off.
+   Each call accounts exactly once per buffered path, so the counter
+   and histogram aggregates are independent of which worker (if any)
+   runs the insertion. *)
+let record trace bp =
+  if Lacr_obs.Trace.enabled trace then begin
+    Lacr_obs.Trace.incr (Lacr_obs.Trace.counter trace "repeater.paths");
+    Lacr_obs.Trace.add
+      (Lacr_obs.Trace.counter trace "repeater.inserted")
+      (List.length bp.repeater_cells);
+    Lacr_obs.Trace.observe
+      (Lacr_obs.Trace.histogram trace ~buckets:[| 0; 1; 2; 4; 8; 16 |] "repeater.segments_per_path")
+      (List.length bp.segments)
+  end;
+  bp
+
+let insert ?(trace = Lacr_obs.Trace.disabled) model occupancy ~path =
   match path with
-  | [] | [ _ ] -> { path; repeater_cells = []; segments = [] }
+  | [] | [ _ ] -> record trace { path; repeater_cells = []; segments = [] }
   | _ ->
     let tg = Occupancy.tilegraph occupancy in
     let cells, dist = prefix_distances tg path in
@@ -121,11 +137,12 @@ let insert model occupancy ~path =
         :: segments_of rest
       | [ _ ] | [] -> []
     in
-    {
-      path;
-      repeater_cells = List.map (fun i -> cells.(i)) chosen;
-      segments = segments_of cut_points;
-    }
+    record trace
+      {
+        path;
+        repeater_cells = List.map (fun i -> cells.(i)) chosen;
+        segments = segments_of cut_points;
+      }
 
 let max_gap _tg bp =
   List.fold_left (fun acc seg -> max acc seg.length) 0.0 bp.segments

@@ -28,9 +28,16 @@ type buffered_path = {
 }
 
 val insert :
-  Delay_model.t -> Lacr_tilegraph.Occupancy.t -> path:int list -> buffered_path
+  ?trace:Lacr_obs.Trace.ctx ->
+  Delay_model.t ->
+  Lacr_tilegraph.Occupancy.t ->
+  path:int list ->
+  buffered_path
 (** The path must be an inclusive cell sequence from a maze route.
-    Repeater area is reserved in the occupancy as a side effect. *)
+    Repeater area is reserved in the occupancy as a side effect.
+    [trace] (default disabled) records [repeater.paths] /
+    [repeater.inserted] counters and a [repeater.segments_per_path]
+    histogram, once per call. *)
 
 val max_gap : Lacr_tilegraph.Tilegraph.t -> buffered_path -> float
 (** Longest segment length (0 for unsegmented paths) — tests assert

@@ -16,20 +16,34 @@ let edge_constraints g =
    folded back in source order, reproducing exactly the list the
    sequential prepend-as-you-go scan builds — constraint generation is
    bit-for-bit independent of the pool size. *)
-let period_constraints ?(pool = Lacr_util.Pool.sequential) (wd : Paths.wd) ~period =
+let period_constraints ?(pool = Lacr_util.Pool.sequential) ?(trace = Lacr_obs.Trace.disabled)
+    (wd : Paths.wd) ~period =
   let n = Array.length wd.Paths.w in
   let rows = Array.make n [] in
+  (* Counter handles hoisted out of the parallel region; workers bump
+     their own padded cells, once per source row, so the totals are
+     bit-identical for any pool size. *)
+  let traced = Lacr_obs.Trace.enabled trace in
+  let c_scanned = Lacr_obs.Trace.counter trace "constraints.sources_scanned" in
+  let c_cand = Lacr_obs.Trace.counter trace "constraints.period_candidates" in
   Lacr_util.Pool.parallel_for pool n (fun u ->
       let wrow = wd.Paths.w.(u) and drow = wd.Paths.d.(u) in
       let acc = ref [] in
+      let kept = ref 0 in
       for v = n - 1 downto 0 do
         (* Self pairs carry W(u,u) = 0, so a too-slow vertex produces the
            infeasible bound -1; other self constraints are trivial and
            skipped. *)
-        if wrow.(v) <> max_int && drow.(v) > period +. epsilon && (u <> v || wrow.(v) = 0) then
-          acc := { Lacr_mcmf.Difference.a = u; b = v; bound = wrow.(v) - 1 } :: !acc
+        if wrow.(v) <> max_int && drow.(v) > period +. epsilon && (u <> v || wrow.(v) = 0) then begin
+          acc := { Lacr_mcmf.Difference.a = u; b = v; bound = wrow.(v) - 1 } :: !acc;
+          incr kept
+        end
       done;
-      rows.(u) <- !acc);
+      rows.(u) <- !acc;
+      if traced then begin
+        Lacr_obs.Trace.incr c_scanned;
+        Lacr_obs.Trace.add c_cand !kept
+      end);
   Array.fold_left (fun acc row -> List.rev_append row acc) [] rows
 
 (* Per-source dominance pruning (Maheshwari-Sapatnekar flavour): a
@@ -38,8 +52,13 @@ let period_constraints ?(pool = Lacr_util.Pool.sequential) (wd : Paths.wd) ~peri
    bound r(x) - r(v) <= W(x,v) whenever
    W(u,x) + W(x,v) <= W(u,v).  Scanning targets by ascending W keeps
    the retained set small (typically the W-frontier of each source). *)
-let pruned_period_constraints ?(pool = Lacr_util.Pool.sequential) (wd : Paths.wd) ~period =
+let pruned_period_constraints ?(pool = Lacr_util.Pool.sequential)
+    ?(trace = Lacr_obs.Trace.disabled) (wd : Paths.wd) ~period =
   let n = Array.length wd.Paths.w in
+  let traced = Lacr_obs.Trace.enabled trace in
+  let c_scanned = Lacr_obs.Trace.counter trace "constraints.sources_scanned" in
+  let c_cand = Lacr_obs.Trace.counter trace "constraints.period_candidates" in
+  let c_survived = Lacr_obs.Trace.counter trace "constraints.prune_survivors" in
   (* Source-side pass: per source u, scanning targets by ascending
      W(u,v), drop v when a kept x gives W(u,x) + W(x,v) <= W(u,v).
      Sources are independent (each only reads wd and writes its own
@@ -66,7 +85,12 @@ let pruned_period_constraints ?(pool = Lacr_util.Pool.sequential) (wd : Paths.wd
         if not implied then kept := v :: !kept
       in
       List.iter consider sorted;
-      survivors.(u) <- !kept);
+      survivors.(u) <- !kept;
+      if traced then begin
+        Lacr_obs.Trace.incr c_scanned;
+        Lacr_obs.Trace.add c_cand (List.length sorted);
+        Lacr_obs.Trace.add c_survived (List.length !kept)
+      end);
   (* Target-side pass over the survivors: for fixed v (scanning sources
      by ascending W(u,v)), drop (u, v) when a kept (x, v) gives
      W(u,x) + W(x,v) <= W(u,v) — the mirrored implication through the
@@ -149,17 +173,31 @@ let compile ?(extra = []) g (wd : Paths.wd) ~period =
   done;
   { ca = !ca; cb = !cb; cbound = !cbound; m = !m }
 
-let generate ?(prune = false) ?(extra = []) ?pool g wd ~period =
-  let ecs = extra @ edge_constraints g in
-  let pcs =
-    if prune then pruned_period_constraints ?pool wd ~period
-    else period_constraints ?pool wd ~period
-  in
-  {
-    period;
-    constraints = ecs @ pcs;
-    n_edge = List.length ecs;
-    n_period = List.length pcs;
-  }
+let generate ?(prune = false) ?(extra = []) ?pool ?(trace = Lacr_obs.Trace.disabled) g wd ~period
+    =
+  Lacr_obs.Trace.with_span trace ~cat:"retime"
+    ~attrs:[ ("period", Lacr_obs.Trace.Float period); ("prune", Lacr_obs.Trace.Bool prune) ]
+    "constraints.generate"
+    (fun () ->
+      let ecs = extra @ edge_constraints g in
+      let pcs =
+        if prune then pruned_period_constraints ?pool ~trace wd ~period
+        else period_constraints ?pool ~trace wd ~period
+      in
+      let t =
+        {
+          period;
+          constraints = ecs @ pcs;
+          n_edge = List.length ecs;
+          n_period = List.length pcs;
+        }
+      in
+      if Lacr_obs.Trace.enabled trace then begin
+        Lacr_obs.Trace.add (Lacr_obs.Trace.counter trace "constraints.edge") t.n_edge;
+        Lacr_obs.Trace.add (Lacr_obs.Trace.counter trace "constraints.period") t.n_period;
+        Lacr_obs.Trace.span_attr trace "n_edge" (Lacr_obs.Trace.Int t.n_edge);
+        Lacr_obs.Trace.span_attr trace "n_period" (Lacr_obs.Trace.Int t.n_period)
+      end;
+      t)
 
 let satisfied_by t r = Lacr_mcmf.Difference.check t.constraints r

@@ -24,6 +24,7 @@ val generate :
   ?prune:bool ->
   ?extra:Lacr_mcmf.Difference.constr list ->
   ?pool:Lacr_util.Pool.t ->
+  ?trace:Lacr_obs.Trace.ctx ->
   Graph.t ->
   Paths.wd ->
   period:float ->
@@ -39,7 +40,14 @@ val generate :
 
     [pool] (default sequential) parallelizes the per-source scans of
     the (W,D) matrices; the returned constraint list — content {e and}
-    order — is identical for every pool size. *)
+    order — is identical for every pool size.
+
+    [trace] (default disabled) wraps generation in a
+    [constraints.generate] span and records per-source scan counters
+    ([constraints.sources_scanned] / [period_candidates] /
+    [prune_survivors]) from inside the parallel region plus the final
+    [constraints.edge] / [constraints.period] totals; counter
+    aggregates are bit-identical for every pool size. *)
 
 val satisfied_by : t -> int array -> bool
 

@@ -62,10 +62,10 @@ let compile g (cs : Constraints.t) =
     Error "min-area retiming: objective unbounded (malformed graph)"
   | Ok inst -> Ok { cg = g; inst; objective = Array.make n 0.0 }
 
-let solve_compiled ?(warm = true) c ~area =
+let solve_compiled ?(warm = true) ?trace c ~area =
   let g = c.cg in
   objective_coefficients_into g ~area c.objective;
-  match Lacr_mcmf.Difference.reoptimize ~warm c.inst ~objective:c.objective with
+  match Lacr_mcmf.Difference.reoptimize ~warm ?trace c.inst ~objective:c.objective with
   | Error Lacr_mcmf.Difference.Infeasible_constraints ->
     Error "min-area retiming: clock period constraints infeasible"
   | Error Lacr_mcmf.Difference.Unbounded_objective ->
@@ -83,10 +83,10 @@ let solve_compiled ?(warm = true) c ~area =
           stats = Lacr_mcmf.Difference.solver_stats c.inst;
         }
 
-let solve_weighted g cs ~area =
+let solve_weighted ?trace g cs ~area =
   match compile g cs with
   | Error msg -> Error msg
-  | Ok c -> solve_compiled ~warm:false c ~area
+  | Ok c -> solve_compiled ~warm:false ?trace c ~area
 
 let solve g cs =
   let area = Array.make (Graph.num_vertices g) 1.0 in

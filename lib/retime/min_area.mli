@@ -28,7 +28,12 @@ type solution = {
 val solve : Graph.t -> Constraints.t -> (solution, string) Stdlib.result
 (** Unit area weights: plain min-area retiming. *)
 
-val solve_weighted : Graph.t -> Constraints.t -> area:float array -> (solution, string) Stdlib.result
+val solve_weighted :
+  ?trace:Lacr_obs.Trace.ctx ->
+  Graph.t ->
+  Constraints.t ->
+  area:float array ->
+  (solution, string) Stdlib.result
 (** [area.(v)] is the flip-flop area weight charged to vertex [v]'s
     tile (must be non-negative).  One-shot: compiles a fresh instance
     and solves it cold.  @raise Invalid_argument on arity mismatch or
@@ -44,11 +49,16 @@ type compiled
 val compile : Graph.t -> Constraints.t -> (compiled, string) Stdlib.result
 
 val solve_compiled :
-  ?warm:bool -> compiled -> area:float array -> (solution, string) Stdlib.result
+  ?warm:bool ->
+  ?trace:Lacr_obs.Trace.ctx ->
+  compiled ->
+  area:float array ->
+  (solution, string) Stdlib.result
 (** One weighted solve over the compiled instance.  [warm] (default
     [true]) reuses the previous round's dual potentials; results are
     bit-identical to a cold solve (the flow engine canonicalizes its
-    potentials). *)
+    potentials).  [trace] feeds the flow-solver counters into the
+    observability context. *)
 
 val objective_coefficients : Graph.t -> area:float array -> float array
 (** The [fi(v) - fo(v)] vector (exposed for tests). *)

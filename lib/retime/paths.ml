@@ -109,30 +109,51 @@ let min_weights g source =
   dijkstra_row ~off:(Graph.csr_offsets g) ~dst:(Graph.csr_dst g) ~wgt:(Graph.csr_weight g) ~n
     (make_scratch n) source
 
-let compute ?(pool = Lacr_util.Pool.sequential) g =
+let compute ?(pool = Lacr_util.Pool.sequential) ?(trace = Lacr_obs.Trace.disabled) g =
   let n = Graph.num_vertices g in
   let off = Graph.csr_offsets g
   and dst = Graph.csr_dst g
   and wgt = Graph.csr_weight g
   and delays = Graph.delays g in
   let w = Array.make n [||] and d = Array.make n [||] in
-  (* Each chunk allocates its own scratch and each source writes only
-     its own w/d rows, so the parallel run is race-free and — because
-     every row is a pure function of (g, u) — bit-identical to the
-     sequential run for any pool size. *)
-  Lacr_util.Pool.parallel_for_chunks pool n (fun lo hi ->
-      let scratch = make_scratch n in
-      for u = lo to hi - 1 do
-        (* The trivial single-vertex path gives W(u,u) = 0, D(u,u) = d(u);
-           this is the Leiserson-Saxe convention that makes a vertex delay
-           exceeding the period show up as the infeasible self constraint
-           r(u) - r(u) <= -1.  Cycle paths back to u all have weight >= 1,
-           so they never displace the trivial self pair. *)
-        let wrow = dijkstra_row ~off ~dst ~wgt ~n scratch u in
-        let drow = delay_row ~off ~dst ~wgt ~delays ~n scratch u wrow in
-        w.(u) <- wrow;
-        d.(u) <- drow
-      done);
+  (* Metric handles are resolved up front; when tracing is off they are
+     no-ops and the per-chunk accounting block is skipped entirely, so
+     the row kernels below run exactly as before. *)
+  let traced = Lacr_obs.Trace.enabled trace in
+  let c_rows = Lacr_obs.Trace.counter trace "paths.rows" in
+  let c_reach = Lacr_obs.Trace.counter trace "paths.reachable_pairs" in
+  Lacr_obs.Trace.with_span trace ~cat:"retime"
+    ~attrs:[ ("vertices", Lacr_obs.Trace.Int n) ]
+    "paths.compute"
+    (fun () ->
+      (* Each chunk allocates its own scratch and each source writes only
+         its own w/d rows, so the parallel run is race-free and — because
+         every row is a pure function of (g, u) — bit-identical to the
+         sequential run for any pool size. *)
+      Lacr_util.Pool.parallel_for_chunks pool n (fun lo hi ->
+          let scratch = make_scratch n in
+          for u = lo to hi - 1 do
+            (* The trivial single-vertex path gives W(u,u) = 0, D(u,u) = d(u);
+               this is the Leiserson-Saxe convention that makes a vertex delay
+               exceeding the period show up as the infeasible self constraint
+               r(u) - r(u) <= -1.  Cycle paths back to u all have weight >= 1,
+               so they never displace the trivial self pair. *)
+            let wrow = dijkstra_row ~off ~dst ~wgt ~n scratch u in
+            let drow = delay_row ~off ~dst ~wgt ~delays ~n scratch u wrow in
+            w.(u) <- wrow;
+            d.(u) <- drow
+          done;
+          if traced then begin
+            Lacr_obs.Trace.add c_rows (hi - lo);
+            let reach = ref 0 in
+            for u = lo to hi - 1 do
+              let wrow = w.(u) in
+              for v = 0 to n - 1 do
+                if wrow.(v) <> max_int then incr reach
+              done
+            done;
+            Lacr_obs.Trace.add c_reach !reach
+          end));
   { w; d }
 
 let reachable wd u v = wd.w.(u).(v) <> max_int

@@ -13,12 +13,17 @@ type wd = {
   d : float array array;  (** [d.(u).(v)]; meaningful when reachable *)
 }
 
-val compute : ?pool:Lacr_util.Pool.t -> Graph.t -> wd
+val compute : ?pool:Lacr_util.Pool.t -> ?trace:Lacr_obs.Trace.ctx -> Graph.t -> wd
 (** Sources are independent, so the rows fill in parallel over [pool]
     (default {!Lacr_util.Pool.sequential}): each worker owns its
     scratch and writes only its own rows.  Every row is a pure
     function of the graph and its source, so the result is
-    bit-identical — [w] and [d] cell for cell — for every pool size. *)
+    bit-identical — [w] and [d] cell for cell — for every pool size.
+
+    [trace] (default disabled) wraps the computation in a
+    [paths.compute] span and accumulates [paths.rows] /
+    [paths.reachable_pairs] counters per chunk; the disabled path adds
+    no work and no allocation to the row kernels. *)
 
 val min_weights : Graph.t -> int -> int array
 (** One W row: minimum path weight from a source to every vertex

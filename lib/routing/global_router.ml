@@ -135,28 +135,49 @@ let crosses_overflow usage routed =
   in
   List.exists over_path routed.segments
 
-let route_all ?(options = default_options) tg nets =
-  let usage = Maze.create tg in
-  let routed =
-    Array.map (route_net tg usage ~congestion_weight:options.congestion_weight) nets
-  in
-  (* Rip-up and re-route nets that still cross overflowed boundaries. *)
-  for _pass = 1 to options.passes do
-    if Maze.overflow usage > 0.0 then
-      Array.iteri
-        (fun i r ->
-          if crosses_overflow usage r then begin
-            List.iter (Maze.remove_path usage) r.segments;
-            routed.(i) <-
-              route_net tg usage ~congestion_weight:options.reroute_weight r.net
-          end)
-        routed
-  done;
-  let total_wirelength = Array.fold_left (fun acc r -> acc +. r.wirelength) 0.0 routed in
-  {
-    nets = routed;
-    usage;
-    total_wirelength;
-    overflow = Maze.overflow usage;
-    max_utilization = Maze.max_utilization usage;
-  }
+let route_all ?(options = default_options) ?(trace = Lacr_obs.Trace.disabled) tg nets =
+  Lacr_obs.Trace.with_span trace ~cat:"routing"
+    ~attrs:[ ("nets", Lacr_obs.Trace.Int (Array.length nets)) ]
+    "route.all"
+    (fun () ->
+      let traced = Lacr_obs.Trace.enabled trace in
+      let c_routed = Lacr_obs.Trace.counter trace "route.nets" in
+      let c_rerouted = Lacr_obs.Trace.counter trace "route.reroutes" in
+      let usage = Maze.create tg in
+      let routed =
+        Lacr_obs.Trace.with_span trace ~cat:"routing" "route.initial" (fun () ->
+            Array.map (route_net tg usage ~congestion_weight:options.congestion_weight) nets)
+      in
+      if traced then Lacr_obs.Trace.add c_routed (Array.length nets);
+      (* Rip-up and re-route nets that still cross overflowed boundaries. *)
+      for pass = 1 to options.passes do
+        if Maze.overflow usage > 0.0 then
+          Lacr_obs.Trace.with_span trace ~cat:"routing"
+            ~attrs:[ ("pass", Lacr_obs.Trace.Int pass) ]
+            "route.ripup"
+            (fun () ->
+              Array.iteri
+                (fun i r ->
+                  if crosses_overflow usage r then begin
+                    List.iter (Maze.remove_path usage) r.segments;
+                    routed.(i) <-
+                      route_net tg usage ~congestion_weight:options.reroute_weight r.net;
+                    if traced then Lacr_obs.Trace.incr c_rerouted
+                  end)
+                routed)
+      done;
+      let total_wirelength = Array.fold_left (fun acc r -> acc +. r.wirelength) 0.0 routed in
+      let result =
+        {
+          nets = routed;
+          usage;
+          total_wirelength;
+          overflow = Maze.overflow usage;
+          max_utilization = Maze.max_utilization usage;
+        }
+      in
+      if traced then begin
+        Lacr_obs.Trace.span_attr trace "wirelength_mm" (Lacr_obs.Trace.Float total_wirelength);
+        Lacr_obs.Trace.span_attr trace "overflow" (Lacr_obs.Trace.Float result.overflow)
+      end;
+      result)

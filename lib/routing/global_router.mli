@@ -39,7 +39,14 @@ type result = {
 }
 
 val route_all :
-  ?options:options -> Lacr_tilegraph.Tilegraph.t -> net array -> result
+  ?options:options ->
+  ?trace:Lacr_obs.Trace.ctx ->
+  Lacr_tilegraph.Tilegraph.t ->
+  net array ->
+  result
+(** [trace] (default disabled) wraps routing in a [route.all] span with
+    [route.initial] / per-pass [route.ripup] child spans and records
+    [route.nets] / [route.reroutes] counters. *)
 
 val path_length : Lacr_tilegraph.Tilegraph.t -> int list -> float
 (** Manhattan length in mm of an inclusive cell path. *)

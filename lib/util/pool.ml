@@ -32,6 +32,20 @@ let size t = t.size
 
 let max_domains = 64
 
+(* Worker slots: a stable, dense per-domain index for observability
+   collectors.  The calling domain is always slot 0; the pool's
+   spawned workers take slots 1 .. size-1 (set once per domain via
+   domain-local storage before the worker parks).  Only one pool is
+   active at a time in the planner, and a pool's domains are joined
+   before the next pool spawns, so one slot never has two concurrent
+   writers.  [max_slots] bounds the slot space for flat per-slot
+   scratch arrays. *)
+let max_slots = max_domains + 1
+
+let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let worker_slot () = Domain.DLS.get slot_key
+
 let env_domains () =
   match Sys.getenv_opt "LACR_DOMAINS" with
   | None -> None
@@ -101,7 +115,11 @@ let create ?size () =
       domains = [];
     }
   in
-  pool.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+  pool.domains <-
+    List.init (size - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set slot_key (i + 1);
+            worker_loop pool 0));
   pool
 
 let sequential =

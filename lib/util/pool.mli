@@ -32,6 +32,20 @@ val sequential : t
 
 val size : t -> int
 
+val max_slots : int
+(** Upper bound (inclusive-exclusive) on {!worker_slot} values: slots
+    are always in [0, max_slots).  Size flat per-slot scratch arrays
+    with this. *)
+
+val worker_slot : unit -> int
+(** Stable dense index of the calling domain: 0 for any domain that is
+    not a pool worker (in particular the pool's caller, which
+    participates as a worker itself), [1 .. size-1] for the pool's
+    spawned domains.  Observability collectors key contention-free
+    per-domain scratch by this slot; merges over the slot order are
+    deterministic.  A pool's domains are joined before the next pool
+    spawns, so a slot never has two concurrent writers. *)
+
 val shutdown : t -> unit
 (** Join the worker domains.  The pool must not be used afterwards. *)
 

@@ -335,3 +335,119 @@ let suite =
       Alcotest.test_case "congestion on planned instance" `Slow test_congestion_on_planned_instance;
       Alcotest.test_case "table1 shape invariants" `Slow test_table1_shape_invariants;
     ]
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let found = ref false in
+  for i = 0 to nh - nn do
+    if String.sub haystack i nn = needle then found := true
+  done;
+  !found
+
+(* A squeezed floorplan (the capacity-stress shape) leaves the LAC run
+   with violations, so the second-iteration growth table is non-empty
+   and its contract can be checked directly. *)
+let stressed_run () =
+  let config =
+    {
+      Config.default with
+      Config.hard_block_every = 3;
+      block_area_inflation = 1.2;
+      channel_density = 0.5;
+      hard_sites_per_cell = 0.5;
+    }
+  in
+  match Planner.plan ~config ~second_iteration:false (small_circuit ()) with
+  | Ok run -> run
+  | Error msg -> Alcotest.failf "stressed plan: %s" msg
+
+let test_growth_table_order_independent () =
+  let run = stressed_run () in
+  let inst = run.Planner.instance in
+  (* The min-area outcome has the most violations, so it exercises the
+     table hardest. *)
+  let table = Planner.growth_table inst run.Planner.minarea in
+  let names = List.map fst table in
+  (* Name-sorted with no duplicates: max-merge collapsed every violated
+     tile of a block into one entry, so the table cannot depend on the
+     order violations were reported in. *)
+  check "table sorted and duplicate-free" true
+    (List.sort_uniq String.compare names = names);
+  List.iter (fun (_, factor) -> check "factor positive" true (factor > 0.0)) table;
+  (* Deterministic: a second evaluation is identical. *)
+  check "re-evaluation identical" true (Planner.growth_table inst run.Planner.minarea = table);
+  (* growth_for is the table plus a zero default. *)
+  List.iter
+    (fun (name, factor) ->
+      check (name ^ " growth_for agrees") true
+        (Planner.growth_for inst run.Planner.minarea name = factor))
+    table;
+  check "unknown block grows by zero" true
+    (Planner.growth_for inst run.Planner.minarea "no-such-block" = 0.0)
+
+let test_repeater_saturated_tile_zero_capacity () =
+  (* Direct C(t) = 0 check: a two-vertex cycle carrying two flip-flops,
+     both vertices in one tile whose remaining capacity was eaten
+     entirely by repeaters.  Retiming conserves the cycle's registers,
+     so no labelling is violation-free. *)
+  let g =
+    Graph.create
+      ~delays:[| 1.0; 1.0; 0.0 |]
+      ~edges:[ { Graph.src = 0; dst = 1; weight = 1 }; { Graph.src = 1; dst = 0; weight = 1 } ]
+      ~host:2
+  in
+  let problem capacity =
+    {
+      Lacr_core.Problem.graph = g;
+      vertex_tile = [| 0; 0; -1 |];
+      n_tiles = 1;
+      capacity = [| capacity |];
+      ff_area = 1.0;
+      interconnect = [| false; false; false |];
+    }
+  in
+  let labels = [| 0; 0; 0 |] in
+  check_int "saturated tile counts every ff" 2
+    (Lacr_core.Problem.violations (problem 0.0) ~labels);
+  (* Over-subscription (negative remaining capacity) clamps to zero
+     rather than double-charging. *)
+  check_int "negative capacity clamps" 2
+    (Lacr_core.Problem.violations (problem (-3.5)) ~labels);
+  check_int "roomy tile has none" 0 (Lacr_core.Problem.violations (problem 2.0) ~labels);
+  (* The re-weighting loop must stay finite on the zero-capacity ratio
+     (capacity floor) and return the best labelling it saw. *)
+  let p = problem 0.0 in
+  let wd = Paths.compute g in
+  let cs = Constraints.generate g wd ~period:10.0 in
+  match Lac.retime_problem ~n_max:2 ~max_wr:5 p cs with
+  | Error msg -> Alcotest.failf "retime on saturated tile: %s" msg
+  | Ok outcome ->
+    check_int "both ffs remain violations" 2 outcome.Lac.n_foa;
+    check_int "cycle registers conserved" 2 outcome.Lac.n_f;
+    check "terminated within max_wr" true (outcome.Lac.n_wr <= 5)
+
+let test_second_error_surfaced_in_report () =
+  match Planner.plan ~second_iteration:false (small_circuit ()) with
+  | Error msg -> Alcotest.failf "plan: %s" msg
+  | Ok run ->
+    let failed = { run with Planner.second = Some (Error "expansion build failed") } in
+    let row = Report.row_of_run ~name:"small" failed in
+    (match row.Report.second_error with
+    | Some msg -> check "message recorded" true (msg = "expansion build failed")
+    | None -> Alcotest.fail "second_error not recorded in row");
+    check "no second foa column" true (row.Report.lac_n_foa_second = None);
+    let table = Report.render_table1 [ row ] in
+    check "note rendered" true (contains table "second iteration failed");
+    check "message rendered" true (contains table "expansion build failed");
+    (* The CSV projection carries the same field. *)
+    check "csv carries message" true
+      (List.mem "expansion build failed" (Report.csv_row row))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "growth table order independent" `Slow test_growth_table_order_independent;
+      Alcotest.test_case "repeater-saturated tile C(t)=0" `Quick
+        test_repeater_saturated_tile_zero_capacity;
+      Alcotest.test_case "second-iteration error surfaced" `Slow test_second_error_surfaced_in_report;
+    ]

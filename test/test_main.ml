@@ -15,4 +15,5 @@ let () =
       ("retime", Test_retime.suite);
       ("core", Test_core.suite);
       ("exact", Test_exact.suite);
+      ("obs", Test_obs.suite);
     ]
