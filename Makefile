@@ -1,7 +1,7 @@
 # One-command gate for every PR: full build, tier-1 tests, and a
 # planner smoke run on the embedded s27 circuit.
 
-.PHONY: all build test smoke smoke-warm smoke-trace check bench clean
+.PHONY: all build test lint smoke smoke-warm smoke-trace smoke-sanitize check bench clean
 
 all: build
 
@@ -10,6 +10,11 @@ build:
 
 test:
 	dune runtest
+
+# Determinism & domain-safety linter (R1-R4, see DESIGN.md): exits
+# non-zero on any finding not covered by a justified lint.allow entry.
+lint: build
+	dune exec bin/lacr_lint.exe -- --root . --allow lint.allow
 
 smoke:
 	dune exec bin/lacr_cli.exe -- plan s27
@@ -29,7 +34,13 @@ smoke-trace:
 	  --metrics _build/smoke_metrics.json \
 	  --expect plan,build,route.all,paths.compute,constraints.generate,lac.retime,lac.round
 
-check: build test smoke smoke-warm smoke-trace
+# Sanitizer smoke: a full plan with every solver invariant re-checked
+# after each step (flow conservation, admissibility, retiming cycle
+# sums, tile accounting, CSR shape, span balance).
+smoke-sanitize:
+	LACR_SANITIZE=1 dune exec bin/lacr_cli.exe -- plan s27
+
+check: build test lint smoke smoke-warm smoke-trace smoke-sanitize
 
 bench:
 	LACR_BENCH_FAST=1 dune exec bench/main.exe -- --json BENCH_fast.json

@@ -35,22 +35,23 @@ let load_circuit name_or_path =
         (Printf.sprintf "unknown circuit %s (not a file, not one of: s27 %s)" name_or_path
            (String.concat " " Suite.table1_names))
 
-let config_with ?seed ?alpha ?grid ?domains () =
+let config_with ?seed ?alpha ?grid ?domains ?sanitize () =
   let c = Config.default in
   let c = match seed with Some s -> { c with Config.seed = s } | None -> c in
   let c = match alpha with Some a -> { c with Config.alpha = a } | None -> c in
   let c = match grid with Some g -> { c with Config.grid = g } | None -> c in
-  match domains with Some d -> { c with Config.domains = d } | None -> c
+  let c = match domains with Some d -> { c with Config.domains = d } | None -> c in
+  match sanitize with Some s -> { c with Config.sanitize = s } | None -> c
 
 (* --- plan --- *)
 
-let run_plan circuit seed domains verbose second trace_file metrics_file =
+let run_plan circuit seed domains sanitize verbose second trace_file metrics_file =
   match load_circuit circuit with
   | Error msg ->
     prerr_endline msg;
     1
   | Ok netlist ->
-    let config = config_with ?seed ?domains () in
+    let config = config_with ?seed ?domains ~sanitize () in
     (* The collector is only live when an output was requested, so a
        plain `lacr plan` keeps the zero-overhead disabled path. *)
     let trace =
@@ -58,6 +59,9 @@ let run_plan circuit seed domains verbose second trace_file metrics_file =
       else Lacr_obs.Trace.disabled
     in
     (match Planner.plan ~config ~second_iteration:second ~trace netlist with
+    | exception Lacr_util.Sanitize.Violation { invariant; detail } ->
+      Printf.eprintf "sanitizer violation [%s]: %s\n" invariant detail;
+      2
     | Error msg ->
       Printf.eprintf "planning failed: %s\n" msg;
       1
@@ -408,6 +412,17 @@ let domains_arg =
            The LACR_DOMAINS environment variable overrides this flag. Results are identical \
            for every value.")
 
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Run the solver sanitizer for the whole plan: flow conservation and reduced-cost \
+           admissibility after every min-cost-flow solve, retiming legality and cycle \
+           flip-flop sums after every LAC round, per-tile accounting, CSR well-formedness \
+           and span balance. Violations abort with exit code 2. Equivalent to \
+           LACR_SANITIZE=1; the planned result is bit-identical, just slower.")
+
 let second_arg =
   Arg.(
     value & opt bool true
@@ -445,8 +460,8 @@ let plan_cmd =
   let doc = "Run the interconnect planner on one circuit." in
   Cmd.v (Cmd.info "plan" ~doc)
     Term.(
-      const run_plan $ circuit_arg $ seed_arg $ domains_arg $ verbose_arg $ second_arg
-      $ trace_arg $ metrics_arg)
+      const run_plan $ circuit_arg $ seed_arg $ domains_arg $ sanitize_arg $ verbose_arg
+      $ second_arg $ trace_arg $ metrics_arg)
 
 let trace_check_file_arg =
   Arg.(

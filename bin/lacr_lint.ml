@@ -1,0 +1,62 @@
+(* lacr_lint: the repository's determinism & domain-safety linter.
+
+   Parses every .ml under lib/, bin/, bench/ and test/ with
+   compiler-libs and enforces the named rules (see lib/lint/rules.mli
+   and DESIGN.md): R1 no polymorphic comparison in hot libraries,
+   R2 no nondeterminism sources, R3 no module-level mutable state in
+   pool-reachable libraries, R4 .mli pairing / no Obj.magic / no
+   naked assert false.  Exemptions live in the committed lint.allow,
+   one justified entry per line; stale entries are themselves
+   findings, so the allowlist can only shrink.
+
+   Exit codes: 0 clean, 1 findings, 2 internal errors (unreadable or
+   unparseable input, malformed allowlist). *)
+
+let usage = "lacr_lint [--root DIR] [--allow FILE] [--json]"
+
+let () =
+  let root = ref "." in
+  let allow = ref None in
+  let json = ref false in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root to lint (default .)");
+      ( "--allow",
+        Arg.String (fun s -> allow := Some s),
+        "FILE allowlist (default ROOT/lint.allow when present)" );
+      ("--json", Arg.Set json, " emit findings as JSON");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %s" a))) usage;
+  let allow_file =
+    match !allow with
+    | Some f -> Some f
+    | None ->
+      let candidate = Filename.concat !root "lint.allow" in
+      if Sys.file_exists candidate then Some candidate else None
+  in
+  let outcome = Lacr_lint.Run.lint ?allow_file ~root:!root () in
+  let module J = Lacr_obs.Jsonx in
+  if !json then
+    print_endline
+      (J.to_string ~indent:true
+         (J.Obj
+            [
+              ("files_scanned", J.of_int outcome.Lacr_lint.Run.files_scanned);
+              ( "findings",
+                J.Arr (List.map Lacr_lint.Diag.to_json outcome.Lacr_lint.Run.findings) );
+              ( "errors",
+                J.Arr (List.map (fun e -> J.Str e) outcome.Lacr_lint.Run.errors) );
+            ]))
+  else begin
+    List.iter
+      (fun f -> print_endline (Lacr_lint.Diag.to_string f))
+      outcome.Lacr_lint.Run.findings;
+    List.iter (fun e -> Printf.eprintf "lacr_lint: error: %s\n" e) outcome.Lacr_lint.Run.errors;
+    Printf.printf "lacr_lint: %d files scanned, %d finding(s), %d error(s)\n"
+      outcome.Lacr_lint.Run.files_scanned
+      (List.length outcome.Lacr_lint.Run.findings)
+      (List.length outcome.Lacr_lint.Run.errors)
+  end;
+  if outcome.Lacr_lint.Run.errors <> [] then exit 2
+  else if outcome.Lacr_lint.Run.findings <> [] then exit 1

@@ -27,6 +27,7 @@ type t = {
   max_wr : int;
   prune_constraints : bool;
   domains : int;
+  sanitize : bool;
 }
 
 let default =
@@ -55,6 +56,7 @@ let default =
     max_wr = 30;
     prune_constraints = true;
     domains = 1;
+    sanitize = false;
   }
 
 let block_count t ~n_units =

@@ -55,6 +55,14 @@ type t = {
           environment variable overrides this knob at pool creation
           (see [Lacr_util.Pool.resolve_size]).  Results are
           bit-identical for every value. *)
+  sanitize : bool;
+      (** run the {!Lacr_util.Sanitize} invariant checks (flow
+          conservation and admissibility after every min-cost-flow
+          solve, retiming legality/cycle sums and tile accounting
+          after every LAC round, CSR well-formedness, span balance)
+          for the duration of [Planner.plan].  Equivalent to
+          [LACR_SANITIZE=1]; default [false].  Slower, but the
+          planned result is bit-identical. *)
 }
 
 val default : t

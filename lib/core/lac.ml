@@ -39,16 +39,25 @@ let outcome_of ?pool (problem : Problem.t) labels ~n_wr ~exec_seconds ~trace ~so
     solver;
   }
 
-let min_area_baseline_problem ?pool ?(obs = Obs.disabled) (problem : Problem.t) constraints =
+(* Timing draws from the observability context's clock ([clock]
+   overrides it for tests): the one wall-clock source lives in
+   [Trace], so [exec_seconds] is deterministic under an injected
+   clock and the planner has a single clock-injection point. *)
+let resolve_clock ?clock obs =
+  match clock with Some c -> c | None -> Obs.clock_of obs
+
+let min_area_baseline_problem ?clock ?pool ?(obs = Obs.disabled) (problem : Problem.t)
+    constraints =
   Obs.with_span obs ~cat:"lac" "lac.minarea" @@ fun () ->
-  let start = Unix.gettimeofday () in
+  let clock = resolve_clock ?clock obs in
+  let start = clock () in
   match
     Min_area.solve_weighted ~trace:obs problem.Problem.graph constraints
       ~area:(base_area problem)
   with
   | Error msg -> Error msg
   | Ok solution ->
-    let exec_seconds = Unix.gettimeofday () -. start in
+    let exec_seconds = clock () -. start in
     Ok
       (outcome_of ?pool problem solution.Min_area.labels ~n_wr:1 ~exec_seconds ~trace:[]
          ~solver:[ solution.Min_area.stats ])
@@ -62,7 +71,50 @@ let vertex_areas_into (problem : Problem.t) ~base tile_weight area =
     (fun v tile -> area.(v) <- (if tile >= 0 then tile_weight.(tile) *. base.(v) else base.(v)))
     problem.Problem.vertex_tile
 
-let retime_problem ?(alpha = Config.default.Config.alpha)
+(* Sanitizer checks after each LAC round: the labelling is a legal
+   retiming (host pinned, no negative retimed weight, flip-flop counts
+   preserved around every cycle), the pooled flip-flop count matches a
+   sequential recount (a failed match means a pool-worker race), and
+   the per-tile accounting is consistent: a round reporting zero
+   violations really has AC(t) <= C(t) on every tile. *)
+let sanitize_round (problem : Problem.t) ~labels ~n_foa ~n_f =
+  let module S = Lacr_util.Sanitize in
+  let g = problem.Problem.graph in
+  if labels.(Graph.host g) <> 0 then
+    S.fail ~invariant:"retime.host"
+      (Printf.sprintf "host label is %d, not 0" labels.(Graph.host g));
+  if not (Graph.is_legal g labels) then
+    S.fail ~invariant:"retime.legality" "labelling leaves a negative retimed edge weight";
+  let edges = Graph.edges g in
+  let m = Array.length edges in
+  let src = Array.make m 0 and dst = Array.make m 0 in
+  let w_before = Array.make m 0 and w_after = Array.make m 0 in
+  Array.iteri
+    (fun i (e : Graph.edge) ->
+      src.(i) <- e.Graph.src;
+      dst.(i) <- e.Graph.dst;
+      w_before.(i) <- e.Graph.weight;
+      w_after.(i) <- Graph.retimed_weight g labels e)
+    edges;
+  S.check_cycle_sums ~invariant:"retime.cycle_sum" ~n:(Graph.num_vertices g) ~src ~dst
+    ~w_before ~w_after;
+  let serial = Problem.ff_count problem ~labels in
+  if serial <> n_f then
+    S.fail ~invariant:"lac.ff_count"
+      (Printf.sprintf "pooled flip-flop count %d, sequential recount %d" n_f serial);
+  let consumption = Problem.consumption problem ~labels in
+  Array.iteri
+    (fun tile used ->
+      if not (Float.is_finite used) || used < -1e-9 then
+        S.fail ~invariant:"lac.accounting"
+          (Printf.sprintf "tile %d has ill-formed consumption %g" tile used);
+      if n_foa = 0 && used > max 0.0 problem.Problem.capacity.(tile) +. 1e-9 then
+        S.fail ~invariant:"lac.accounting"
+          (Printf.sprintf "zero violations reported but tile %d consumes %g of capacity %g"
+             tile used problem.Problem.capacity.(tile)))
+    consumption
+
+let retime_problem ?clock ?(alpha = Config.default.Config.alpha)
     ?(n_max = Config.default.Config.n_max) ?(max_wr = Config.default.Config.max_wr)
     ?(reuse = true) ?pool ?(obs = Obs.disabled) (problem : Problem.t) constraints =
   if alpha < 0.0 || alpha > 1.0 then invalid_arg "Lac.retime: alpha out of [0,1]";
@@ -70,7 +122,8 @@ let retime_problem ?(alpha = Config.default.Config.alpha)
     ~attrs:[ ("alpha", Obs.Float alpha); ("max_wr", Obs.Int max_wr) ]
     "lac.retime"
   @@ fun () ->
-  let start = Unix.gettimeofday () in
+  let clock = resolve_clock ?clock obs in
+  let start = clock () in
   let n = Graph.num_vertices problem.Problem.graph in
   let tile_weight = Array.make problem.Problem.n_tiles 1.0 in
   let remaining tile = max capacity_floor problem.Problem.capacity.(tile) in
@@ -123,6 +176,7 @@ let retime_problem ?(alpha = Config.default.Config.alpha)
         trace := (n_foa, solution.Min_area.ff_area) :: !trace;
         solver := solution.Min_area.stats :: !solver;
         let n_f = Problem.ff_count ?pool problem ~labels in
+        if Lacr_util.Sanitize.enabled () then sanitize_round problem ~labels ~n_foa ~n_f;
         if Obs.enabled obs then begin
           let st = solution.Min_area.stats in
           Obs.span_attr obs "n_foa" (Obs.Int n_foa);
@@ -176,7 +230,7 @@ let retime_problem ?(alpha = Config.default.Config.alpha)
     (match iterate 0 with
     | Error msg -> Error msg
     | Ok () ->
-      let exec_seconds = Unix.gettimeofday () -. start in
+      let exec_seconds = clock () -. start in
       (match !best with
       | None -> Error "LAC-retiming: no iteration completed"
       | Some (_, labels, _) ->
@@ -186,12 +240,14 @@ let retime_problem ?(alpha = Config.default.Config.alpha)
 
 (* --- instance-facing wrappers --- *)
 
-let min_area_baseline ?pool ?obs (inst : Build.instance) constraints =
-  min_area_baseline_problem ?pool ?obs (Problem.of_instance inst) constraints
+let min_area_baseline ?clock ?pool ?obs (inst : Build.instance) constraints =
+  min_area_baseline_problem ?clock ?pool ?obs (Problem.of_instance inst) constraints
 
-let retime ?alpha ?n_max ?max_wr ?reuse ?pool ?obs (inst : Build.instance) constraints =
+let retime ?clock ?alpha ?n_max ?max_wr ?reuse ?pool ?obs (inst : Build.instance)
+    constraints =
   let cfg = inst.Build.config in
   let alpha = match alpha with Some a -> a | None -> cfg.Config.alpha in
   let n_max = match n_max with Some n -> n | None -> cfg.Config.n_max in
   let max_wr = match max_wr with Some n -> n | None -> cfg.Config.max_wr in
-  retime_problem ~alpha ~n_max ~max_wr ?reuse ?pool ?obs (Problem.of_instance inst) constraints
+  retime_problem ?clock ~alpha ~n_max ~max_wr ?reuse ?pool ?obs (Problem.of_instance inst)
+    constraints

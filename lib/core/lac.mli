@@ -39,6 +39,7 @@ type outcome = {
 }
 
 val min_area_baseline :
+  ?clock:(unit -> float) ->
   ?pool:Lacr_util.Pool.t ->
   ?obs:Lacr_obs.Trace.ctx ->
   Build.instance ->
@@ -48,6 +49,7 @@ val min_area_baseline :
     the comparison column of Table 1.  [n_wr = 1]. *)
 
 val retime :
+  ?clock:(unit -> float) ->
   ?alpha:float ->
   ?n_max:int ->
   ?max_wr:int ->
@@ -65,6 +67,18 @@ val retime :
     (W,D)/constraint stages) parallelizes the integer flip-flop
     accounting; outcomes are pool-size independent.
 
+    [clock] (default: the [obs] context's clock, i.e. the wall clock
+    when observability is disabled) supplies the timestamps behind
+    {!outcome.exec_seconds}; injecting a counter makes reported
+    durations deterministic in tests.
+
+    With {!Lacr_util.Sanitize} enabled ([LACR_SANITIZE=1] or
+    {!Config.t.sanitize}), every round re-verifies the labelling
+    (host pinned, legality, cycle flip-flop sums), cross-checks the
+    pooled flip-flop count against a sequential recount, and audits
+    the per-tile accounting; violations raise
+    {!Lacr_util.Sanitize.Violation}.
+
     [obs] (default disabled) wraps the run in a [lac.retime] span with
     one sibling [lac.round] span per re-weighting round, each carrying
     the round's violation count and the flow solver's counters
@@ -79,6 +93,7 @@ val retime :
     full physical-planning pipeline. *)
 
 val min_area_baseline_problem :
+  ?clock:(unit -> float) ->
   ?pool:Lacr_util.Pool.t ->
   ?obs:Lacr_obs.Trace.ctx ->
   Problem.t ->
@@ -86,6 +101,7 @@ val min_area_baseline_problem :
   (outcome, string) result
 
 val retime_problem :
+  ?clock:(unit -> float) ->
   ?alpha:float ->
   ?n_max:int ->
   ?max_wr:int ->

@@ -30,7 +30,21 @@ let growth_table (inst : Build.instance) (outcome : Lac.outcome) =
      never become legal without more block area. *)
   let report = Area.report inst ~labels:outcome.Lac.labels in
   let tiles = Tilegraph.tiles inst.Build.tilegraph in
-  let by_block = Hashtbl.create 8 in
+  (* Max-merge into an association list: when several violated tiles
+     map to one block (a block spanning tiles, or duplicate report
+     entries) the strongest demand wins, independent of the order the
+     tiles are visited in.  Blocks number in the tens, so the linear
+     scan costs nothing and — unlike a hash table — the accumulator
+     has no iteration-order pitfalls at all. *)
+  let by_block = ref [] in
+  let record name factor =
+    let rec bump = function
+      | [] -> [ (name, factor) ]
+      | (n, prev) :: rest when String.equal n name -> (n, Float.max prev factor) :: rest
+      | entry :: rest -> entry :: bump rest
+    in
+    by_block := bump !by_block
+  in
   List.iter
     (fun (tile, _ff_excess) ->
       match tiles.(tile).Tilegraph.kind with
@@ -56,17 +70,11 @@ let growth_table (inst : Build.instance) (outcome : Lac.outcome) =
             sized_units *. cfg.Config.block_area_inflation *. cfg.Config.soft_fill_factor
           in
           let factor = 1.3 *. full_excess /. max 1.0 capacity_per_growth in
-          (* Max-merge: when several violated tiles map to one block
-             (a block spanning tiles, or duplicate report entries) the
-             strongest demand wins, independent of the order the tiles
-             are visited in. *)
-          let prev = try Hashtbl.find by_block name with Not_found -> 0.0 in
-          Hashtbl.replace by_block name (Float.max prev factor)
+          record name factor
         end
       | Tilegraph.Channel | Tilegraph.Hard_cell _ -> ())
     report.Area.violated_tiles;
-  Hashtbl.fold (fun name factor acc -> (name, factor) :: acc) by_block []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !by_block
 
 let growth_for inst outcome =
   let table = growth_table inst outcome in
@@ -128,6 +136,11 @@ let plan_with_pool ~pool ~config ~second_iteration ?(trace = Obs.disabled) insta
     Ok { instance; t_init; t_min; t_clk; minarea; lac; second })
 
 let plan ?(config = Config.default) ?(second_iteration = true) ?(trace = Obs.disabled) netlist =
+  (* [sanitize] widens, never narrows: LACR_SANITIZE=1 in the
+     environment stays in force even when the config says [false]. *)
+  Lacr_util.Sanitize.with_enabled
+    (Lacr_util.Sanitize.enabled () || config.Config.sanitize)
+  @@ fun () ->
   Obs.with_span trace ~cat:"core" "plan" @@ fun () ->
   match Build.build ~config ~trace netlist with
   | Error msg -> Error msg

@@ -137,7 +137,7 @@ let pack expr ~shapes =
       (match op with
       | V -> place right p.pick_right ~x:(x +. lp.w) ~y
       | H -> place right p.pick_right ~x ~y:(y +. lp.h)
-      | Operand _ -> assert false)
+      | Operand _ -> invalid_arg "Slicing.place: operand below a cut node")
   in
   place root !best ~x:0.0 ~y:0.0;
   { rects; width = root.curve.(!best).w; height = root.curve.(!best).h }

@@ -1,0 +1,75 @@
+type entry = {
+  rule : string;
+  file : string;
+  ident : string;
+  justification : string;
+  line : int;
+}
+
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') s
+
+let split_fields s =
+  String.split_on_char ' ' s |> List.filter (fun f -> not (String.equal f ""))
+
+let parse_line ~line text =
+  let text = String.trim text in
+  if String.equal text "" || text.[0] = '#' then Ok None
+  else
+    (* The justification separator is the first " -- ". *)
+    let sep = " -- " in
+    let rec find_sep i =
+      if i + String.length sep > String.length text then None
+      else if String.equal (String.sub text i (String.length sep)) sep then Some i
+      else find_sep (i + 1)
+    in
+    match find_sep 0 with
+    | None -> Error (Printf.sprintf "line %d: missing ' -- justification'" line)
+    | Some i ->
+      let head = String.sub text 0 i in
+      let justification =
+        String.trim (String.sub text (i + String.length sep) (String.length text - i - String.length sep))
+      in
+      if String.equal justification "" then
+        Error (Printf.sprintf "line %d: empty justification" line)
+      else (
+        match split_fields head with
+        | [ rule; file; ident ] -> Ok (Some { rule; file; ident; justification; line })
+        | _ -> Error (Printf.sprintf "line %d: expected 'RULE FILE IDENT -- justification'" line))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+    let lines = String.split_on_char '\n' contents in
+    let rec go n acc = function
+      | [] -> Ok (List.rev acc)
+      | text :: rest -> (
+        if is_blank text then go (n + 1) acc rest
+        else
+          match parse_line ~line:n text with
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)
+          | Ok None -> go (n + 1) acc rest
+          | Ok (Some entry) -> go (n + 1) (entry :: acc) rest)
+    in
+    go 1 [] lines
+
+let matches e (f : Diag.finding) =
+  String.equal e.rule f.rule
+  && String.equal e.file f.file
+  && (String.equal e.ident "*" || String.equal e.ident f.ident)
+
+let filter entries findings =
+  let used = Array.make (List.length entries) false in
+  let indexed = List.mapi (fun i e -> (i, e)) entries in
+  let kept =
+    List.filter
+      (fun f ->
+        match List.find_opt (fun (_, e) -> matches e f) indexed with
+        | Some (i, _) ->
+          used.(i) <- true;
+          false
+        | None -> true)
+      findings
+  in
+  let stale = List.filteri (fun i _ -> not used.(i)) entries in
+  (kept, stale)

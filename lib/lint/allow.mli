@@ -1,0 +1,28 @@
+(** The committed allowlist ([lint.allow]): one justified exemption
+    per line, format
+
+    {v RULE FILE IDENT -- justification v}
+
+    [#]-comments and blank lines are ignored.  The justification after
+    [--] is mandatory — an entry without one is a load error, so every
+    exemption in the repository carries its reason.  [IDENT] may be
+    [*] to cover every identifier a rule flags in a file. *)
+
+type entry = {
+  rule : string;
+  file : string;
+  ident : string;  (** ["*"] matches any identifier *)
+  justification : string;
+  line : int;  (** line in the allowlist file, for stale reporting *)
+}
+
+val load : string -> (entry list, string) result
+(** Parse an allowlist file; [Error] names the first malformed line. *)
+
+val matches : entry -> Diag.finding -> bool
+
+val filter :
+  entry list -> Diag.finding list -> Diag.finding list * entry list
+(** [filter entries findings] drops allowlisted findings and returns
+    them together with the {e stale} entries that matched nothing —
+    stale entries are reported so the allowlist can only shrink. *)

@@ -1,0 +1,157 @@
+type lib = {
+  lib_name : string;
+  dir : string;
+  deps : string list;
+}
+
+(* --- a minimal s-expression reader, enough for dune files --- *)
+
+type sexp =
+  | Atom of string
+  | List of sexp list
+
+let parse_sexps text =
+  let n = String.length text in
+  let rec skip i =
+    if i >= n then i
+    else
+      match text.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip (i + 1)
+      | ';' ->
+        let rec eol j = if j >= n || text.[j] = '\n' then j else eol (j + 1) in
+        skip (eol i)
+      | _ -> i
+  in
+  let atom_end i =
+    let rec go j =
+      if j >= n then j
+      else
+        match text.[j] with
+        | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' -> j
+        | _ -> go (j + 1)
+    in
+    go i
+  in
+  let string_end i =
+    (* i points just past the opening quote *)
+    let rec go j =
+      if j >= n then j
+      else if text.[j] = '\\' then go (j + 2)
+      else if text.[j] = '"' then j + 1
+      else go (j + 1)
+    in
+    go i
+  in
+  let rec parse_list i acc =
+    let i = skip i in
+    if i >= n then (List.rev acc, i)
+    else
+      match text.[i] with
+      | ')' -> (List.rev acc, i + 1)
+      | '(' ->
+        let items, j = parse_list (i + 1) [] in
+        parse_list j (List items :: acc)
+      | '"' ->
+        let j = string_end (i + 1) in
+        parse_list j (Atom (String.sub text i (j - i)) :: acc)
+      | _ ->
+        let j = atom_end i in
+        parse_list j (Atom (String.sub text i (j - i)) :: acc)
+  in
+  let items, _ = parse_list 0 [] in
+  items
+
+let field name = function
+  | List (Atom head :: rest) when String.equal head name -> Some rest
+  | _ -> None
+
+let atoms items =
+  List.filter_map (function Atom a -> Some a | List _ -> None) items
+
+(* --- library discovery --- *)
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> Some contents
+  | exception Sys_error _ -> None
+
+let libs_of_dune ~dir text =
+  List.filter_map
+    (fun stanza ->
+      match field "library" stanza with
+      | None -> None
+      | Some body ->
+        let name =
+          List.find_map (fun item -> Option.map atoms (field "name" item)) body
+        in
+        let deps =
+          match List.find_map (fun item -> Option.map atoms (field "libraries" item)) body with
+          | Some l -> l
+          | None -> []
+        in
+        (match name with
+        | Some [ lib_name ] -> Some { lib_name; dir; deps }
+        | _ -> None))
+    text
+
+let libraries ~root =
+  let lib_root = Filename.concat root "lib" in
+  let entries =
+    match Sys.readdir lib_root with
+    | entries ->
+      Array.sort String.compare entries;
+      Array.to_list entries
+    | exception Sys_error _ -> []
+  in
+  List.concat_map
+    (fun entry ->
+      let dir = Filename.concat lib_root entry in
+      let dune = Filename.concat dir "dune" in
+      if Sys.is_directory dir && Sys.file_exists dune then
+        match read_file dune with
+        | Some text -> libs_of_dune ~dir:(Filename.concat "lib" entry) (parse_sexps text)
+        | None -> []
+      else [])
+    entries
+
+(* --- pool-caller reachability --- *)
+
+let contains_sub s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec at i =
+    if i + lb > ls then false
+    else if String.equal (String.sub s i lb) sub then true
+    else at (i + 1)
+  in
+  lb > 0 && at 0
+
+(* The pool's parallel entry points: a library whose source mentions
+   any of these hands closures to worker domains. *)
+let pool_markers = [ "parallel_for"; "parallel_sum"; "with_pool" ]
+
+let uses_pool ~root l =
+  let dir = Filename.concat root l.dir in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> false
+  | entries ->
+    Array.exists
+      (fun f ->
+        Filename.check_suffix f ".ml"
+        &&
+        match read_file (Filename.concat dir f) with
+        | None -> false
+        | Some text -> List.exists (contains_sub text) pool_markers)
+      entries
+
+let race_dirs ~root =
+  let libs = libraries ~root in
+  let by_name name = List.find_opt (fun l -> String.equal l.lib_name name) libs in
+  let visited = ref [] in
+  let rec visit l =
+    if not (List.exists (fun d -> String.equal d l.dir) !visited) then begin
+      visited := l.dir :: !visited;
+      List.iter (fun dep -> Option.iter visit (by_name dep)) l.deps
+    end
+  in
+  List.iter (fun l -> if uses_pool ~root l then visit l) libs;
+  List.sort String.compare !visited

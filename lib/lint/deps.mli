@@ -1,0 +1,21 @@
+(** The repository's library dependency graph, recovered from the
+    [lib/*/dune] files with a minimal s-expression reader — enough to
+    answer the R3 scoping question: {e which library directories can a
+    [Lacr_util.Pool] caller reach?}  Module-level mutable state in any
+    of those is a candidate data race, because pool workers may
+    execute that library's code concurrently. *)
+
+type lib = {
+  lib_name : string;  (** dune [(name ...)], e.g. ["lacr_retime"] *)
+  dir : string;  (** directory relative to the root, e.g. ["lib/retime"] *)
+  deps : string list;  (** internal entries of [(libraries ...)] only *)
+}
+
+val libraries : root:string -> lib list
+(** Every [(library ...)] stanza found under [root/lib]; directories
+    without a readable dune file are skipped. *)
+
+val race_dirs : root:string -> string list
+(** Sorted directories (relative to [root]) of the libraries that call
+    the pool's parallel entry points plus everything those libraries
+    transitively depend on — the R3 scope. *)

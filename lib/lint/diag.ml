@@ -1,0 +1,36 @@
+type finding = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  ident : string;
+  message : string;
+}
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.ident b.ident
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s (%s)" f.file f.line f.col f.rule f.message f.ident
+
+let to_json f =
+  let module J = Lacr_obs.Jsonx in
+  J.Obj
+    [
+      ("rule", J.Str f.rule);
+      ("file", J.Str f.file);
+      ("line", J.of_int f.line);
+      ("col", J.of_int f.col);
+      ("ident", J.Str f.ident);
+      ("message", J.Str f.message);
+    ]

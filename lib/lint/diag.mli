@@ -1,0 +1,21 @@
+(** Lint findings: one record per rule violation, with a stable
+    [file:line:col] anchor, the rule that fired, and the offending
+    identifier (the allowlist matches on rule + file + identifier). *)
+
+type finding = {
+  rule : string;  (** ["R1"].. ["R4"], or ["allow"] for stale entries *)
+  file : string;  (** path relative to the lint root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based column *)
+  ident : string;  (** offending identifier (allowlist key) *)
+  message : string;
+}
+
+val compare : finding -> finding -> int
+(** Order by file, then line, column, rule, identifier — the report
+    order, deterministic for any traversal order. *)
+
+val to_string : finding -> string
+(** [file:line:col: [rule] message (ident)] — one line per finding. *)
+
+val to_json : finding -> Lacr_obs.Jsonx.t

@@ -1,0 +1,215 @@
+open Parsetree
+
+type scope = {
+  hot : bool;
+  race : bool;
+  strict : bool;
+}
+
+type ctx = {
+  scope : scope;
+  file : string;
+  mutable findings : Diag.finding list;
+}
+
+let report ctx ~rule ~loc ~ident message =
+  let p = loc.Location.loc_start in
+  ctx.findings <-
+    {
+      Diag.rule;
+      file = ctx.file;
+      line = p.Lexing.pos_lnum;
+      col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+      ident;
+      message;
+    }
+    :: ctx.findings
+
+(* Identifier paths are compared after stripping an explicit [Stdlib.]
+   qualifier, so [Stdlib.compare] and [compare] are one identifier. *)
+let name_of lid =
+  let s = String.concat "." (Longident.flatten lid) in
+  let prefix = "Stdlib." in
+  let lp = String.length prefix in
+  if String.length s > lp && String.equal (String.sub s 0 lp) prefix then
+    String.sub s lp (String.length s - lp)
+  else s
+
+let mem name names = List.exists (String.equal name) names
+
+(* --- R1: polymorphic structural comparison (hot libraries) --- *)
+
+let poly_eq_ops = [ "="; "<>" ]
+let poly_compare_idents = [ "compare"; "Hashtbl.hash" ]
+
+(* Operands for which [=]/[<>] is structural comparison of aggregate
+   data: constructors (so [Some _], [None], list literals, [::]),
+   tuples, records, arrays, polymorphic variants and string constants.
+   [()], [true] and [false] compare atomically and stay quiet. *)
+let rec structured_operand e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt; _ }, _) -> (
+    match Longident.flatten txt with
+    | [ ("()" | "true" | "false") ] -> false
+    | _ -> true)
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ | Pexp_variant _ -> true
+  | Pexp_constant (Pconst_string _) -> true
+  | Pexp_constraint (inner, _) -> structured_operand inner
+  | _ -> false
+
+(* --- R2: nondeterminism sources (everywhere) --- *)
+
+let nondet_idents =
+  [
+    "Hashtbl.iter";
+    "Hashtbl.fold";
+    "Hashtbl.to_seq";
+    "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values";
+    "Random.self_init";
+    "Sys.time";
+    "Unix.gettimeofday";
+    "Unix.time";
+  ]
+
+let nondet_reason name =
+  if String.length name >= 7 && String.equal (String.sub name 0 7) "Hashtbl" then
+    "hash-seed-dependent iteration order"
+  else "ambient clock/seed"
+
+(* --- R3: module-level mutable state (pool-reachable libraries) --- *)
+
+let mutable_alloc_idents =
+  [
+    "ref";
+    "Array.make";
+    "Array.create_float";
+    "Array.init";
+    "Array.copy";
+    "Array.of_list";
+    "Array.sub";
+    "Array.append";
+    "Array.concat";
+    "Array.make_matrix";
+    "Hashtbl.create";
+    "Buffer.create";
+    "Queue.create";
+    "Stack.create";
+    "Bytes.make";
+    "Bytes.create";
+    "Bytes.of_string";
+  ]
+
+(* The sanctioned concurrency primitives: safe to share across worker
+   domains by construction. *)
+let sanctioned_idents =
+  [ "Atomic.make"; "Mutex.create"; "Condition.create"; "Domain.DLS.new_key" ]
+
+(* Find a mutable allocation reachable from a module-level binding's
+   right-hand side without entering a function body (closures allocate
+   per call, which is not shared state).  Descends only through
+   value-transparent shapes: the shared cell must be live in the
+   binding itself. *)
+let rec find_mutable_alloc e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+    let name = name_of txt in
+    if mem name sanctioned_idents then None
+    else if mem name mutable_alloc_idents then Some (e.pexp_loc, name)
+    else List.find_map (fun (_, a) -> find_mutable_alloc a) args
+  | Pexp_array (_ :: _) -> Some (e.pexp_loc, "[|...|]")
+  | Pexp_constraint (inner, _) -> find_mutable_alloc inner
+  | Pexp_tuple items -> List.find_map find_mutable_alloc items
+  | Pexp_record (fields, _) -> List.find_map (fun (_, v) -> find_mutable_alloc v) fields
+  | Pexp_let (_, _, body) -> find_mutable_alloc body
+  | Pexp_sequence (_, body) -> find_mutable_alloc body
+  | Pexp_lazy inner -> find_mutable_alloc inner
+  | _ -> None
+
+(* --- the iterator --- *)
+
+let check_ident ctx ~loc ~applied ~args name =
+  if mem name nondet_idents then
+    report ctx ~rule:"R2" ~loc ~ident:name
+      (Printf.sprintf "nondeterminism source %s (%s)" name (nondet_reason name));
+  if ctx.scope.hot then begin
+    if mem name poly_eq_ops then begin
+      let flagged =
+        if not applied then
+          Some "polymorphic comparison operator used as a first-class value"
+        else if List.length args < 2 then
+          Some "partially applied polymorphic comparison operator"
+        else if List.exists (fun (_, a) -> structured_operand a) args then
+          Some "polymorphic comparison of structured data"
+        else None
+      in
+      match flagged with
+      | Some message ->
+        report ctx ~rule:"R1" ~loc ~ident:name
+          (message ^ "; use a monomorphic equal/compare")
+      | None -> ()
+    end;
+    if mem name poly_compare_idents then
+      report ctx ~rule:"R1" ~loc ~ident:name
+        (Printf.sprintf "polymorphic %s in a hot library; use a monomorphic comparator" name)
+  end;
+  if ctx.scope.strict && String.equal name "Obj.magic" then
+    report ctx ~rule:"R4" ~loc ~ident:name "Obj.magic defeats the type system"
+
+let is_assert_false e =
+  match e.pexp_desc with
+  | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ }
+    ->
+    true
+  | _ -> false
+
+let iterator ctx =
+  let default = Ast_iterator.default_iterator in
+  let expr self e =
+    if ctx.scope.strict && is_assert_false e then
+      report ctx ~rule:"R4" ~loc:e.pexp_loc ~ident:"assert_false"
+        "naked 'assert false'; raise a named exception with a message instead";
+    match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+      check_ident ctx ~loc ~applied:true ~args (name_of txt);
+      (* The head identifier is fully handled above: recurse into the
+         arguments only, so one call site yields one finding. *)
+      List.iter (fun (_, a) -> self.Ast_iterator.expr self a) args
+    | Pexp_ident { txt; loc } -> check_ident ctx ~loc ~applied:false ~args:[] (name_of txt)
+    | _ -> default.Ast_iterator.expr self e
+  in
+  let structure_item self item =
+    (match item.pstr_desc with
+    | Pstr_value (_, bindings) when ctx.scope.race ->
+      List.iter
+        (fun vb ->
+          match find_mutable_alloc vb.pvb_expr with
+          | None -> ()
+          | Some (loc, ident) ->
+            report ctx ~rule:"R3" ~loc ~ident
+              (Printf.sprintf
+                 "module-level mutable state (%s) in a pool-reachable library; use \
+                  Atomic/Mutex or allowlist as per-worker-slot scratch"
+                 ident))
+        bindings
+    | _ -> ());
+    default.Ast_iterator.structure_item self item
+  in
+  { default with Ast_iterator.expr; structure_item }
+
+let check_structure scope ~file structure =
+  let ctx = { scope; file; findings = [] } in
+  let it = iterator ctx in
+  it.Ast_iterator.structure it structure;
+  List.rev ctx.findings
+
+let parse_implementation ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception exn -> (
+    match Location.error_of_exn exn with
+    | Some (`Ok report) -> Error (Format.asprintf "%a" Location.print_report report)
+    | Some `Already_displayed | None ->
+      Error (Printf.sprintf "%s: %s" file (Printexc.to_string exn)))

@@ -1,0 +1,37 @@
+(** The named lint rules, applied to one parsed implementation file.
+
+    - {b R1} (hot libraries only): no polymorphic structural
+      comparison — [(=)]/[(<>)] applied to constructors, tuples,
+      records, arrays, variants or string constants, used partially,
+      or passed as values; bare [compare]; [Hashtbl.hash].  Structural
+      compare walks arbitrary heap graphs, diverges on cycles, and
+      costs far more than the monomorphic [String.equal]/[Int.compare]
+      family the hot solvers should use.
+    - {b R2} (everywhere): no nondeterminism sources —
+      [Hashtbl.iter]/[fold]/[to_seq*] (iteration order varies with the
+      hash seed) and ambient clocks/seeds ([Unix.gettimeofday],
+      [Sys.time], [Random.self_init]).  Exemptions live in the
+      committed allowlist.
+    - {b R3} (libraries reachable from pool callers, see {!Deps}):
+      module-level mutable state — [ref]s, arrays, [Hashtbl.t]s and
+      friends bound at the top level — is a candidate data race under
+      the worker pool unless allowlisted as per-worker-slot scratch.
+      [Atomic.make], [Mutex.create], [Condition.create] and
+      [Domain.DLS] keys are the sanctioned forms and are not flagged.
+    - {b R4} (libraries): no [Obj.magic], no naked [assert false] —
+      raise a named exception instead.  (The matching-[.mli] half of
+      R4 is a filesystem check and lives in {!Run}.) *)
+
+type scope = {
+  hot : bool;  (** R1 applies *)
+  race : bool;  (** R3 applies *)
+  strict : bool;  (** R4 [Obj.magic] / [assert false] applies *)
+}
+
+val check_structure :
+  scope -> file:string -> Parsetree.structure -> Diag.finding list
+(** Findings for one parsed [.ml], in source order. *)
+
+val parse_implementation :
+  file:string -> string -> (Parsetree.structure, string) result
+(** Parse OCaml source text ([file] is used in error positions). *)

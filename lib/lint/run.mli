@@ -1,0 +1,27 @@
+(** The lint driver: walk the source tree, parse every implementation
+    file, apply the {!Rules} with the right per-directory scope, check
+    the R4 [.mli] pairing, and subtract the allowlist.
+
+    Scanned roots: [lib/], [bin/], [bench/], [test/].  Hot (R1)
+    directories are the solver kernels named in DESIGN.md; the R3
+    race scope is computed from the dune dependency graph
+    ({!Deps.race_dirs}). *)
+
+type outcome = {
+  findings : Diag.finding list;
+      (** sorted by file/line; allowlisted findings removed; stale
+          allowlist entries appear under rule ["allow"] *)
+  errors : string list;  (** unreadable/unparseable inputs *)
+  files_scanned : int;
+}
+
+val hot_dirs : string list
+(** The R1 scope: directories of the determinism-critical kernels. *)
+
+val lint : ?allow_file:string -> root:string -> unit -> outcome
+
+val lint_file :
+  ?hot:bool -> ?race:bool -> ?strict:bool -> file:string -> string ->
+  (Diag.finding list, string) result
+(** Lint one source text under an explicit scope (defaults: all
+    checks on) — the unit-test entry point for seeded violations. *)

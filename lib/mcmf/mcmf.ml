@@ -475,6 +475,26 @@ let solve ?(warm = false) ?(trace = Lacr_obs.Trace.disabled) t =
           total_cost := !total_cost +. (flow.(k) *. float_of_int t.arc_cost.(2 * k))
         done;
         let potentials = Array.sub pi 0 t.n in
+        (* Sanitizer: the solution must actually route the loaded
+           supplies (conservation over the user arcs, guards included)
+           and the final potentials must certify optimality (no
+           residual arc with negative reduced cost). *)
+        if Lacr_util.Sanitize.enabled () then begin
+          Lacr_util.Sanitize.check_flow_conservation ~invariant:"mcmf.conservation" ~n:t.n
+            ~n_handles
+            ~src:(fun k -> t.arc_src.(2 * k))
+            ~dst:(fun k -> t.arc_dst.(2 * k))
+            ~flow:(fun k -> flow.(k))
+            ~supply:(fun v -> t.supply.(v))
+            ~tol:1e-4;
+          Lacr_util.Sanitize.check_admissibility ~invariant:"mcmf.admissible"
+            ~n_arcs:t.n_arcs
+            ~src:(fun a -> t.arc_src.(a))
+            ~dst:(fun a -> t.arc_dst.(a))
+            ~cost:(fun a -> t.arc_cost.(a))
+            ~residual:(fun a -> t.arc_cap.(a))
+            ~pi ~eps
+        end;
         Ok { total_cost = !total_cost; potentials; flow }
     end
   end

@@ -103,7 +103,7 @@ let parse_string ?name text =
         let rec split_last acc = function
           | [ last ] -> (List.rev acc, last)
           | x :: rest -> split_last (x :: acc) rest
-          | [] -> assert false
+          | [] -> failwith "Blif_io: internal: .names with no signals"
         in
         let fanins, output = split_last [] args in
         pending := Some { output; fanins; patterns = [] }

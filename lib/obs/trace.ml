@@ -105,6 +105,27 @@ let create ?(clock = Unix.gettimeofday) () =
 
 let enabled = function Off -> false | On _ -> true
 
+(* The collector's clock, for callers that time work outside spans
+   (e.g. [Lac.exec_seconds]): the injected clock when the context is
+   live, the wall clock otherwise.  This is the repo's single
+   clock-injection point — everything else routes through it. *)
+let clock_of = function Off -> Unix.gettimeofday | On state -> state.clock
+
+(* Sanitizer: exported data is only meaningful once every span is
+   closed; an unbalanced stack means a with_span-less begin/end pair
+   or an exporter called mid-span. *)
+let check_balanced state =
+  if Lacr_util.Sanitize.enabled () then
+    Array.iteri
+      (fun s slot ->
+        match slot.stack with
+        | [] -> ()
+        | spans ->
+          Lacr_util.Sanitize.fail ~invariant:"trace.span_balance"
+            (Printf.sprintf "slot %d has %d open span(s) at export (innermost: %s)" s
+               (List.length spans) (List.hd spans).o_name))
+      state.slots
+
 (* Per-slot monotone timestamp: the raw clock is clamped to strictly
    increase within a track, so exported traces always carry monotone
    timestamps even if the underlying clock stalls or steps back. *)
@@ -132,7 +153,9 @@ let begin_span state ?(cat = "planner") ?(attrs = []) name =
 let end_span state =
   let slot = state.slots.(Lacr_util.Pool.worker_slot ()) in
   match slot.stack with
-  | [] -> ()
+  | [] ->
+    if Lacr_util.Sanitize.enabled () then
+      Lacr_util.Sanitize.fail ~invariant:"trace.span_balance" "end_span with no open span"
   | span :: rest ->
     slot.stack <- rest;
     let stop = now state slot in
@@ -271,6 +294,7 @@ let events ctx =
   match ctx with
   | Off -> []
   | On state ->
+    check_balanced state;
     let tracks = ref [] in
     for s = max_slots - 1 downto 0 do
       match state.slots.(s).events with
@@ -288,6 +312,7 @@ let span_summary ?(max_depth = 1) ctx =
   match ctx with
   | Off -> []
   | On state ->
+    check_balanced state;
     let evs =
       List.sort
         (fun a b -> compare a.ev_ts b.ev_ts)

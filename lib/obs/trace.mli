@@ -48,6 +48,13 @@ val create : ?clock:(unit -> float) -> unit -> ctx
 
 val enabled : ctx -> bool
 
+val clock_of : ctx -> unit -> float
+(** The context's clock: the injected one when live, the wall clock
+    when disabled.  Callers that time work outside spans (e.g.
+    [Lac.exec_seconds]) draw their timestamps here, so injecting a
+    clock at {!create} makes every reported duration deterministic —
+    this is the planner's single clock-injection point. *)
+
 (** {2 Spans} *)
 
 val with_span : ctx -> ?cat:string -> ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a

@@ -72,7 +72,7 @@ let pruned_period_constraints ?(pool = Lacr_util.Pool.sequential)
         if wrow.(v) <> max_int && drow.(v) > period +. epsilon && (u <> v || wrow.(v) = 0) then
           candidates := v :: !candidates
       done;
-      let sorted = List.sort (fun a b -> compare wrow.(a) wrow.(b)) !candidates in
+      let sorted = List.sort (fun a b -> Int.compare wrow.(a) wrow.(b)) !candidates in
       let kept = ref [] in
       let consider v =
         let implied =
@@ -100,7 +100,7 @@ let pruned_period_constraints ?(pool = Lacr_util.Pool.sequential)
   let acc = ref [] in
   for v = 0 to n - 1 do
     let sorted =
-      List.sort (fun u1 u2 -> compare wd.Paths.w.(u1).(v) wd.Paths.w.(u2).(v)) by_target.(v)
+      List.sort (fun u1 u2 -> Int.compare wd.Paths.w.(u1).(v) wd.Paths.w.(u2).(v)) by_target.(v)
     in
     let kept = ref [] in
     let consider u =

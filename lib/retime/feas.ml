@@ -84,5 +84,5 @@ let min_period g wd =
     search 0 (n_cand - 1);
     match !best with
     | Some (period, labels) -> { Feasibility.period; labels }
-    | None -> assert false
+    | None -> failwith "Feas.min_period: internal: no candidate period survived"
   end

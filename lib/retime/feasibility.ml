@@ -94,5 +94,5 @@ let min_period ?(extra = []) g wd =
     search 0 (n_cand - 1);
     match !best with
     | Some (period, labels) -> { period; labels }
-    | None -> assert false
+    | None -> failwith "Feasibility.min_period: internal: no candidate period survived"
   end

@@ -39,6 +39,9 @@ let build delays edges host =
       csr_dst.(slot) <- e.dst;
       csr_weight.(slot) <- e.weight)
     edges;
+  if Lacr_util.Sanitize.enabled () then
+    Lacr_util.Sanitize.check_csr ~invariant:"graph.csr" ~n ~m ~offsets:csr_off
+      ~targets:csr_dst ~max_target:n;
   { delays; edges; host; fanout; fanin; csr_off; csr_dst; csr_weight }
 
 let create ~delays ~edges ~host =
@@ -105,7 +108,7 @@ let retime t r =
     let bad = ref None in
     let reweigh e =
       let w = retimed_weight t r e in
-      if w < 0 && !bad = None then bad := Some e;
+      if w < 0 && Option.is_none !bad then bad := Some e;
       { e with weight = w }
     in
     let new_edges = Array.map reweigh t.edges in

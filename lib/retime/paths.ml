@@ -169,4 +169,4 @@ let iter_pairs wd f =
 let distinct_delays wd =
   let acc = ref [] in
   iter_pairs wd (fun _ _ _ delay -> acc := delay :: !acc);
-  List.sort_uniq compare !acc
+  List.sort_uniq Float.compare !acc

@@ -58,7 +58,7 @@ let hotspots ?(top = 5) usage =
   |> List.filter_map (fun (a, b) ->
          let d = Maze.demand usage a b in
          if d > 0.0 then Some (a, b, d /. cap) else None)
-  |> List.sort (fun (_, _, u1) (_, _, u2) -> compare u2 u1)
+  |> List.sort (fun (_, _, u1) (_, _, u2) -> Float.compare u2 u1)
   |> List.filteri (fun i _ -> i < top)
 
 let heat_map usage =

@@ -45,7 +45,8 @@ let path_length tg path =
    over the union of routed segments. *)
 let route_net tg usage ~congestion_weight net =
   let terminals =
-    Array.to_list (Array.append [| net.source_cell |] net.sink_cells) |> List.sort_uniq compare
+    Array.to_list (Array.append [| net.source_cell |] net.sink_cells)
+    |> List.sort_uniq Int.compare
   in
   match terminals with
   | [] -> { net; segments = []; sink_paths = [||]; wirelength = 0.0 }

@@ -96,12 +96,11 @@ let refine points edges =
   (Array.of_list (List.rev !pts), !current)
 
 let build terminals =
-  let edges = mst terminals in
-  if edges = [] then { points = terminals; edges = [] }
-  else begin
+  match mst terminals with
+  | [] -> { points = terminals; edges = [] }
+  | edges ->
     let points, edges = refine terminals edges in
     { points; edges }
-  end
 
 let length t =
   List.fold_left

@@ -1,0 +1,135 @@
+exception Violation of { invariant : string; detail : string }
+
+let () =
+  Printexc.register_printer (function
+    | Violation { invariant; detail } ->
+      Some (Printf.sprintf "Sanitize.Violation(%s): %s" invariant detail)
+    | _ -> None)
+
+(* Mode cell: -1 = consult the environment (once), 0 = off, 1 = on.
+   An [Atomic.t] rather than a [ref]: the flag may be read from pool
+   worker domains while the main domain set it at startup. *)
+let mode = Atomic.make (-1)
+
+let env_enabled () =
+  match Sys.getenv_opt "LACR_SANITIZE" with Some "1" -> true | Some _ | None -> false
+
+let enabled () =
+  match Atomic.get mode with
+  | 1 -> true
+  | 0 -> false
+  | _ ->
+    let on = env_enabled () in
+    Atomic.set mode (if on then 1 else 0);
+    on
+
+let set_enabled on = Atomic.set mode (if on then 1 else 0)
+
+let with_enabled on f =
+  let previous = Atomic.get mode in
+  set_enabled on;
+  Fun.protect ~finally:(fun () -> Atomic.set mode previous) f
+
+let fail ~invariant detail = raise (Violation { invariant; detail })
+
+let check_csr ~invariant ~n ~m ~offsets ~targets ~max_target =
+  if Array.length offsets <> n + 1 then
+    fail ~invariant
+      (Printf.sprintf "offset array has %d entries for %d rows" (Array.length offsets) n);
+  if offsets.(0) <> 0 then
+    fail ~invariant (Printf.sprintf "offsets start at %d, not 0" offsets.(0));
+  for v = 0 to n - 1 do
+    if offsets.(v + 1) < offsets.(v) then
+      fail ~invariant
+        (Printf.sprintf "offsets decrease at row %d (%d -> %d)" v offsets.(v) offsets.(v + 1))
+  done;
+  if offsets.(n) <> m then
+    fail ~invariant (Printf.sprintf "offsets end at %d, expected %d entries" offsets.(n) m);
+  if Array.length targets < m then
+    fail ~invariant
+      (Printf.sprintf "target array has %d entries for %d slots" (Array.length targets) m);
+  for i = 0 to m - 1 do
+    if targets.(i) < 0 || targets.(i) >= max_target then
+      fail ~invariant
+        (Printf.sprintf "target %d at slot %d outside [0, %d)" targets.(i) i max_target)
+  done
+
+let check_flow_conservation ~invariant ~n ~n_handles ~src ~dst ~flow ~supply ~tol =
+  let net = Array.make n 0.0 in
+  for k = 0 to n_handles - 1 do
+    let f = flow k in
+    if f < -.tol then
+      fail ~invariant (Printf.sprintf "negative flow %g on arc handle %d" f k);
+    net.(src k) <- net.(src k) +. f;
+    net.(dst k) <- net.(dst k) -. f
+  done;
+  for v = 0 to n - 1 do
+    let s = supply v in
+    if abs_float (net.(v) -. s) > tol then
+      fail ~invariant
+        (Printf.sprintf "node %d: net outflow %g does not match supply %g" v net.(v) s)
+  done
+
+let check_admissibility ~invariant ~n_arcs ~src ~dst ~cost ~residual ~pi ~eps =
+  for a = 0 to n_arcs - 1 do
+    if residual a > eps then begin
+      let rc = cost a + pi.(src a) - pi.(dst a) in
+      if rc < 0 then
+        fail ~invariant
+          (Printf.sprintf "residual arc %d (%d -> %d) has reduced cost %d" a (src a) (dst a) rc)
+    end
+  done
+
+let check_cycle_sums ~invariant ~n ~src ~dst ~w_before ~w_after =
+  let m = Array.length src in
+  if Array.length dst <> m || Array.length w_before <> m || Array.length w_after <> m then
+    fail ~invariant "edge array arity mismatch";
+  (* Undirected adjacency over the edges; recover the potential r with
+     r(dst) - r(src) = delta(e) along a BFS spanning forest, then
+     every edge must agree — any disagreement is a fundamental cycle
+     whose weight sum changed. *)
+  let delta e = w_after.(e) - w_before.(e) in
+  let head = Array.make n (-1) in
+  let next = Array.make (2 * m) (-1) in
+  for e = 0 to m - 1 do
+    next.(2 * e) <- head.(src.(e));
+    head.(src.(e)) <- 2 * e;
+    next.((2 * e) + 1) <- head.(dst.(e));
+    head.(dst.(e)) <- (2 * e) + 1
+  done;
+  let r = Array.make n 0 in
+  let visited = Array.make n false in
+  let queue = Array.make n 0 in
+  for root = 0 to n - 1 do
+    if not visited.(root) then begin
+      visited.(root) <- true;
+      r.(root) <- 0;
+      queue.(0) <- root;
+      let head_i = ref 0 and tail = ref 1 in
+      while !head_i < !tail do
+        let v = queue.(!head_i) in
+        incr head_i;
+        let slot = ref head.(v) in
+        while !slot >= 0 do
+          let e = !slot / 2 in
+          let forward = !slot land 1 = 0 in
+          let other = if forward then dst.(e) else src.(e) in
+          if not visited.(other) then begin
+            visited.(other) <- true;
+            r.(other) <- (if forward then r.(v) + delta e else r.(v) - delta e);
+            queue.(!tail) <- other;
+            incr tail
+          end;
+          slot := next.(!slot)
+        done
+      done
+    end
+  done;
+  for e = 0 to m - 1 do
+    if delta e <> r.(dst.(e)) - r.(src.(e)) then
+      fail ~invariant
+        (Printf.sprintf
+           "edge %d (%d -> %d): weight change %d is not a retiming potential difference \
+            (a fundamental cycle's flip-flop count changed)"
+           e src.(e) dst.(e) (delta e))
+  done

@@ -10,7 +10,7 @@ let stddev xs =
     let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
     sqrt var
 
-let sorted xs = List.sort compare xs
+let sorted xs = List.sort Float.compare xs
 
 let median xs =
   match sorted xs with

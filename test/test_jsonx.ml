@@ -1,0 +1,130 @@
+(* Jsonx parser/emitter tests: string escapes (including \uXXXX and
+   its documented ASCII-only behaviour), deep nesting, truncated and
+   malformed input, duplicate keys, and an emit -> parse round-trip
+   property over generated documents. *)
+
+module J = Lacr_obs.Jsonx
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let parse_ok s =
+  match J.parse s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "parse %S: %s" s msg
+
+let parse_err s =
+  match J.parse s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "parse %S: expected an error" s
+
+let str v = match J.to_str v with Some s -> s | None -> Alcotest.fail "not a string"
+
+let test_string_escapes () =
+  check_str "standard escapes" "a\"b\\c\nd\te\rf"
+    (str (parse_ok "\"a\\\"b\\\\c\\nd\\te\\rf\""));
+  check_str "solidus escape" "/" (str (parse_ok "\"\\/\""));
+  check_str "backspace and formfeed" "\b\012" (str (parse_ok "\"\\b\\f\""));
+  check_str "unicode escape, ASCII" "A" (str (parse_ok "\"\\u0041\""));
+  (* Documented behaviour: non-ASCII \u escapes land as '?'. *)
+  check_str "unicode escape, non-ASCII" "?" (str (parse_ok "\"\\u00e9\""));
+  (* Control characters emit as \u00XX and round-trip exactly. *)
+  let s = "ctl\001\031end" in
+  check_str "control chars round-trip" s (str (parse_ok (J.to_string (J.Str s))));
+  parse_err "\"\\q\"" (* unknown escape *);
+  parse_err "\"\\u12\"" (* truncated \u *);
+  parse_err "\"\\uzzzz\"" (* non-hex \u *);
+  parse_err "\"abc" (* unterminated *);
+  parse_err "\"abc\\\"" (* escape eats the closing quote *)
+
+let test_deep_nesting () =
+  let depth = 500 in
+  let doc = String.concat "" [ String.make depth '['; "null"; String.make depth ']' ] in
+  let rec count v acc = match v with J.Arr [ inner ] -> count inner (acc + 1) | _ -> acc in
+  check_int "nesting depth preserved" depth (count (parse_ok doc) 0);
+  (* And back out through the emitter. *)
+  check_int "re-emitted depth preserved" depth
+    (count (parse_ok (J.to_string (parse_ok doc))) 0)
+
+let test_truncated_inputs () =
+  List.iter parse_err
+    [ ""; "{"; "{\"a\""; "{\"a\":"; "{\"a\":1"; "{\"a\":1,"; "["; "[1"; "[1,"; "tru"; "nul";
+      "-"; "1e"; "{\"a\" 1}"; "[1 2]"; "{1:2}" ];
+  (* Trailing garbage after a complete document is an error too. *)
+  List.iter parse_err [ "1 2"; "{} []"; "null x" ]
+
+let test_duplicate_keys () =
+  match parse_ok "{\"k\": 1, \"k\": 2, \"j\": 3}" with
+  | J.Obj fields ->
+    check_int "all fields preserved" 3 (List.length fields);
+    (* member resolves to the first binding, assoc-list style. *)
+    (match J.member "k" (J.Obj fields) with
+    | Some (J.Num x) -> check "first binding wins" true (x = 1.0)
+    | _ -> Alcotest.fail "member k")
+  | _ -> Alcotest.fail "expected an object"
+
+let test_numbers () =
+  check "exponent" true (J.to_float (parse_ok "1e3") = Some 1000.0);
+  check "negative fraction" true (J.to_float (parse_ok "-0.5") = Some (-0.5));
+  (* Non-finite numbers are not JSON: the emitter degrades to null. *)
+  check_str "nan emits null" "null" (J.to_string (J.Num Float.nan));
+  check_str "inf emits null" "null" (J.to_string (J.Num Float.infinity))
+
+(* --- round-trip property ---
+
+   Numbers are restricted to integers (the emitter prints non-integer
+   floats at fixed precision, which is deliberately lossy) and strings
+   to ASCII (documented \u behaviour), matching what the exporters
+   emit.  Within that domain, emit -> parse must be the identity. *)
+
+let gen_doc =
+  let open QCheck2.Gen in
+  let ascii_string = string_size ~gen:(map Char.chr (int_range 1 127)) (int_range 0 12) in
+  let scalar =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map J.of_int (int_range (-1000000) 1000000);
+        map (fun s -> J.Str s) ascii_string;
+      ]
+  in
+  let rec doc depth =
+    if depth = 0 then scalar
+    else
+      oneof
+        [
+          scalar;
+          map (fun items -> J.Arr items) (list_size (int_range 0 4) (doc (depth - 1)));
+          map
+            (fun fields -> J.Obj fields)
+            (list_size (int_range 0 4) (pair ascii_string (doc (depth - 1))));
+        ]
+  in
+  doc 4
+
+let prop_round_trip =
+  QCheck2.Test.make ~count:200 ~name:"emit -> parse is the identity" gen_doc (fun v ->
+      let printed = J.to_string v in
+      match J.parse printed with
+      | Error msg -> QCheck2.Test.fail_reportf "re-parse failed: %s on %s" msg printed
+      | Ok v' -> String.equal printed (J.to_string v'))
+
+let prop_round_trip_indented =
+  QCheck2.Test.make ~count:200 ~name:"indented emit parses to the same document" gen_doc
+    (fun v ->
+      match J.parse (J.to_string ~indent:true v) with
+      | Error msg -> QCheck2.Test.fail_reportf "re-parse failed: %s" msg
+      | Ok v' -> String.equal (J.to_string v) (J.to_string v'))
+
+let suite =
+  [
+    Alcotest.test_case "string escapes" `Quick test_string_escapes;
+    Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+    Alcotest.test_case "truncated and malformed input" `Quick test_truncated_inputs;
+    Alcotest.test_case "duplicate keys" `Quick test_duplicate_keys;
+    Alcotest.test_case "number edge cases" `Quick test_numbers;
+    QCheck_alcotest.to_alcotest prop_round_trip;
+    QCheck_alcotest.to_alcotest prop_round_trip_indented;
+  ]

@@ -1,0 +1,223 @@
+(* lacr_lint tests: every rule must fire on a seeded violation with a
+   correct file:line anchor, stay quiet on the idiomatic fix, respect
+   its scope (hot / race / strict), and honour the allowlist — stale
+   entries included. *)
+
+module Run = Lacr_lint.Run
+module Rules = Lacr_lint.Rules
+module Diag = Lacr_lint.Diag
+module Allow = Lacr_lint.Allow
+module Deps = Lacr_lint.Deps
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let findings ?hot ?race ?strict src =
+  match Run.lint_file ?hot ?race ?strict ~file:"test.ml" src with
+  | Ok fs -> fs
+  | Error msg -> Alcotest.failf "lint_file: %s" msg
+
+let rules fs = List.map (fun (f : Diag.finding) -> f.Diag.rule) fs
+
+let count rule fs =
+  List.length (List.filter (fun (f : Diag.finding) -> String.equal f.Diag.rule rule) fs)
+
+(* --- R1: polymorphic comparison in hot code --- *)
+
+let test_r1_structural_equality () =
+  check_int "= on constructor" 1 (count "R1" (findings "let f x = x = Some 1"));
+  check_int "<> on list literal" 1 (count "R1" (findings "let f l = l <> []"));
+  check_int "= on tuple" 1 (count "R1" (findings "let f p = p = (1, 2)"));
+  check_int "= on string constant" 1 (count "R1" (findings "let f s = s = \"yes\""));
+  check_int "partial application" 1 (count "R1" (findings "let f x = List.mem x ((=) 3)"));
+  check_int "operator as value" 1 (count "R1" (findings "let f xs = List.sort_uniq (<>) xs"));
+  (* The quiet side: atomic operands are deterministic and cheap. *)
+  check_int "= on plain variables" 0 (count "R1" (findings "let f a b = a = b"));
+  check_int "= on int constant" 0 (count "R1" (findings "let f x = x = 3"));
+  check_int "= on bool constant" 0 (count "R1" (findings "let f b = b = true"))
+
+let test_r1_bare_compare () =
+  check_int "compare as sort argument" 1
+    (count "R1" (findings "let f l = List.sort compare l"));
+  check_int "Stdlib.compare applied" 1
+    (count "R1" (findings "let f a b = Stdlib.compare a b"));
+  check_int "Hashtbl.hash" 1 (count "R1" (findings "let f x = Hashtbl.hash x"));
+  check_int "monomorphic compare ok" 0
+    (count "R1" (findings "let f l = List.sort Int.compare l"))
+
+let test_r1_scope () =
+  check_int "cold library exempt" 0
+    (count "R1" (findings ~hot:false "let f l = List.sort compare l"))
+
+(* --- R2: nondeterminism sources everywhere --- *)
+
+let test_r2_sources () =
+  check_int "Unix.gettimeofday" 1 (count "R2" (findings "let now () = Unix.gettimeofday ()"));
+  check_int "Sys.time" 1 (count "R2" (findings "let t () = Sys.time ()"));
+  check_int "Random.self_init" 1 (count "R2" (findings "let () = Random.self_init ()"));
+  check_int "Hashtbl.iter" 1 (count "R2" (findings "let f g t = Hashtbl.iter g t"));
+  check_int "Hashtbl.fold" 1 (count "R2" (findings "let f t = Hashtbl.fold (fun k _ a -> k :: a) t []"));
+  check_int "Hashtbl.to_seq" 1 (count "R2" (findings "let f t = Hashtbl.to_seq t"));
+  (* R2 ignores the hot flag: it applies everywhere. *)
+  check_int "applies in cold code" 1
+    (count "R2" (findings ~hot:false "let now () = Unix.gettimeofday ()"));
+  check_int "ordered access ok" 0
+    (count "R2" (findings "let f t k = Hashtbl.find_opt t k"))
+
+(* --- R3: module-level mutable state in pool-reachable code --- *)
+
+let test_r3_module_state () =
+  check_int "top-level Hashtbl" 1 (count "R3" (findings "let cache = Hashtbl.create 16"));
+  check_int "top-level ref" 1 (count "R3" (findings "let total = ref 0"));
+  check_int "top-level Array.make" 1 (count "R3" (findings "let scratch = Array.make 8 0"));
+  check_int "top-level array literal" 1 (count "R3" (findings "let lut = [| 1; 2; 3 |]"));
+  check_int "buffer inside record" 1
+    (count "R3" (findings "type t = { buf : Buffer.t }\nlet shared = { buf = Buffer.create 64 }"));
+  (* Sanctioned concurrency primitives and per-call allocations. *)
+  check_int "Atomic.make sanctioned" 0 (count "R3" (findings "let mode = Atomic.make 0"));
+  check_int "Mutex.create sanctioned" 0 (count "R3" (findings "let lock = Mutex.create ()"));
+  check_int "allocation inside function" 0
+    (count "R3" (findings "let make () = Array.make 8 0"));
+  check_int "empty array literal" 0 (count "R3" (findings "let empty = [||]"));
+  check_int "out of race scope" 0
+    (count "R3" (findings ~race:false "let cache = Hashtbl.create 16"))
+
+(* --- R4: Obj.magic and naked assert false --- *)
+
+let test_r4_escapes () =
+  check_int "Obj.magic" 1 (count "R4" (findings "let f x = Obj.magic x"));
+  check_int "assert false" 1 (count "R4" (findings "let f () = assert false"));
+  check_int "guarded assert ok" 0 (count "R4" (findings "let f x = assert (x > 0); x"));
+  check_int "outside strict scope" 0 (count "R4" (findings ~strict:false "let f () = assert false"))
+
+let test_positions_and_order () =
+  let src = "let a = 1\nlet now () = Unix.gettimeofday ()\nlet b = compare" in
+  let fs = findings src in
+  check "both rules fire" true
+    (List.sort String.compare (rules fs) = [ "R1"; "R2" ]);
+  List.iter
+    (fun (f : Diag.finding) ->
+      match f.Diag.rule with
+      | "R2" -> check_int "R2 line" 2 f.Diag.line
+      | "R1" -> check_int "R1 line" 3 f.Diag.line
+      | r -> Alcotest.failf "unexpected rule %s" r)
+    fs;
+  (* Findings arrive sorted by line. *)
+  check "sorted" true (List.sort Diag.compare fs = fs)
+
+let test_parse_error () =
+  match Run.lint_file ~file:"bad.ml" "let let = in" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+(* --- allowlist --- *)
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents)
+
+let test_allowlist () =
+  let dir = Filename.temp_dir "lacr_lint" "" in
+  let path = Filename.concat dir "lint.allow" in
+  write_file path
+    "# comment\n\nR2 lib/a.ml Unix.gettimeofday -- injected clock default\nR1 lib/b.ml compare -- never fires\n";
+  let entries =
+    match Allow.load path with
+    | Ok es -> es
+    | Error msg -> Alcotest.failf "load: %s" msg
+  in
+  check_int "two entries" 2 (List.length entries);
+  let hit =
+    { Diag.rule = "R2"; file = "lib/a.ml"; line = 9; col = 2; ident = "Unix.gettimeofday";
+      message = "" }
+  in
+  let miss = { hit with Diag.file = "lib/c.ml" } in
+  let kept, stale = Allow.filter entries [ hit; miss ] in
+  check_int "allowlisted finding dropped" 1 (List.length kept);
+  check "unmatched finding kept" true
+    (String.equal (List.hd kept).Diag.file "lib/c.ml");
+  check_int "one stale entry" 1 (List.length stale);
+  check "stale is the dead R1" true (String.equal (List.hd stale).Allow.rule "R1");
+  (* A justification is not optional. *)
+  write_file path "R2 lib/a.ml Unix.gettimeofday\n";
+  (match Allow.load path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "entry without justification must be rejected");
+  write_file path "R2 lib/a.ml -- too few fields\n";
+  match Allow.load path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed entry must be rejected"
+
+(* --- whole-tree driver: scopes, .mli pairing, stale reporting --- *)
+
+let mkdir_p path =
+  let rec go p =
+    if not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      Sys.mkdir p 0o755
+    end
+  in
+  go path
+
+let test_tree_scan () =
+  let root = Filename.temp_dir "lacr_lint_tree" "" in
+  let file rel contents =
+    let path = Filename.concat root rel in
+    mkdir_p (Filename.dirname path);
+    write_file path contents
+  in
+  (* lib/kern calls the pool and depends on lib/base: both are in the
+     R3 race scope.  lib/cold is neither hot nor pool-reachable. *)
+  file "lib/kern/dune" "(library (name kern) (libraries base))";
+  file "lib/kern/kern.ml" "let go pool f = Lacr_util.Pool.parallel_for pool f\n";
+  file "lib/kern/kern.mli" "val go : 'a -> 'b -> unit\n";
+  file "lib/base/dune" "(library (name base))";
+  file "lib/base/base.ml" "let table = Hashtbl.create 4\n";
+  file "lib/base/base.mli" "val table : (int, int) Hashtbl.t\n";
+  file "lib/cold/dune" "(library (name cold))";
+  file "lib/cold/cold.ml" "let scratch = Array.make 4 0\nlet now () = Unix.gettimeofday ()\n";
+  (* no cold.mli: R4 must flag the missing interface *)
+  let dirs = Deps.race_dirs ~root in
+  check "race scope includes the pool caller" true (List.mem "lib/kern" dirs);
+  check "race scope includes its dependency" true (List.mem "lib/base" dirs);
+  check "race scope excludes cold" true (not (List.mem "lib/cold" dirs));
+  let outcome = Run.lint ~root () in
+  check_int "no internal errors" 0 (List.length outcome.Run.errors);
+  let got rule file ident =
+    List.exists
+      (fun (f : Diag.finding) ->
+        String.equal f.Diag.rule rule && String.equal f.Diag.file file
+        && String.equal f.Diag.ident ident)
+      outcome.Run.findings
+  in
+  check "R3 in reachable dependency" true (got "R3" "lib/base/base.ml" "Hashtbl.create");
+  check "no R3 outside the race scope" true (not (got "R3" "lib/cold/cold.ml" "Array.make"));
+  check "R2 everywhere" true (got "R2" "lib/cold/cold.ml" "Unix.gettimeofday");
+  check "R4 missing mli" true (got "R4" "lib/cold/cold.ml" "missing_mli");
+  (* Allowlist the clock; leave a stale entry: both must show. *)
+  let allow = Filename.concat root "lint.allow" in
+  write_file allow
+    "R2 lib/cold/cold.ml Unix.gettimeofday -- test clock\nR1 lib/gone.ml compare -- stale\n";
+  let outcome = Run.lint ~allow_file:allow ~root () in
+  let got rule file ident =
+    List.exists
+      (fun (f : Diag.finding) ->
+        String.equal f.Diag.rule rule && String.equal f.Diag.file file
+        && String.equal f.Diag.ident ident)
+      outcome.Run.findings
+  in
+  check "allowlisted R2 gone" true (not (got "R2" "lib/cold/cold.ml" "Unix.gettimeofday"));
+  check "stale entry reported" true (got "allow" allow "compare")
+
+let suite =
+  [
+    Alcotest.test_case "R1 structural equality" `Quick test_r1_structural_equality;
+    Alcotest.test_case "R1 bare compare" `Quick test_r1_bare_compare;
+    Alcotest.test_case "R1 hot-only scope" `Quick test_r1_scope;
+    Alcotest.test_case "R2 nondeterminism sources" `Quick test_r2_sources;
+    Alcotest.test_case "R3 module-level mutable state" `Quick test_r3_module_state;
+    Alcotest.test_case "R4 Obj.magic / assert false" `Quick test_r4_escapes;
+    Alcotest.test_case "finding positions and order" `Quick test_positions_and_order;
+    Alcotest.test_case "parse errors surface" `Quick test_parse_error;
+    Alcotest.test_case "allowlist format and filtering" `Quick test_allowlist;
+    Alcotest.test_case "tree scan scopes and mli pairing" `Quick test_tree_scan;
+  ]

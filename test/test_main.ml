@@ -16,4 +16,7 @@ let () =
       ("core", Test_core.suite);
       ("exact", Test_exact.suite);
       ("obs", Test_obs.suite);
+      ("jsonx", Test_jsonx.suite);
+      ("sanitize", Test_sanitize.suite);
+      ("lint", Test_lint.suite);
     ]
