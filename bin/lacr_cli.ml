@@ -35,23 +35,46 @@ let load_circuit name_or_path =
         (Printf.sprintf "unknown circuit %s (not a file, not one of: s27 %s)" name_or_path
            (String.concat " " Suite.table1_names))
 
-let config_with ?seed ?alpha ?grid ?domains ?sanitize () =
+let config_with ?seed ?alpha ?grid ?domains ?sanitize ?router () =
   let c = Config.default in
   let c = match seed with Some s -> { c with Config.seed = s } | None -> c in
   let c = match alpha with Some a -> { c with Config.alpha = a } | None -> c in
   let c = match grid with Some g -> { c with Config.grid = g } | None -> c in
   let c = match domains with Some d -> { c with Config.domains = d } | None -> c in
+  let c = match router with Some r -> { c with Config.router = r } | None -> c in
   match sanitize with Some s -> { c with Config.sanitize = s } | None -> c
+
+(* Router options from the plan-level flags, on top of the defaults. *)
+let router_options route_passes spec_rounds spec_batch no_astar =
+  let r = Lacr_routing.Global_router.default_options in
+  let r =
+    match route_passes with
+    | Some p -> { r with Lacr_routing.Global_router.passes = p }
+    | None -> r
+  in
+  let r =
+    match spec_rounds with
+    | Some s -> { r with Lacr_routing.Global_router.spec_rounds = s }
+    | None -> r
+  in
+  let r =
+    match spec_batch with
+    | Some b -> { r with Lacr_routing.Global_router.spec_batch = b }
+    | None -> r
+  in
+  { r with Lacr_routing.Global_router.use_astar = not no_astar }
 
 (* --- plan --- *)
 
-let run_plan circuit seed domains sanitize verbose second trace_file metrics_file =
+let run_plan circuit seed domains sanitize route_passes spec_rounds spec_batch no_astar verbose
+    second trace_file metrics_file =
   match load_circuit circuit with
   | Error msg ->
     prerr_endline msg;
     1
   | Ok netlist ->
-    let config = config_with ?seed ?domains ~sanitize () in
+    let router = router_options route_passes spec_rounds spec_batch no_astar in
+    let config = config_with ?seed ?domains ~sanitize ~router () in
     (* The collector is only live when an output was requested, so a
        plain `lacr plan` keeps the zero-overhead disabled path. *)
     let trace =
@@ -269,6 +292,64 @@ let run_verify_warm circuit seed =
           1
         end))
 
+(* --- verify-route: cross-domain router determinism check --- *)
+
+let run_verify_route circuit seed =
+  match load_circuit circuit with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok netlist ->
+    let config = config_with ?seed () in
+    (* Sanitize on: exercises the post-route demand recount and the
+       Routing_error paths while cross-checking pool sizes. *)
+    Lacr_util.Sanitize.with_enabled true @@ fun () ->
+    (match Build.build ~config netlist with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok inst ->
+      let module Gr = Lacr_routing.Global_router in
+      let tg = inst.Build.tilegraph in
+      let nets = Array.map (fun r -> r.Gr.net) inst.Build.routing.Gr.nets in
+      let options = config.Config.router in
+      let route_with size =
+        Lacr_util.Pool.with_pool ~size (fun pool -> Gr.route_all ~options ~pool tg nets)
+      in
+      (match List.map route_with [ 1; 2; 4 ] with
+      | exception Lacr_util.Sanitize.Violation { invariant; detail } ->
+        Printf.eprintf "verify-route %s: sanitizer violation [%s]: %s\n" circuit invariant
+          detail;
+        2
+      | ([ r1; _; _ ] as results) ->
+        List.iteri
+          (fun i r ->
+            Printf.printf
+              "verify-route %s: domains=%d nets=%d wirelength=%.4f mm overflow=%.2f passes=%d\n"
+              inst.Build.circuit
+              (List.nth [ 1; 2; 4 ] i)
+              (Array.length r.Gr.nets) r.Gr.total_wirelength r.Gr.overflow
+              (Array.length r.Gr.pass_overflow))
+          results;
+        let identical =
+          List.for_all
+            (fun r ->
+              r.Gr.nets = r1.Gr.nets
+              && r.Gr.total_wirelength = r1.Gr.total_wirelength
+              && r.Gr.overflow = r1.Gr.overflow
+              && r.Gr.pass_overflow = r1.Gr.pass_overflow)
+            results
+        in
+        if identical then begin
+          print_endline "verify-route: routed results bit-identical across domains 1/2/4";
+          0
+        end
+        else begin
+          prerr_endline "verify-route: MISMATCH across pool sizes";
+          1
+        end
+      | _ -> 1))
+
 (* --- retime: export a retimed .bench --- *)
 
 let run_retime circuit seed slack output =
@@ -456,12 +537,47 @@ let metrics_arg =
            or CSV when FILE ends in .csv. Counter aggregates are bit-identical for every \
            $(b,--domains) setting.")
 
+let route_passes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "route-passes" ] ~docv:"N"
+        ~doc:"Rip-up/re-route passes after the initial routing pass (default 2).")
+
+let spec_rounds_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "spec-rounds" ] ~docv:"N"
+        ~doc:
+          "Speculative routing rounds per negotiation before residual conflicts are left to \
+           rip-up (default 3).")
+
+let spec_batch_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "route-batch" ] ~docv:"N"
+        ~doc:
+          "Nets routed speculatively per negotiation slice (default 1 = fully sequential \
+           incremental schedule; raise on wide machines). The routed result is bit-identical \
+           for every value and every $(b,--domains) setting.")
+
+let no_astar_arg =
+  Arg.(
+    value & flag
+    & info [ "no-astar" ]
+        ~doc:
+          "Route with plain Dijkstra instead of the A* engine (cost-identical paths, slower; \
+           for cross-checking).")
+
 let plan_cmd =
   let doc = "Run the interconnect planner on one circuit." in
   Cmd.v (Cmd.info "plan" ~doc)
     Term.(
-      const run_plan $ circuit_arg $ seed_arg $ domains_arg $ sanitize_arg $ verbose_arg
-      $ second_arg $ trace_arg $ metrics_arg)
+      const run_plan $ circuit_arg $ seed_arg $ domains_arg $ sanitize_arg $ route_passes_arg
+      $ spec_rounds_arg $ spec_batch_arg $ no_astar_arg $ verbose_arg $ second_arg $ trace_arg
+      $ metrics_arg)
 
 let trace_check_file_arg =
   Arg.(
@@ -532,6 +648,13 @@ let verify_warm_cmd =
   in
   Cmd.v (Cmd.info "verify-warm" ~doc) Term.(const run_verify_warm $ circuit_arg $ seed_arg)
 
+let verify_route_cmd =
+  let doc =
+    "Route one circuit's nets with 1, 2 and 4 worker domains under the sanitizer and check \
+     that the routed results are bit-identical (exits non-zero on any mismatch)."
+  in
+  Cmd.v (Cmd.info "verify-route" ~doc) Term.(const run_verify_route $ circuit_arg $ seed_arg)
+
 let retime_cmd =
   let doc = "Min-area retime a circuit and emit the retimed .bench netlist." in
   Cmd.v (Cmd.info "retime" ~doc)
@@ -555,6 +678,7 @@ let main_cmd =
       alpha_cmd;
       info_cmd;
       verify_warm_cmd;
+      verify_route_cmd;
       retime_cmd;
       dot_cmd;
       stats_cmd;

@@ -96,7 +96,7 @@ let sequence_pair_of_rects rects =
   { Lacr_floorplan.Sequence_pair.pos; neg }
 
 let build ?(config = Config.default) ?(soft_growth = fun _ -> 0.0) ?layout
-    ?(trace = Obs.disabled) netlist =
+    ?(pool = Lacr_util.Pool.sequential) ?(trace = Obs.disabled) netlist =
   match Seqview.of_netlist netlist with
   | Error msg -> Error ("build: " ^ msg)
   | Ok view ->
@@ -256,7 +256,7 @@ let build ?(config = Config.default) ?(soft_growth = fun _ -> 0.0) ?layout
       let nets = Array.of_list (List.rev !nets) in
       let net_edge_slots = Array.of_list (List.rev !net_edge_slots) in
       let routing =
-        Global_router.route_all ~options:config.Config.router ~trace tilegraph nets
+        Global_router.route_all ~options:config.Config.router ~pool ~trace tilegraph nets
       in
       (* --- repeater insertion per sink path --- *)
       let model = config.Config.delay_model in

@@ -48,6 +48,7 @@ val build :
   ?config:Config.t ->
   ?soft_growth:(string -> float) ->
   ?layout:Lacr_floorplan.Sequence_pair.t * (float * float) array ->
+  ?pool:Lacr_util.Pool.t ->
   ?trace:Lacr_obs.Trace.ctx ->
   Lacr_netlist.Netlist.t ->
   (instance, string) result
@@ -59,6 +60,10 @@ val build :
     iteration's sequence pair and block outlines (grown blocks are
     scaled isotropically) — the paper's "incremental change of the
     floorplan" between planning iterations.
+
+    [pool] (default sequential) supplies the domains for the parallel
+    negotiated global router; routed results are bit-identical for
+    every pool size.
 
     [trace] (default disabled) wraps the pipeline in a [build] span
     with one child span per stage ([build.partition] /

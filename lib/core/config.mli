@@ -49,8 +49,9 @@ type t = {
   prune_constraints : bool;
   (* -- execution -- *)
   domains : int;
-      (** worker domains for the parallel kernels ((W,D) matrices,
-          constraint generation): 1 = sequential (default), 0 = auto
+      (** worker domains for the parallel kernels (global routing,
+          (W,D) matrices, constraint generation): 1 = sequential
+          (default), 0 = auto
           ([Domain.recommended_domain_count]).  The [LACR_DOMAINS]
           environment variable overrides this knob at pool creation
           (see [Lacr_util.Pool.resolve_size]).  Results are

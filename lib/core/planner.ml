@@ -113,7 +113,7 @@ let plan_with_pool ~pool ~config ~second_iteration ?(trace = Obs.disabled) insta
         Obs.with_span trace ~cat:"core" "plan.second" @@ fun () ->
         let grow = growth_for instance lac in
         let layout = (instance.Build.sequence, instance.Build.dims) in
-        match Build.build ~config ~soft_growth:grow ~layout ~trace netlist with
+        match Build.build ~config ~soft_growth:grow ~layout ~pool ~trace netlist with
         | Error msg ->
           (* The failed expansion is part of the run's story: surface
              it instead of silently reporting first-iteration numbers
@@ -142,14 +142,14 @@ let plan ?(config = Config.default) ?(second_iteration = true) ?(trace = Obs.dis
     (Lacr_util.Sanitize.enabled () || config.Config.sanitize)
   @@ fun () ->
   Obs.with_span trace ~cat:"core" "plan" @@ fun () ->
-  match Build.build ~config ~trace netlist with
-  | Error msg -> Error msg
-  | Ok instance ->
-    (* One pool for the whole run: the (W,D) matrices, constraint
-       generation and the LAC flip-flop accounting of both planning
-       iterations share its worker domains.  Every stage is
-       bit-deterministic in the pool size, so plans are reproducible
-       under any --domains / LACR_DOMAINS setting. *)
-    Lacr_util.Pool.with_pool
-      ~size:(Lacr_util.Pool.resolve_size ~requested:config.Config.domains)
-      (fun pool -> plan_with_pool ~pool ~config ~second_iteration ~trace instance netlist)
+  (* One pool for the whole run: global routing, the (W,D) matrices,
+     constraint generation and the LAC flip-flop accounting of both
+     planning iterations share its worker domains.  Every stage is
+     bit-deterministic in the pool size, so plans are reproducible
+     under any --domains / LACR_DOMAINS setting. *)
+  Lacr_util.Pool.with_pool
+    ~size:(Lacr_util.Pool.resolve_size ~requested:config.Config.domains)
+    (fun pool ->
+      match Build.build ~config ~pool ~trace netlist with
+      | Error msg -> Error msg
+      | Ok instance -> plan_with_pool ~pool ~config ~second_iteration ~trace instance netlist)

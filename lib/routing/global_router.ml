@@ -1,4 +1,6 @@
 module Tilegraph = Lacr_tilegraph.Tilegraph
+module Pool = Lacr_util.Pool
+module Trace = Lacr_obs.Trace
 
 type net = {
   source_cell : int;
@@ -17,9 +19,24 @@ type options = {
   passes : int;
   congestion_weight : float;
   reroute_weight : float;
+  history_decay : float;
+  spec_rounds : int;
+  spec_batch : int;
+  use_astar : bool;
+  bidir_threshold : int;
 }
 
-let default_options = { passes = 2; congestion_weight = 1.0; reroute_weight = 4.0 }
+let default_options =
+  {
+    passes = 2;
+    congestion_weight = 1.0;
+    reroute_weight = 4.0;
+    history_decay = 0.7;
+    spec_rounds = 3;
+    spec_batch = 1;
+    use_astar = true;
+    bidir_threshold = 96;
+  }
 
 type result = {
   nets : routed_net array;
@@ -27,6 +44,7 @@ type result = {
   total_wirelength : float;
   overflow : float;
   max_utilization : float;
+  pass_overflow : float array;
 }
 
 let path_length tg path =
@@ -40,23 +58,189 @@ let path_length tg path =
   in
   go 0.0 path
 
-(* Route one net: Steiner topology over the distinct terminal cells,
-   each tree edge maze-routed, then per-sink paths recovered by BFS
-   over the union of routed segments. *)
-let route_net tg usage ~congestion_weight net =
+let rec iter_steps f = function
+  | a :: (b :: _ as rest) ->
+    f a b;
+    iter_steps f rest
+  | [ _ ] | [] -> ()
+
+(* --- sink-path recovery over the segment union ------------------------- *)
+
+(* Reusable int-indexed CSR workspace over the union cells of one
+   net's routed segments.  Cells are compacted in first-appearance
+   order (source first), so the structure — and the BFS tree built on
+   it — is a pure function of the segment list.  The [stamp]/[id]
+   maps are epoch-stamped over the full grid; everything else grows to
+   the union size and is reused net after net. *)
+type csr = {
+  stamp : int array;  (* per grid cell: mapped when = cs_epoch *)
+  id : int array;  (* per grid cell: compact id when mapped *)
+  mutable cs_epoch : int;
+  mutable cells : int array;  (* compact id -> grid cell *)
+  mutable ncells : int;
+  mutable pairs : int array;  (* flat (u, v) compact-id step pairs *)
+  mutable npairs : int;
+  mutable off : int array;  (* nc + 1 adjacency offsets *)
+  mutable cursor : int array;
+  mutable adj : int array;
+  mutable parent : int array;  (* BFS tree, -1 = unreached *)
+  mutable queue : int array;
+}
+
+let create_csr n =
+  {
+    stamp = Array.make n 0;
+    id = Array.make n 0;
+    cs_epoch = 0;
+    cells = Array.make 64 0;
+    ncells = 0;
+    pairs = Array.make 128 0;
+    npairs = 0;
+    off = Array.make 65 0;
+    cursor = Array.make 64 0;
+    adj = Array.make 128 0;
+    parent = Array.make 64 0;
+    queue = Array.make 64 0;
+  }
+
+let ensure arr len needed =
+  if needed <= Array.length arr then arr
+  else begin
+    let bigger = Array.make (max needed (2 * Array.length arr)) 0 in
+    Array.blit arr 0 bigger 0 len;
+    bigger
+  end
+
+(* Build the union CSR, run ONE BFS from [source], then walk the
+   parent chain once per sink — replaces the per-sink Hashtbl BFS of
+   the seed router.  A sink that is not connected to the union is
+   structurally impossible for nets routed by [route_net] (terminal
+   cells are distinct, so every terminal cell appears in a routed
+   segment); it indicates corruption and raises {!Maze.Routing_error}
+   under the sanitizer, else falls back to a fabricated direct link
+   reported through [on_fallback]. *)
+let recover_sink_paths csr ~on_fallback ~source ~sinks segments =
+  csr.cs_epoch <- csr.cs_epoch + 1;
+  let epoch = csr.cs_epoch in
+  csr.ncells <- 0;
+  csr.npairs <- 0;
+  let map cell =
+    if csr.stamp.(cell) = epoch then csr.id.(cell)
+    else begin
+      let compact = csr.ncells in
+      csr.stamp.(cell) <- epoch;
+      csr.id.(cell) <- compact;
+      csr.cells <- ensure csr.cells compact (compact + 1);
+      csr.cells.(compact) <- cell;
+      csr.ncells <- compact + 1;
+      compact
+    end
+  in
+  let root = map source in
+  List.iter
+    (iter_steps (fun a b ->
+         let ua = map a and ub = map b in
+         csr.pairs <- ensure csr.pairs (2 * csr.npairs) ((2 * csr.npairs) + 2);
+         csr.pairs.(2 * csr.npairs) <- ua;
+         csr.pairs.((2 * csr.npairs) + 1) <- ub;
+         csr.npairs <- csr.npairs + 1))
+    segments;
+  let nc = csr.ncells in
+  csr.off <- ensure csr.off 0 (nc + 1);
+  csr.cursor <- ensure csr.cursor 0 nc;
+  Array.fill csr.off 0 (nc + 1) 0;
+  for e = 0 to csr.npairs - 1 do
+    let u = csr.pairs.(2 * e) and v = csr.pairs.((2 * e) + 1) in
+    csr.off.(u) <- csr.off.(u) + 1;
+    csr.off.(v) <- csr.off.(v) + 1
+  done;
+  let run = ref 0 in
+  for i = 0 to nc - 1 do
+    let deg = csr.off.(i) in
+    csr.off.(i) <- !run;
+    run := !run + deg
+  done;
+  csr.off.(nc) <- !run;
+  csr.adj <- ensure csr.adj 0 !run;
+  Array.blit csr.off 0 csr.cursor 0 nc;
+  for e = 0 to csr.npairs - 1 do
+    let u = csr.pairs.(2 * e) and v = csr.pairs.((2 * e) + 1) in
+    csr.adj.(csr.cursor.(u)) <- v;
+    csr.cursor.(u) <- csr.cursor.(u) + 1;
+    csr.adj.(csr.cursor.(v)) <- u;
+    csr.cursor.(v) <- csr.cursor.(v) + 1
+  done;
+  csr.parent <- ensure csr.parent 0 nc;
+  csr.queue <- ensure csr.queue 0 (max 1 nc);
+  Array.fill csr.parent 0 nc (-1);
+  csr.parent.(root) <- root;
+  csr.queue.(0) <- root;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = csr.queue.(!head) in
+    incr head;
+    for k = csr.off.(u) to csr.off.(u + 1) - 1 do
+      let v = csr.adj.(k) in
+      if csr.parent.(v) < 0 then begin
+        csr.parent.(v) <- u;
+        csr.queue.(!tail) <- v;
+        incr tail
+      end
+    done
+  done;
+  Array.map
+    (fun sink ->
+      if sink = source then [ source ]
+      else if csr.stamp.(sink) <> epoch || csr.parent.(csr.id.(sink)) < 0 then begin
+        if Lacr_util.Sanitize.enabled () then
+          raise
+            (Maze.Routing_error
+               { src = source; dst = sink; reason = "sink not connected to routed segments" });
+        on_fallback ();
+        [ source; sink ] (* defensive: direct logical link *)
+      end
+      else begin
+        let rec back u acc = if u = root then acc else back csr.parent.(u) (u :: acc) in
+        source :: List.map (fun compact -> csr.cells.(compact)) (back csr.id.(sink) [])
+      end)
+    sinks
+
+let sink_paths_of_segments tg ?fallbacks ~source ~sinks segments =
+  let csr = create_csr (Tilegraph.num_cells tg) in
+  let on_fallback () = match fallbacks with Some c -> Trace.incr c | None -> () in
+  recover_sink_paths csr ~on_fallback ~source ~sinks segments
+
+(* --- per-net routing --------------------------------------------------- *)
+
+type net_scratch = {
+  maze : Maze.scratch;
+  csr : csr;
+}
+
+let create_net_scratch usage tg =
+  { maze = Maze.create_scratch usage; csr = create_csr (Tilegraph.num_cells tg) }
+
+let manhattan_steps nx a b = abs ((a / nx) - (b / nx)) + abs ((a mod nx) - (b mod nx))
+
+let engine_for options nx a b =
+  if manhattan_steps nx a b >= options.bidir_threshold then Maze.Bidir
+  else if options.use_astar then Maze.Astar
+  else Maze.Dijkstra
+
+(* A net's routing topology is invariant across speculative attempts
+   and rip-up passes: distinct terminal cells plus the Steiner tree
+   edges snapped onto grid cells.  Building it once per net keeps the
+   Steiner construction — and its allocation — out of the negotiation
+   loop. *)
+type topology = { t_edges : (int * int) array (* maze (src, dst) cell pairs, src <> dst *) }
+
+let topology_of tg net =
   let terminals =
     Array.to_list (Array.append [| net.source_cell |] net.sink_cells)
     |> List.sort_uniq Int.compare
   in
   match terminals with
-  | [] -> { net; segments = []; sink_paths = [||]; wirelength = 0.0 }
-  | [ _only ] ->
-    {
-      net;
-      segments = [];
-      sink_paths = Array.map (fun _ -> [ net.source_cell ]) net.sink_cells;
-      wirelength = 0.0;
-    }
+  | [] | [ _ ] -> { t_edges = [||] }
   | _ ->
     let term_arr = Array.of_list terminals in
     let centers = Array.map (Tilegraph.cell_center tg) term_arr in
@@ -66,108 +250,249 @@ let route_net tg usage ~congestion_weight net =
       if i < Array.length term_arr then term_arr.(i)
       else Tilegraph.cell_of_point tg tree.Steiner.points.(i)
     in
-    let segments =
+    let edges =
       List.filter_map
         (fun (a, b) ->
           let ca = cell_of_tree_point a and cb = cell_of_tree_point b in
-          if ca = cb then None
-          else begin
-            let path = Maze.route usage ~congestion_weight ~src:ca ~dst:cb in
-            Maze.add_path usage path;
-            Some path
-          end)
+          if ca = cb then None else Some (ca, cb))
         tree.Steiner.edges
     in
-    (* Adjacency over the union of segment cells. *)
-    let adj = Hashtbl.create 64 in
-    let link a b =
-      Hashtbl.replace adj a (b :: (try Hashtbl.find adj a with Not_found -> []));
-      Hashtbl.replace adj b (a :: (try Hashtbl.find adj b with Not_found -> []))
-    in
-    List.iter
-      (fun path ->
-        let rec steps = function
-          | x :: (y :: _ as rest) ->
-            link x y;
-            steps rest
-          | [ _ ] | [] -> ()
-        in
-        steps path)
-      segments;
-    let bfs_path target =
-      if target = net.source_cell then [ net.source_cell ]
-      else begin
-        let parent = Hashtbl.create 64 in
-        let queue = Queue.create () in
-        Queue.add net.source_cell queue;
-        Hashtbl.replace parent net.source_cell net.source_cell;
-        let found = ref false in
-        while (not !found) && not (Queue.is_empty queue) do
-          let cell = Queue.pop queue in
-          if cell = target then found := true
-          else
-            List.iter
-              (fun next ->
-                if not (Hashtbl.mem parent next) then begin
-                  Hashtbl.replace parent next cell;
-                  Queue.add next queue
-                end)
-              (try Hashtbl.find adj cell with Not_found -> [])
-        done;
-        if not !found then [ net.source_cell; target ] (* defensive: direct logical link *)
-        else begin
-          let rec back cell acc =
-            if cell = net.source_cell then net.source_cell :: acc
-            else back (Hashtbl.find parent cell) (cell :: acc)
-          in
-          back target []
-        end
-      end
-    in
-    let sink_paths = Array.map bfs_path net.sink_cells in
-    let wirelength = List.fold_left (fun acc p -> acc +. path_length tg p) 0.0 segments in
-    { net; segments; sink_paths; wirelength }
+    { t_edges = Array.of_list edges }
 
-let crosses_overflow usage routed =
-  let cap = (Tilegraph.config (Maze.tilegraph usage)).Tilegraph.edge_capacity in
-  let rec over_path = function
-    | a :: (b :: _ as rest) -> Maze.demand usage a b > cap || over_path rest
-    | [ _ ] | [] -> false
-  in
-  List.exists over_path routed.segments
+(* Route one net's tree edges against the current shared usage WITHOUT
+   committing: each edge is maze-routed into the scratch's private
+   overlay (so later edges of this net price earlier ones).  Because
+   the shared usage is read-only here, the result is a pure function
+   of (usage, net) — the property that makes the speculative parallel
+   schedule deterministic.  Sink paths are recovered once per net
+   after negotiation settles, not on every attempt. *)
+let route_edges usage sc ~options ~congestion_weight ~on_fallback ~nx topo =
+  Fun.protect
+    ~finally:(fun () -> Maze.overlay_clear sc.maze)
+    (fun () ->
+      let segments = ref [] in
+      for e = 0 to Array.length topo.t_edges - 1 do
+        let ca, cb = topo.t_edges.(e) in
+        let engine = engine_for options nx ca cb in
+        let path = Maze.route usage sc.maze ~engine ~congestion_weight ~src:ca ~dst:cb () in
+        (match path with
+        | [ _ ] -> on_fallback () (* degenerate: ca <> cb unreachable *)
+        | _ -> Maze.overlay_add usage sc.maze path);
+        segments := path :: !segments
+      done;
+      List.rev !segments)
 
-let route_all ?(options = default_options) ?(trace = Lacr_obs.Trace.disabled) tg nets =
-  Lacr_obs.Trace.with_span trace ~cat:"routing"
-    ~attrs:[ ("nets", Lacr_obs.Trace.Int (Array.length nets)) ]
+(* --- negotiated parallel schedule -------------------------------------- *)
+
+let route_all ?(options = default_options) ?(pool = Pool.sequential) ?(trace = Trace.disabled)
+    tg nets =
+  Trace.with_span trace ~cat:"routing"
+    ~attrs:
+      [
+        ("nets", Trace.Int (Array.length nets)); ("domains", Trace.Int (Pool.size pool));
+      ]
     "route.all"
     (fun () ->
-      let traced = Lacr_obs.Trace.enabled trace in
-      let c_routed = Lacr_obs.Trace.counter trace "route.nets" in
-      let c_rerouted = Lacr_obs.Trace.counter trace "route.reroutes" in
+      let traced = Trace.enabled trace in
+      let c_routed = Trace.counter trace "route.nets" in
+      let c_rerouted = Trace.counter trace "route.reroutes" in
+      let c_rounds = Trace.counter trace "route.spec_rounds" in
+      let c_conflicts = Trace.counter trace "route.conflicts" in
+      let c_fallbacks = Trace.counter trace "route.fallbacks" in
+      let on_fallback () = Trace.incr c_fallbacks in
       let usage = Maze.create tg in
-      let routed =
-        Lacr_obs.Trace.with_span trace ~cat:"routing" "route.initial" (fun () ->
-            Array.map (route_net tg usage ~congestion_weight:options.congestion_weight) nets)
+      let cap = Maze.capacity usage in
+      let n_nets = Array.length nets in
+      (* Per-worker-slot scratch, lazily built: each slot is only ever
+         touched by the one domain occupying it (Pool.worker_slot),
+         so initialization and reuse are race-free without locks. *)
+      let scratches = Array.make Pool.max_slots None in
+      let scratch_for () =
+        let slot = Pool.worker_slot () in
+        match scratches.(slot) with
+        | Some sc -> sc
+        | None ->
+          let sc = create_net_scratch usage tg in
+          scratches.(slot) <- Some sc;
+          sc
       in
-      if traced then Lacr_obs.Trace.add c_routed (Array.length nets);
-      (* Rip-up and re-route nets that still cross overflowed boundaries. *)
+      let nx, _ = Tilegraph.grid_dims tg in
+      (* Per-net topology, built once up front (deterministic per net,
+         so the parallel fill is order-free). *)
+      let topos = Array.make n_nets { t_edges = [||] } in
+      Pool.parallel_for ~chunk:16 pool n_nets (fun i -> topos.(i) <- topology_of tg nets.(i));
+      (* Working state of the negotiation: committed segments and
+         wirelength per net.  The full [routed_net] records — with
+         their per-sink paths — are only assembled after the schedule
+         settles. *)
+      let seg = Array.make n_nets [] in
+      let wl = Array.make n_nets 0.0 in
+      (* Round-stamped conflict tracking: after each speculative round
+         we know, per boundary, whether two or more of this round's
+         nets crossed it ([multi_round]). *)
+      let nb = Maze.num_boundaries usage in
+      let owner = Array.make nb (-1) in
+      let owner_round = Array.make nb 0 in
+      let multi_round = Array.make nb 0 in
+      let round_id = ref 0 in
+      let boundaries_of segments f =
+        List.iter (iter_steps (fun a b -> f (Maze.boundary_index usage a b))) segments
+      in
+      (* Negotiate the [pending] net indices (ascending) through a
+         work queue consumed in slices of [options.spec_batch] nets:
+         (1) route one slice in parallel against the usage frozen at
+         the slice start — each result depends only on (usage, net),
+         never on domain count or scheduling; (2) commit sequentially
+         in queue order; (3) rip back out only the nets whose
+         committed paths cross a boundary that is both overflowed and
+         shared with another net of the same slice (their speculative
+         route was priced blind to that competitor) and re-enqueue
+         them to route against fresher usage, at most
+         [options.spec_rounds] attempts per net — the last attempt
+         commits as-is, leaving residual overflow to the rip-up
+         passes.  The slice bounds how stale the frozen usage can get,
+         which keeps the speculative schedule's quality at the level
+         of the fully sequential one. *)
+      let negotiate ~congestion_weight pending0 =
+        let queue = Queue.create () in
+        Array.iter (fun i -> Queue.add (i, 1) queue) pending0;
+        let batch = max 1 options.spec_batch in
+        let buf = Array.make batch (0, 0) in
+        let results = Array.make batch None in
+        let slices = ref 0 in
+        while not (Queue.is_empty queue) do
+          incr slices;
+          incr round_id;
+          let k = ref 0 in
+          while !k < batch && not (Queue.is_empty queue) do
+            buf.(!k) <- Queue.pop queue;
+            incr k
+          done;
+          let k = !k in
+          (* Rip a net's previous commit out only when its slice comes
+             up — until then its old paths keep pricing the boundaries
+             for everyone else, the same incremental picture a fully
+             sequential rip-up loop sees.  (A first-time route holds no
+             paths; the removal is a no-op.) *)
+          for j = 0 to k - 1 do
+            let i, _ = buf.(j) in
+            List.iter (Maze.remove_path usage) seg.(i)
+          done;
+          Pool.parallel_for ~chunk:1 pool k (fun j ->
+              let sc = scratch_for () in
+              let i, _ = buf.(j) in
+              let s =
+                route_edges usage sc ~options ~congestion_weight ~on_fallback ~nx topos.(i)
+              in
+              let w = List.fold_left (fun acc p -> acc +. path_length tg p) 0.0 s in
+              results.(j) <- Some (s, w));
+          for j = 0 to k - 1 do
+            let i, _ = buf.(j) in
+            match results.(j) with
+            | None -> ()
+            | Some (s, w) ->
+              seg.(i) <- s;
+              wl.(i) <- w;
+              List.iter (Maze.add_path usage) s;
+              boundaries_of s (fun idx ->
+                  if owner_round.(idx) <> !round_id then begin
+                    owner_round.(idx) <- !round_id;
+                    owner.(idx) <- i
+                  end
+                  else if owner.(idx) <> i then multi_round.(idx) <- !round_id)
+          done;
+          for j = 0 to k - 1 do
+            match results.(j) with
+            | None -> ()
+            | Some _ ->
+              let i, tries = buf.(j) in
+              if tries < options.spec_rounds then begin
+                let conflicted = ref false in
+                boundaries_of seg.(i) (fun idx ->
+                    if
+                      (not !conflicted)
+                      && multi_round.(idx) = !round_id
+                      && Maze.demand_at usage idx > cap
+                    then conflicted := true);
+                if !conflicted then begin
+                  if traced then Trace.incr c_conflicts;
+                  Queue.add (i, tries + 1) queue
+                end
+              end
+          done
+        done;
+        if traced then Trace.add c_rounds !slices
+      in
+      Trace.with_span trace ~cat:"routing" "route.initial" (fun () ->
+          negotiate ~congestion_weight:options.congestion_weight (Array.init n_nets (fun i -> i)));
+      if traced then Trace.add c_routed n_nets;
+      (* Rip-up and re-route nets that still cross overflowed
+         boundaries.  Each pass first charges negotiated-congestion
+         history, then re-routes against a checkpoint: a pass that
+         would increase total overflow is reverted wholesale (history
+         stays charged, so the next pass prices the conflict higher
+         instead of replaying it) — the per-pass overflow trajectory
+         is non-increasing by construction. *)
+      let crosses_overflow i =
+        let hit = ref false in
+        boundaries_of seg.(i) (fun idx ->
+            if (not !hit) && Maze.demand_at usage idx > cap then hit := true);
+        !hit
+      in
+      let current = ref (Maze.overflow usage) in
+      let trajectory = ref [ !current ] in
       for pass = 1 to options.passes do
-        if Maze.overflow usage > 0.0 then
-          Lacr_obs.Trace.with_span trace ~cat:"routing"
-            ~attrs:[ ("pass", Lacr_obs.Trace.Int pass) ]
+        if !current > 0.0 then
+          Trace.with_span trace ~cat:"routing"
+            ~attrs:[ ("pass", Trace.Int pass) ]
             "route.ripup"
             (fun () ->
-              Array.iteri
-                (fun i r ->
-                  if crosses_overflow usage r then begin
-                    List.iter (Maze.remove_path usage) r.segments;
-                    routed.(i) <-
-                      route_net tg usage ~congestion_weight:options.reroute_weight r.net;
-                    if traced then Lacr_obs.Trace.incr c_rerouted
-                  end)
-                routed)
+              Maze.charge_history usage ~decay:options.history_decay;
+              let dirty = ref [] in
+              for i = n_nets - 1 downto 0 do
+                if crosses_overflow i then dirty := i :: !dirty
+              done;
+              let dirty = Array.of_list !dirty in
+              if Array.length dirty > 0 then begin
+                let ck = Maze.checkpoint usage in
+                let saved = Array.map (fun i -> (seg.(i), wl.(i))) dirty in
+                negotiate ~congestion_weight:options.reroute_weight dirty;
+                if traced then Trace.add c_rerouted (Array.length dirty);
+                let now = Maze.overflow usage in
+                if now > !current +. 1e-9 then begin
+                  Maze.restore usage ck;
+                  Array.iteri
+                    (fun j i ->
+                      let s, w = saved.(j) in
+                      seg.(i) <- s;
+                      wl.(i) <- w)
+                    dirty
+                end
+                else current := now
+              end;
+              if traced then Trace.span_attr trace "overflow" (Trace.Float !current);
+              trajectory := !current :: !trajectory)
       done;
-      let total_wirelength = Array.fold_left (fun acc r -> acc +. r.wirelength) 0.0 routed in
+      if Lacr_util.Sanitize.enabled () then
+        Maze.assert_demand_consistent usage
+          ~segments:(Array.fold_left (fun acc s -> List.rev_append s acc) [] seg);
+      (* The negotiation settled every segment; now — and only now —
+         recover the per-sink source paths over each net's segment
+         union.  Each net is independent, so the fill parallelizes
+         with no effect on the result. *)
+      let routed =
+        Array.map (fun net -> { net; segments = []; sink_paths = [||]; wirelength = 0.0 }) nets
+      in
+      Trace.with_span trace ~cat:"routing" "route.recover" (fun () ->
+          Pool.parallel_for ~chunk:8 pool n_nets (fun i ->
+              let sc = scratch_for () in
+              let net = nets.(i) in
+              let sink_paths =
+                recover_sink_paths sc.csr ~on_fallback ~source:net.source_cell
+                  ~sinks:net.sink_cells seg.(i)
+              in
+              routed.(i) <- { net; segments = seg.(i); sink_paths; wirelength = wl.(i) }));
+      let total_wirelength = Array.fold_left (fun acc w -> acc +. w) 0.0 wl in
       let result =
         {
           nets = routed;
@@ -175,10 +500,11 @@ let route_all ?(options = default_options) ?(trace = Lacr_obs.Trace.disabled) tg
           total_wirelength;
           overflow = Maze.overflow usage;
           max_utilization = Maze.max_utilization usage;
+          pass_overflow = Array.of_list (List.rev !trajectory);
         }
       in
       if traced then begin
-        Lacr_obs.Trace.span_attr trace "wirelength_mm" (Lacr_obs.Trace.Float total_wirelength);
-        Lacr_obs.Trace.span_attr trace "overflow" (Lacr_obs.Trace.Float result.overflow)
+        Trace.span_attr trace "wirelength_mm" (Trace.Float total_wirelength);
+        Trace.span_attr trace "overflow" (Trace.Float result.overflow)
       end;
       result)

@@ -1,34 +1,110 @@
 module Tilegraph = Lacr_tilegraph.Tilegraph
 
+exception Routing_error of { src : int; dst : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Routing_error { src; dst; reason } ->
+      Some (Printf.sprintf "Maze.Routing_error(%d -> %d): %s" src dst reason)
+    | _ -> None)
+
+(* Path costs are fixed-point integers (2^20 units per mm) so the
+   search runs on the monomorphic {!Lacr_util.Int_heap} with exact
+   integer comparisons — no float rounding on the priority path, and a
+   total (cost, cell-id) order for deterministic tie-breaking. *)
+let scale = 1 lsl 20
+
+let fixed f = int_of_float ((f *. float_of_int scale) +. 0.5)
+
 (* Boundaries are indexed separately for horizontal moves (between
-   column-adjacent cells) and vertical moves. *)
+   column-adjacent cells) and vertical moves; [h_len] offsets vertical
+   boundaries into the unified index space used by the router's
+   conflict tracking. *)
 type usage = {
   tg : Tilegraph.t;
+  nx : int;
+  ny : int;
+  n : int;
+  cap : float;
+  pitch_x : float;
+  pitch_y : float;
+  unit_x : int;  (* fixed(pitch_x): admissible per-step cost lower bound *)
+  unit_y : int;
+  blockage : float array;  (* per-cell blockage multiplier, >= 1.0 *)
   h : float array;  (* (nx-1) * ny: boundary right of (row, col) *)
   v : float array;  (* nx * (ny-1): boundary above (row, col) *)
+  h_hist : float array;  (* negotiated-congestion history per boundary *)
+  v_hist : float array;
 }
 
 let create tg =
   let nx, ny = Tilegraph.grid_dims tg in
-  { tg; h = Array.make ((nx - 1) * ny) 0.0; v = Array.make (nx * (ny - 1)) 0.0 }
+  let n = nx * ny in
+  let pitch_x, pitch_y = Tilegraph.cell_pitch tg in
+  let tiles = Tilegraph.tiles tg in
+  (* Mild blockage pricing: wires may cross hard macros on upper
+     metal, but detours are preferred so that repeater sites inside
+     macros stay scarce. *)
+  let blockage =
+    Array.init n (fun cell ->
+        match tiles.(Tilegraph.tile_of_cell tg cell).Tilegraph.kind with
+        | Tilegraph.Hard_cell _ -> 1.6
+        | Tilegraph.Soft_merged _ -> 1.2
+        | Tilegraph.Channel -> 1.0)
+  in
+  {
+    tg;
+    nx;
+    ny;
+    n;
+    cap = (Tilegraph.config tg).Tilegraph.edge_capacity;
+    pitch_x;
+    pitch_y;
+    unit_x = fixed pitch_x;
+    unit_y = fixed pitch_y;
+    blockage;
+    h = Array.make ((nx - 1) * ny) 0.0;
+    v = Array.make (nx * (ny - 1)) 0.0;
+    h_hist = Array.make ((nx - 1) * ny) 0.0;
+    v_hist = Array.make (nx * (ny - 1)) 0.0;
+  }
 
 let tilegraph u = u.tg
+let capacity u = u.cap
 
 (* Locate the boundary between two adjacent cells. *)
 let boundary u a b =
-  let nx, _ = Tilegraph.grid_dims u.tg in
+  let nx = u.nx in
   let ra = a / nx and ca = a mod nx in
   let rb = b / nx and cb = b mod nx in
   if ra = rb && abs (ca - cb) = 1 then `H ((ra * (nx - 1)) + min ca cb)
   else if ca = cb && abs (ra - rb) = 1 then `V ((min ra rb * nx) + ca)
   else invalid_arg "Maze: cells not adjacent"
 
+let num_boundaries u = Array.length u.h + Array.length u.v
+
+(* Unified boundary index: horizontal boundaries first, then vertical
+   offset by [Array.length u.h].  Used by the router's per-round
+   conflict stamps, which need one flat index space. *)
+let boundary_index u a b =
+  match boundary u a b with `H i -> i | `V i -> Array.length u.h + i
+
+let demand_at u i =
+  let hl = Array.length u.h in
+  if i < hl then u.h.(i) else u.v.(i - hl)
+
+let history_at u i =
+  let hl = Array.length u.h in
+  if i < hl then u.h_hist.(i) else u.v_hist.(i - hl)
+
 let demand u a b = match boundary u a b with `H i -> u.h.(i) | `V i -> u.v.(i)
+
+let history u a b = match boundary u a b with `H i -> u.h_hist.(i) | `V i -> u.v_hist.(i)
 
 let bump u a b delta =
   match boundary u a b with
-  | `H i -> u.h.(i) <- max 0.0 (u.h.(i) +. delta)
-  | `V i -> u.v.(i) <- max 0.0 (u.v.(i) +. delta)
+  | `H i -> u.h.(i) <- Float.max 0.0 (u.h.(i) +. delta)
+  | `V i -> u.v.(i) <- Float.max 0.0 (u.v.(i) +. delta)
 
 let rec iter_steps f = function
   | a :: (b :: _ as rest) ->
@@ -39,16 +115,12 @@ let rec iter_steps f = function
 let add_path u path = iter_steps (fun a b -> bump u a b 1.0) path
 let remove_path u path = iter_steps (fun a b -> bump u a b (-1.0)) path
 
-let capacity u = (Tilegraph.config u.tg).Tilegraph.edge_capacity
-
 let max_utilization u =
-  let cap = capacity u in
-  let hi = Array.fold_left max 0.0 u.h and vi = Array.fold_left max 0.0 u.v in
-  max hi vi /. cap
+  let hi = Array.fold_left Float.max 0.0 u.h and vi = Array.fold_left Float.max 0.0 u.v in
+  Float.max hi vi /. u.cap
 
 let overflow u =
-  let cap = capacity u in
-  let over acc d = if d > cap then acc +. (d -. cap) else acc in
+  let over acc d = if d > u.cap then acc +. (d -. u.cap) else acc in
   Array.fold_left over (Array.fold_left over 0.0 u.h) u.v
 
 (* Penalty shaping: gentle below 70% utilization, linear ramp to 1.0
@@ -60,58 +132,361 @@ let congestion_penalty ~after_cap ~cap =
   else if ratio <= 1.0 then 0.1 +. (3.0 *. (ratio -. 0.7))
   else 1.0 +. ((ratio -. 1.0) *. (ratio -. 1.0) *. 20.0)
 
-let route u ~congestion_weight ~src ~dst =
+(* Negotiated-congestion history (PathFinder, McMurchie & Ebeling):
+   each rip-up pass decays the accumulated term and charges every
+   currently overflowed boundary in proportion to its overflow, so
+   boundaries that stay contested get progressively more expensive and
+   the passes converge instead of oscillating between equal-cost
+   alternatives. *)
+let charge_history u ~decay =
+  let charge hist dem =
+    for i = 0 to Array.length hist - 1 do
+      let over = dem.(i) -. u.cap in
+      hist.(i) <- (hist.(i) *. decay) +. (if over > 0.0 then over /. u.cap else 0.0)
+    done
+  in
+  charge u.h_hist u.h;
+  charge u.v_hist u.v
+
+type checkpoint = {
+  ck_h : float array;
+  ck_v : float array;
+}
+
+let checkpoint u = { ck_h = Array.copy u.h; ck_v = Array.copy u.v }
+
+let restore u ck =
+  Array.blit ck.ck_h 0 u.h 0 (Array.length u.h);
+  Array.blit ck.ck_v 0 u.v 0 (Array.length u.v)
+
+(* Recompute per-boundary demand from scratch and compare against the
+   incremental accounting — catches add/remove drift hidden by the
+   clamp in [bump].  Call sites gate on [Sanitize.enabled]. *)
+let assert_demand_consistent u ~segments =
+  let invariant = "route.usage" in
+  let h = Array.make (Array.length u.h) 0.0 in
+  let v = Array.make (Array.length u.v) 0.0 in
+  List.iter
+    (iter_steps (fun a b ->
+         match boundary u a b with
+         | `H i -> h.(i) <- h.(i) +. 1.0
+         | `V i -> v.(i) <- v.(i) +. 1.0))
+    segments;
+  let compare_arrays tag fresh live =
+    for i = 0 to Array.length fresh - 1 do
+      if Float.abs (fresh.(i) -. live.(i)) > 1e-6 then
+        Lacr_util.Sanitize.fail ~invariant
+          (Printf.sprintf
+             "%s boundary %d: incremental demand %g, recomputed from segments %g" tag i
+             live.(i) fresh.(i))
+    done
+  in
+  compare_arrays "horizontal" h u.h;
+  compare_arrays "vertical" v u.v
+
+(* --- search engine ----------------------------------------------------- *)
+
+type engine =
+  | Dijkstra
+  | Astar
+  | Bidir
+
+(* Growable int buffer for the overlay's touched-boundary log. *)
+type intvec = {
+  mutable buf : int array;
+  mutable len : int;
+}
+
+let vec_push vec x =
+  if vec.len = Array.length vec.buf then begin
+    let bigger = Array.make (2 * Array.length vec.buf) 0 in
+    Array.blit vec.buf 0 bigger 0 vec.len;
+    vec.buf <- bigger
+  end;
+  vec.buf.(vec.len) <- x;
+  vec.len <- vec.len + 1
+
+(* Reusable per-worker search state.  All visitation arrays are
+   epoch-stamped: a cell's [dist]/[prev] entries are only valid when
+   its stamp equals the current epoch, so starting a new query is one
+   integer increment instead of three O(n) array fills.  The [_b]
+   arrays are the backward half of the bidirectional fallback.  The
+   overlay is a private demand delta for speculative routing: a net
+   being routed against an immutable usage snapshot records its own
+   segments here so later segments of the same net see them. *)
+type scratch = {
+  s_n : int;
+  cell_bits : int;  (* priorities pack (cost << cell_bits) | cell *)
+  max_dist : int;  (* saturation bound keeping packed priorities in range *)
+  mutable epoch : int;
+  seen_f : int array;
+  done_f : int array;
+  dist_f : int array;
+  prev_f : int array;
+  heap_f : Lacr_util.Int_heap.t;
+  seen_b : int array;
+  done_b : int array;
+  dist_b : int array;
+  prev_b : int array;
+  heap_b : Lacr_util.Int_heap.t;
+  h_len : int;
+  h_ov : float array;
+  v_ov : float array;
+  touched : intvec;
+}
+
+let create_scratch u =
+  let n = u.n in
+  let rec bits k = if 1 lsl k >= n then k else bits (k + 1) in
+  let cell_bits = bits 1 in
+  {
+    s_n = n;
+    cell_bits;
+    max_dist = max_int asr (cell_bits + 1);
+    epoch = 0;
+    seen_f = Array.make n 0;
+    done_f = Array.make n 0;
+    dist_f = Array.make n 0;
+    prev_f = Array.make n (-1);
+    heap_f = Lacr_util.Int_heap.create ~capacity:(max 16 n) ();
+    seen_b = Array.make n 0;
+    done_b = Array.make n 0;
+    dist_b = Array.make n 0;
+    prev_b = Array.make n (-1);
+    heap_b = Lacr_util.Int_heap.create ~capacity:(max 16 n) ();
+    h_len = Array.length u.h;
+    h_ov = Array.make (Array.length u.h) 0.0;
+    v_ov = Array.make (Array.length u.v) 0.0;
+    touched = { buf = Array.make 64 0; len = 0 };
+  }
+
+let overlay_add u sc path =
+  iter_steps
+    (fun a b ->
+      match boundary u a b with
+      | `H i ->
+        sc.h_ov.(i) <- sc.h_ov.(i) +. 1.0;
+        vec_push sc.touched i
+      | `V i ->
+        sc.v_ov.(i) <- sc.v_ov.(i) +. 1.0;
+        vec_push sc.touched (sc.h_len + i))
+    path
+
+let overlay_clear sc =
+  for k = 0 to sc.touched.len - 1 do
+    let i = sc.touched.buf.(k) in
+    if i < sc.h_len then sc.h_ov.(i) <- 0.0 else sc.v_ov.(i - sc.h_len) <- 0.0
+  done;
+  sc.touched.len <- 0
+
+(* Fixed-point cost of one step onto [next] across boundary [i]
+   (horizontal when [horiz]).  Reads demand through the overlay so a
+   net under construction prices its own earlier segments.  The
+   multiplier is always >= 1 (blockage >= 1, penalties >= 0), which is
+   what makes the plain-pitch A* heuristic admissible. *)
+let step_cost u sc ~congestion_weight ~horiz i next =
+  let dem, hist =
+    if horiz then (u.h.(i) +. sc.h_ov.(i), u.h_hist.(i)) else (u.v.(i) +. sc.v_ov.(i), u.v_hist.(i))
+  in
+  let penalty = congestion_penalty ~after_cap:(dem +. 1.0) ~cap:u.cap in
+  let pitch = if horiz then u.pitch_x else u.pitch_y in
+  fixed (pitch *. u.blockage.(next) *. (1.0 +. (congestion_weight *. (penalty +. hist))))
+
+let sat_add sc a b = if a >= sc.max_dist - b then sc.max_dist else a + b
+
+(* Admissible lower bound on the remaining cost: every path needs at
+   least the Manhattan column/row steps, each costing at least the
+   plain fixed-point pitch ([step_cost] multiplier >= 1, and [fixed]
+   is monotone). *)
+let heuristic u ~dr ~dc row col =
+  (abs (col - dc) * u.unit_x) + (abs (row - dr) * u.unit_y)
+
+(* Walk one side's predecessor chain from [cell] back to its seed. *)
+let rec walk_prev prev cell seed acc =
+  if cell = seed then seed :: acc else walk_prev prev prev.(cell) seed (cell :: acc)
+
+(* Unidirectional search: Dijkstra when [use_h] is false, A* when
+   true.  The heap priority packs ((g + h) << cell_bits) | cell so
+   pops are ordered by cost then cell id; on cost ties the lower
+   parent id wins [prev].  With the consistent heuristic above, every
+   settled cell has its exact distance, so the A* result is provably
+   cost-identical to Dijkstra. *)
+let search_uni u sc ~use_h ~congestion_weight ~src ~dst =
+  let nx = u.nx and ny = u.ny in
+  sc.epoch <- sc.epoch + 1;
+  let epoch = sc.epoch in
+  let seen = sc.seen_f and done_ = sc.done_f and dist = sc.dist_f and prev = sc.prev_f in
+  let heap = sc.heap_f in
+  Lacr_util.Int_heap.clear heap;
+  let dr = dst / nx and dc = dst mod nx in
+  let h_of cell = if use_h then heuristic u ~dr ~dc (cell / nx) (cell mod nx) else 0 in
+  seen.(src) <- epoch;
+  dist.(src) <- 0;
+  prev.(src) <- src;
+  Lacr_util.Int_heap.push heap ~prio:(h_of src lsl sc.cell_bits lor src) src;
+  let finished = ref false in
+  while (not !finished) && not (Lacr_util.Int_heap.is_empty heap) do
+    let cell = Lacr_util.Int_heap.pop_min heap in
+    if done_.(cell) <> epoch then begin
+      done_.(cell) <- epoch;
+      if cell = dst then finished := true
+      else begin
+        let row = cell / nx and col = cell mod nx in
+        let g = dist.(cell) in
+        let relax next ~horiz i =
+          if done_.(next) <> epoch then begin
+            let nd = sat_add sc g (step_cost u sc ~congestion_weight ~horiz i next) in
+            if seen.(next) <> epoch || nd < dist.(next) then begin
+              seen.(next) <- epoch;
+              dist.(next) <- nd;
+              prev.(next) <- cell;
+              Lacr_util.Int_heap.push heap
+                ~prio:(sat_add sc nd (h_of next) lsl sc.cell_bits lor next)
+                next
+            end
+            else if nd = dist.(next) && cell < prev.(next) then prev.(next) <- cell
+          end
+        in
+        if col + 1 < nx then relax (cell + 1) ~horiz:true ((row * (nx - 1)) + col);
+        if col > 0 then relax (cell - 1) ~horiz:true ((row * (nx - 1)) + col - 1);
+        if row + 1 < ny then relax (cell + nx) ~horiz:false ((row * nx) + col);
+        if row > 0 then relax (cell - nx) ~horiz:false (((row - 1) * nx) + col)
+      end
+    end
+  done;
+  if done_.(dst) = epoch then Some (walk_prev prev dst src []) else None
+
+(* Discard heap entries already settled this epoch; the minimum live
+   cost (the packed priority's high bits) drives the bidirectional
+   stop test. *)
+let live_min_cost sc heap done_ =
+  let result = ref (-1) in
+  while !result < 0 && not (Lacr_util.Int_heap.is_empty heap) do
+    let prio = Lacr_util.Int_heap.min_prio heap in
+    let cell = prio land ((1 lsl sc.cell_bits) - 1) in
+    if done_.(cell) = sc.epoch then ignore (Lacr_util.Int_heap.pop_min heap)
+    else result := prio asr sc.cell_bits
+  done;
+  !result
+
+(* Bidirectional Dijkstra with the classic early exit: alternate the
+   cheaper frontier; any cell seen from both sides bounds the optimum
+   ([mu]); once the two live frontier minima sum past [mu] no cheaper
+   connection exists, so the meet is provably on a minimum-cost path.
+   The backward search runs on reversed edges: a step from [p] onto
+   [c] prices [c]'s blockage and the (p, c) boundary, exactly as the
+   forward search entering [c] would. *)
+let search_bidir u sc ~congestion_weight ~src ~dst =
+  let nx = u.nx and ny = u.ny in
+  sc.epoch <- sc.epoch + 1;
+  let epoch = sc.epoch in
+  Lacr_util.Int_heap.clear sc.heap_f;
+  Lacr_util.Int_heap.clear sc.heap_b;
+  sc.seen_f.(src) <- epoch;
+  sc.dist_f.(src) <- 0;
+  sc.prev_f.(src) <- src;
+  Lacr_util.Int_heap.push sc.heap_f ~prio:src src;
+  sc.seen_b.(dst) <- epoch;
+  sc.dist_b.(dst) <- 0;
+  sc.prev_b.(dst) <- dst;
+  Lacr_util.Int_heap.push sc.heap_b ~prio:dst dst;
+  let mu = ref max_int and meet = ref (-1) in
+  let consider cell total =
+    if total < !mu || (total = !mu && cell < !meet) then begin
+      mu := total;
+      meet := cell
+    end
+  in
+  let expand ~forward =
+    let seen, done_, dist, prev, heap, o_seen, o_dist =
+      if forward then (sc.seen_f, sc.done_f, sc.dist_f, sc.prev_f, sc.heap_f, sc.seen_b, sc.dist_b)
+      else (sc.seen_b, sc.done_b, sc.dist_b, sc.prev_b, sc.heap_b, sc.seen_f, sc.dist_f)
+    in
+    let cell = Lacr_util.Int_heap.pop_min heap in
+    if done_.(cell) <> epoch then begin
+      done_.(cell) <- epoch;
+      if o_seen.(cell) = epoch then consider cell (sat_add sc dist.(cell) o_dist.(cell));
+      let row = cell / nx and col = cell mod nx in
+      let g = dist.(cell) in
+      let relax next ~horiz i =
+        if done_.(next) <> epoch then begin
+          (* Forward: step onto [next].  Backward: the real edge runs
+             [next] -> [cell], so the entered cell is [cell]. *)
+          let entered = if forward then next else cell in
+          let nd = sat_add sc g (step_cost u sc ~congestion_weight ~horiz i entered) in
+          if seen.(next) <> epoch || nd < dist.(next) then begin
+            seen.(next) <- epoch;
+            dist.(next) <- nd;
+            prev.(next) <- cell;
+            Lacr_util.Int_heap.push heap ~prio:(nd lsl sc.cell_bits lor next) next;
+            if o_seen.(next) = epoch then consider next (sat_add sc nd o_dist.(next))
+          end
+          else if nd = dist.(next) && cell < prev.(next) then prev.(next) <- cell
+        end
+      in
+      if col + 1 < nx then relax (cell + 1) ~horiz:true ((row * (nx - 1)) + col);
+      if col > 0 then relax (cell - 1) ~horiz:true ((row * (nx - 1)) + col - 1);
+      if row + 1 < ny then relax (cell + nx) ~horiz:false ((row * nx) + col);
+      if row > 0 then relax (cell - nx) ~horiz:false (((row - 1) * nx) + col)
+    end
+  in
+  let finished = ref false in
+  while not !finished do
+    let fmin = live_min_cost sc sc.heap_f sc.done_f in
+    let bmin = live_min_cost sc sc.heap_b sc.done_b in
+    if fmin < 0 && bmin < 0 then finished := true
+    else if !mu < max_int
+            && sat_add sc (if fmin < 0 then sc.max_dist else fmin)
+                 (if bmin < 0 then sc.max_dist else bmin)
+               >= !mu
+    then finished := true
+    else if bmin < 0 || (fmin >= 0 && fmin <= bmin) then expand ~forward:true
+    else expand ~forward:false
+  done;
+  if !meet < 0 then None
+  else begin
+    let forward = walk_prev sc.prev_f !meet src [] in
+    let rec backward cell acc = if cell = dst then List.rev (dst :: acc) else backward sc.prev_b.(cell) (cell :: acc) in
+    (* [forward] ends at the meet; the backward tail starts just after it. *)
+    Some (forward @ List.tl (backward !meet []))
+  end
+
+let route u sc ?(engine = Astar) ~congestion_weight ~src ~dst () =
   if src = dst then [ src ]
   else begin
-    let tg = u.tg in
-    let n = Tilegraph.num_cells tg in
-    let pitch_x, pitch_y = Tilegraph.cell_pitch tg in
-    let cap = capacity u in
-    let dist = Array.make n infinity in
-    let prev = Array.make n (-1) in
-    let settled = Array.make n false in
-    let heap = Lacr_util.Heap.create () in
-    dist.(src) <- 0.0;
-    Lacr_util.Heap.push heap 0.0 src;
-    let nx, _ = Tilegraph.grid_dims tg in
-    (try
-       let rec loop () =
-         match Lacr_util.Heap.pop heap with
-         | None -> ()
-         | Some (d, cell) ->
-           if not settled.(cell) then begin
-             settled.(cell) <- true;
-             if cell = dst then raise Exit;
-             let relax next =
-               if not settled.(next) then begin
-                 let pitch = if cell / nx = next / nx then pitch_x else pitch_y in
-                 let after_cap = demand u cell next +. 1.0 in
-                 let penalty = congestion_penalty ~after_cap ~cap in
-                 (* Mild blockage pricing: wires may cross hard macros
-                    on upper metal, but detours are preferred so that
-                    repeater sites inside macros stay scarce. *)
-                 let blockage =
-                   match (Tilegraph.tiles tg).(Tilegraph.tile_of_cell tg next).Tilegraph.kind with
-                   | Tilegraph.Hard_cell _ -> 1.6
-                   | Tilegraph.Soft_merged _ -> 1.2
-                   | Tilegraph.Channel -> 1.0
-                 in
-                 let step = pitch *. blockage *. (1.0 +. (congestion_weight *. penalty)) in
-                 let nd = d +. step in
-                 if nd < dist.(next) -. 1e-12 then begin
-                   dist.(next) <- nd;
-                   prev.(next) <- cell;
-                   Lacr_util.Heap.push heap nd next
-                 end
-               end
-             in
-             List.iter relax (Tilegraph.cell_neighbors tg cell)
-           end;
-           loop ()
-       in
-       loop ()
-     with Exit -> ());
-    let rec walk cell acc = if cell = src then src :: acc else walk prev.(cell) (cell :: acc) in
-    if prev.(dst) < 0 && dst <> src then [ src ] (* unreachable: degenerate 1xN grids only *)
-    else walk dst []
+    let found =
+      match engine with
+      | Dijkstra -> search_uni u sc ~use_h:false ~congestion_weight ~src ~dst
+      | Astar -> search_uni u sc ~use_h:true ~congestion_weight ~src ~dst
+      | Bidir -> search_bidir u sc ~congestion_weight ~src ~dst
+    in
+    match found with
+    | Some path -> path
+    | None ->
+      (* Structurally impossible on a connected tile grid; reachable
+         only through index corruption, which is exactly what the
+         sanitizer should surface instead of a silent degenerate
+         route.  Callers count the fallback in route.fallbacks. *)
+      if Lacr_util.Sanitize.enabled () then
+        raise (Routing_error { src; dst; reason = "no path on the tile grid" })
+      else [ src ]
   end
+
+(* The exact fixed-point cost [route] minimizes, recomputed over an
+   explicit path against the bare usage (no overlay) — the oracle for
+   the engine-equivalence properties. *)
+let path_cost u ~congestion_weight path =
+  let total = ref 0 in
+  iter_steps
+    (fun a b ->
+      let horiz, i =
+        match boundary u a b with `H i -> (true, i) | `V i -> (false, i)
+      in
+      let dem, hist = if horiz then (u.h.(i), u.h_hist.(i)) else (u.v.(i), u.v_hist.(i)) in
+      let penalty = congestion_penalty ~after_cap:(dem +. 1.0) ~cap:u.cap in
+      let pitch = if horiz then u.pitch_x else u.pitch_y in
+      total :=
+        !total
+        + fixed (pitch *. u.blockage.(b) *. (1.0 +. (congestion_weight *. (penalty +. hist)))))
+    path;
+  !total

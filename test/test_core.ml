@@ -193,9 +193,15 @@ let test_report_row_and_table () =
          table;
        !found)
 
-(* Pinned LAC outcomes on s27 and s386, captured from the seed (cold,
-   per-round recompiling) engine.  The warm-started successive-instance
-   engine must reproduce them exactly — same violation/flip-flop
+(* Pinned LAC outcomes on s27 and s386 (re-pinned when the negotiated
+   A* router replaced the seed maze engine: its routed aggregates are
+   identical to the seed's — same total wirelength, zero overflow on
+   both circuits — but its deterministic (cost, cell) tie-break picks
+   different equal-cost path shapes than the seed's float-keyed heap
+   order, which moves the plateau the s386 re-weighting loop stalls
+   on from N_FOA = 3 over 12 rounds to N_FOA = 4 over 11).  The
+   warm-started successive-instance engine
+   must reproduce the trajectory exactly — same violation/flip-flop
    counts, same number of rounds, same convergence trace — and its
    per-round solver stats must show round 1 cold and every later round
    warm.  Guards the canonical-potential argument: warm starts may not
@@ -236,21 +242,20 @@ let test_pinned_s27 () =
   check_pinned "s27" (run_lac "s27") ~n_foa:0 ~n_f:3 ~n_fn:0 ~n_wr:1 ~trace:[ (0, 3.0) ]
 
 let test_pinned_s386 () =
-  check_pinned "s386" (run_lac "s386") ~n_foa:3 ~n_f:44 ~n_fn:11 ~n_wr:12
+  check_pinned "s386" (run_lac "s386") ~n_foa:4 ~n_f:44 ~n_fn:11 ~n_wr:11
     ~trace:
       [
         (7, 44.000500);
-        (4, 53.837873);
-        (3, 66.146254);
-        (3, 81.207840);
-        (3, 100.118695);
-        (3, 123.789629);
-        (4, 153.332508);
-        (3, 191.018035);
-        (3, 238.467597);
-        (3, 299.468484);
-        (3, 376.807697);
-        (4, 477.400061);
+        (4, 54.143476);
+        (4, 67.169253);
+        (5, 83.403350);
+        (4, 101.071573);
+        (4, 126.884057);
+        (4, 160.383368);
+        (4, 204.202214);
+        (5, 254.904010);
+        (4, 319.461616);
+        (4, 412.889544);
       ]
 
 let test_figures_render () =

@@ -1,6 +1,8 @@
 (* Routing tests: Steiner tree invariants (connectivity, length lower
    bound vs HPWL), maze-route validity on the grid, usage accounting,
-   and global-router end-to-end properties. *)
+   engine equivalence (Dijkstra / A* / bidirectional), negotiated
+   history behaviour, cross-domain determinism of the parallel
+   router, and global-router end-to-end properties. *)
 
 module Steiner = Lacr_routing.Steiner
 module Maze = Lacr_routing.Maze
@@ -12,6 +14,9 @@ module Floorplan = Lacr_floorplan.Floorplan
 module Point = Lacr_geometry.Point
 module Rect = Lacr_geometry.Rect
 module Rng = Lacr_util.Rng
+module Pool = Lacr_util.Pool
+module Sanitize = Lacr_util.Sanitize
+module Trace = Lacr_obs.Trace
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -74,13 +79,38 @@ let valid_path tg path =
   in
   ok path
 
+(* Randomized demand + history over a fixture usage: random unit
+   paths, then a couple of history-charging rounds so both cost terms
+   are live for the engine-equivalence property. *)
+let randomize_usage rng tg usage =
+  let n = Tilegraph.num_cells tg in
+  for _i = 1 to 40 + Rng.int rng 60 do
+    let c = Rng.int rng n in
+    match Tilegraph.cell_neighbors tg c with
+    | [] -> ()
+    | neighbors ->
+      let pick = List.nth neighbors (Rng.int rng (List.length neighbors)) in
+      Maze.add_path usage [ c; pick ]
+  done;
+  Maze.charge_history usage ~decay:0.6;
+  for _i = 1 to 20 + Rng.int rng 40 do
+    let c = Rng.int rng n in
+    match Tilegraph.cell_neighbors tg c with
+    | [] -> ()
+    | neighbors ->
+      let pick = List.nth neighbors (Rng.int rng (List.length neighbors)) in
+      Maze.add_path usage [ c; pick ]
+  done;
+  Maze.charge_history usage ~decay:0.6
+
 (* --- maze --- *)
 
 let test_maze_route_connects () =
   let tg = grid_fixture () in
   let usage = Maze.create tg in
+  let sc = Maze.create_scratch usage in
   let src = 0 and dst = Tilegraph.num_cells tg - 1 in
-  let path = Maze.route usage ~congestion_weight:1.0 ~src ~dst in
+  let path = Maze.route usage sc ~congestion_weight:1.0 ~src ~dst () in
   (match path with
   | [] -> Alcotest.fail "empty path"
   | first :: _ ->
@@ -96,12 +126,14 @@ let test_maze_route_connects () =
 let test_maze_same_cell () =
   let tg = grid_fixture () in
   let usage = Maze.create tg in
-  check "singleton" true (Maze.route usage ~congestion_weight:1.0 ~src:3 ~dst:3 = [ 3 ])
+  let sc = Maze.create_scratch usage in
+  check "singleton" true (Maze.route usage sc ~congestion_weight:1.0 ~src:3 ~dst:3 () = [ 3 ])
 
 let test_maze_usage_accounting () =
   let tg = grid_fixture () in
   let usage = Maze.create tg in
-  let path = Maze.route usage ~congestion_weight:1.0 ~src:0 ~dst:3 in
+  let sc = Maze.create_scratch usage in
+  let path = Maze.route usage sc ~congestion_weight:1.0 ~src:0 ~dst:3 () in
   Maze.add_path usage path;
   check_float "one track on first hop" 1.0 (Maze.demand usage 0 1);
   Maze.add_path usage path;
@@ -115,15 +147,106 @@ let test_maze_usage_accounting () =
 let test_maze_avoids_congestion () =
   let tg = grid_fixture () in
   let usage = Maze.create tg in
-  let nx, _ = Tilegraph.grid_dims tg in
+  let sc = Maze.create_scratch usage in
   (* Saturate the direct horizontal corridor between 0 and 2. *)
   for _i = 1 to 8 do
     Maze.add_path usage [ 0; 1; 2 ]
   done;
-  let path = Maze.route usage ~congestion_weight:10.0 ~src:0 ~dst:2 in
+  let path = Maze.route usage sc ~congestion_weight:10.0 ~src:0 ~dst:2 () in
   check "routes around" true (not (List.mem 1 path) || List.length path > 3);
-  check "still arrives" true (List.nth path (List.length path - 1) = 2);
-  ignore nx
+  check "still arrives" true (List.nth path (List.length path - 1) = 2)
+
+let test_maze_scratch_reuse () =
+  (* The same scratch must give identical answers across many queries:
+     epoch stamping fully isolates them. *)
+  let tg = grid_fixture () in
+  let usage = Maze.create tg in
+  let sc = Maze.create_scratch usage in
+  let n = Tilegraph.num_cells tg in
+  let rng = Rng.create 11 in
+  for _i = 1 to 50 do
+    let src = Rng.int rng n and dst = Rng.int rng n in
+    let reused = Maze.route usage sc ~congestion_weight:1.0 ~src ~dst () in
+    let fresh =
+      Maze.route usage (Maze.create_scratch usage) ~congestion_weight:1.0 ~src ~dst ()
+    in
+    check "reused scratch = fresh scratch" true (reused = fresh)
+  done
+
+let test_maze_overlay () =
+  let tg = grid_fixture () in
+  let usage = Maze.create tg in
+  let sc = Maze.create_scratch usage in
+  (* Saturate a corridor only in the overlay: the shared usage stays
+     empty, but routing through this scratch detours. *)
+  for _i = 1 to 8 do
+    Maze.overlay_add usage sc [ 0; 1; 2 ]
+  done;
+  check_float "shared usage untouched" 0.0 (Maze.demand usage 0 1);
+  let through = Maze.route usage sc ~congestion_weight:10.0 ~src:0 ~dst:2 () in
+  check "overlay priced" true (not (List.mem 1 through) || List.length through > 3);
+  Maze.overlay_clear sc;
+  let direct = Maze.route usage sc ~congestion_weight:10.0 ~src:0 ~dst:2 () in
+  check_int "cleared overlay routes direct" 3 (List.length direct)
+
+let test_history_charge_decay () =
+  let tg = grid_fixture () in
+  let usage = Maze.create tg in
+  (* cap = 2.0 in the fixture; demand 3 on one boundary = overflow 1. *)
+  for _i = 1 to 3 do
+    Maze.add_path usage [ 0; 1 ]
+  done;
+  check_float "history starts empty" 0.0 (Maze.history usage 0 1);
+  Maze.charge_history usage ~decay:0.5;
+  check_float "charged by overflow ratio" 0.5 (Maze.history usage 0 1);
+  Maze.charge_history usage ~decay:0.5;
+  check_float "decays and recharges" 0.75 (Maze.history usage 0 1);
+  for _i = 1 to 3 do
+    Maze.remove_path usage [ 0; 1 ]
+  done;
+  Maze.charge_history usage ~decay:0.5;
+  check_float "pure decay once resolved" 0.375 (Maze.history usage 0 1);
+  check_float "untouched boundary stays zero" 0.0 (Maze.history usage 2 3)
+
+let test_checkpoint_restore () =
+  let tg = grid_fixture () in
+  let usage = Maze.create tg in
+  Maze.add_path usage [ 0; 1; 2 ];
+  let ck = Maze.checkpoint usage in
+  Maze.add_path usage [ 0; 1; 2 ];
+  Maze.add_path usage [ 0; 8 ];
+  check_float "demand moved" 2.0 (Maze.demand usage 0 1);
+  Maze.restore usage ck;
+  check_float "restored h demand" 1.0 (Maze.demand usage 0 1);
+  check_float "restored v demand" 0.0 (Maze.demand usage 0 8)
+
+(* QCheck (a): all three engines return cost-identical paths on random
+   grids with random demand and history. *)
+let prop_engines_cost_identical =
+  QCheck2.Test.make ~count:60 ~name:"astar and bidir path cost = dijkstra path cost"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let tg = grid_fixture () in
+      let usage = Maze.create tg in
+      let rng = Rng.create seed in
+      randomize_usage rng tg usage;
+      let sc = Maze.create_scratch usage in
+      let n = Tilegraph.num_cells tg in
+      let src = Rng.int rng n and dst = Rng.int rng n in
+      let cw = Rng.float rng 4.0 in
+      let ends path =
+        List.hd path = src && List.nth path (List.length path - 1) = dst
+      in
+      let dij = Maze.route usage sc ~engine:Maze.Dijkstra ~congestion_weight:cw ~src ~dst () in
+      let ast = Maze.route usage sc ~engine:Maze.Astar ~congestion_weight:cw ~src ~dst () in
+      let bid = Maze.route usage sc ~engine:Maze.Bidir ~congestion_weight:cw ~src ~dst () in
+      let cost = Maze.path_cost usage ~congestion_weight:cw in
+      valid_path tg dij && valid_path tg ast && valid_path tg bid
+      && ends dij && ends ast && ends bid
+      && cost ast = cost dij
+      && cost bid = cost dij
+      (* Dijkstra and A* share the tie-break, so they agree exactly. *)
+      && ast = dij)
 
 (* --- global router --- *)
 
@@ -160,19 +283,20 @@ let test_route_all_same_cell_net () =
   check_int "no segments" 0 (List.length routed.Global_router.segments);
   Array.iter (fun p -> check "trivial sink path" true (p = [ 5 ])) routed.Global_router.sink_paths
 
+let random_nets rng tg count =
+  let n = Tilegraph.num_cells tg in
+  Array.init count (fun _ ->
+      {
+        Global_router.source_cell = Rng.int rng n;
+        sink_cells = Array.init (1 + Rng.int rng 3) (fun _ -> Rng.int rng n);
+        weight = 1.0;
+      })
+
 let test_reroute_reduces_overflow () =
   let tg = grid_fixture () in
-  let n = Tilegraph.num_cells tg in
   let rng = Rng.create 9 in
   (* Many random nets across a tiny-capacity grid. *)
-  let nets =
-    Array.init 30 (fun _ ->
-        {
-          Global_router.source_cell = Rng.int rng n;
-          sink_cells = [| Rng.int rng n |];
-          weight = 1.0;
-        })
-  in
+  let nets = random_nets rng tg 30 in
   let no_reroute =
     Global_router.route_all
       ~options:{ Global_router.default_options with Global_router.passes = 0 }
@@ -181,6 +305,28 @@ let test_reroute_reduces_overflow () =
   let with_reroute = Global_router.route_all tg nets in
   check "reroute not worse" true
     (with_reroute.Global_router.overflow <= no_reroute.Global_router.overflow +. 1e-9)
+
+let test_route_all_bidir_engine () =
+  (* Force every net through the bidirectional engine: routed trees
+     stay valid end to end. *)
+  let tg = grid_fixture () in
+  let rng = Rng.create 21 in
+  let nets = random_nets rng tg 12 in
+  let result =
+    Global_router.route_all
+      ~options:{ Global_router.default_options with Global_router.bidir_threshold = 1 }
+      tg nets
+  in
+  Array.iter
+    (fun routed ->
+      Array.iteri
+        (fun i path ->
+          check "bidir sink path valid" true (valid_path tg path);
+          check_int "bidir path ends at sink"
+            routed.Global_router.net.Global_router.sink_cells.(i)
+            (List.nth path (List.length path - 1)))
+        routed.Global_router.sink_paths)
+    result.Global_router.nets
 
 let prop_sink_paths_on_tree =
   QCheck2.Test.make ~count:40 ~name:"sink paths are valid and start/end correctly"
@@ -206,6 +352,127 @@ let prop_sink_paths_on_tree =
           && List.nth path (List.length path - 1) = sink)
         net.Global_router.sink_cells routed.Global_router.sink_paths)
 
+(* QCheck (b): the routed result is bit-identical for 1, 2 and 4
+   worker domains — the speculative schedule is deterministic. *)
+let prop_domains_bit_identical =
+  QCheck2.Test.make ~count:10 ~name:"route_all bit-identical for domains 1/2/4"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let tg = grid_fixture () in
+      let rng = Rng.create seed in
+      let nets = random_nets rng tg 25 in
+      let route size =
+        Pool.with_pool ~size (fun pool -> Global_router.route_all ~pool tg nets)
+      in
+      let r1 = route 1 and r2 = route 2 and r4 = route 4 in
+      let same a b =
+        a.Global_router.nets = b.Global_router.nets
+        && a.Global_router.total_wirelength = b.Global_router.total_wirelength
+        && a.Global_router.overflow = b.Global_router.overflow
+        && a.Global_router.max_utilization = b.Global_router.max_utilization
+        && a.Global_router.pass_overflow = b.Global_router.pass_overflow
+      in
+      same r1 r2 && same r1 r4)
+
+(* QCheck (c): with the history term on, the per-pass overflow
+   trajectory never increases. *)
+let prop_overflow_non_increasing =
+  QCheck2.Test.make ~count:30 ~name:"ripup overflow trajectory is non-increasing"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let tg = grid_fixture () in
+      let rng = Rng.create seed in
+      let nets = random_nets rng tg (25 + Rng.int rng 25) in
+      let result =
+        Global_router.route_all
+          ~options:{ Global_router.default_options with Global_router.passes = 4 }
+          tg nets
+      in
+      let po = result.Global_router.pass_overflow in
+      let ok = ref (Array.length po >= 1) in
+      for i = 0 to Array.length po - 2 do
+        if po.(i + 1) > po.(i) +. 1e-9 then ok := false
+      done;
+      !ok && result.Global_router.overflow = po.(Array.length po - 1))
+
+(* --- fallbacks and sanitizer --- *)
+
+let test_sink_recovery_fallback_counted () =
+  let tg = grid_fixture () in
+  (* Segments that do not reach sink 5: the recovery degrades to a
+     fabricated direct link and counts it. *)
+  let ctx = Trace.create () in
+  let fallbacks = Trace.counter ctx "route.fallbacks" in
+  let paths =
+    Global_router.sink_paths_of_segments tg ~fallbacks ~source:0 ~sinks:[| 5; 1 |]
+      [ [ 0; 1 ] ]
+  in
+  check "disconnected sink fabricated" true (paths.(0) = [ 0; 5 ]);
+  check "connected sink recovered" true (paths.(1) = [ 0; 1 ]);
+  check "fallback counted" true (Trace.counter_totals ctx = [ ("route.fallbacks", 1) ])
+
+let test_sink_recovery_raises_under_sanitize () =
+  let tg = grid_fixture () in
+  Alcotest.check_raises "disconnected sink raises"
+    (Maze.Routing_error { src = 0; dst = 5; reason = "sink not connected to routed segments" })
+    (fun () ->
+      Sanitize.with_enabled true (fun () ->
+          ignore
+            (Global_router.sink_paths_of_segments tg ~source:0 ~sinks:[| 5 |] [ [ 0; 1 ] ])))
+
+let test_demand_consistency_check () =
+  let tg = grid_fixture () in
+  let usage = Maze.create tg in
+  Maze.add_path usage [ 0; 1; 2 ];
+  (* Consistent: the committed segments explain the demand. *)
+  Sanitize.with_enabled true (fun () ->
+      Maze.assert_demand_consistent usage ~segments:[ [ 0; 1; 2 ] ]);
+  (* Inconsistent: demand exists that no segment explains. *)
+  let raised =
+    try
+      Sanitize.with_enabled true (fun () -> Maze.assert_demand_consistent usage ~segments:[]);
+      false
+    with Sanitize.Violation { invariant; _ } ->
+      check "names the invariant" true (String.equal invariant "route.usage");
+      true
+  in
+  check "drift detected" true raised
+
+let test_route_all_sanitized_identical () =
+  let tg = grid_fixture () in
+  let rng = Rng.create 17 in
+  let nets = random_nets rng tg 20 in
+  let plain = Global_router.route_all tg nets in
+  let sanitized = Sanitize.with_enabled true (fun () -> Global_router.route_all tg nets) in
+  check "sanitizer does not change routing" true
+    (plain.Global_router.nets = sanitized.Global_router.nets
+    && plain.Global_router.pass_overflow = sanitized.Global_router.pass_overflow)
+
+(* --- routed-wirelength pins (seed-trajectory guards) --- *)
+
+module Build = Lacr_core.Build
+module Suite = Lacr_circuits.Suite
+
+let routed_wirelength netlist =
+  match Build.build netlist with
+  | Error msg -> Alcotest.fail msg
+  | Ok inst ->
+    ( inst.Build.routing.Global_router.total_wirelength,
+      inst.Build.routing.Global_router.overflow )
+
+let test_pin_s27 () =
+  let wl, ov = routed_wirelength (Suite.s27 ()) in
+  Alcotest.(check (float 1e-4)) "s27 routed wirelength" 53.554925 wl;
+  Alcotest.(check (float 1e-9)) "s27 overflow" 0.0 ov
+
+let test_pin_s386 () =
+  let netlist =
+    match Suite.by_name "s386" with Some n -> n | None -> Alcotest.fail "s386 missing"
+  in
+  let wl, ov = routed_wirelength netlist in
+  Alcotest.(check (float 1e-4)) "s386 routed wirelength" 845.539161 wl;
+  Alcotest.(check (float 1e-9)) "s386 overflow" 0.0 ov
+
 let suite =
   [
     Alcotest.test_case "mst two points" `Quick test_mst_two_points;
@@ -215,10 +482,25 @@ let suite =
     Alcotest.test_case "maze same cell" `Quick test_maze_same_cell;
     Alcotest.test_case "maze usage accounting" `Quick test_maze_usage_accounting;
     Alcotest.test_case "maze avoids congestion" `Quick test_maze_avoids_congestion;
+    Alcotest.test_case "maze scratch reuse" `Quick test_maze_scratch_reuse;
+    Alcotest.test_case "maze overlay" `Quick test_maze_overlay;
+    Alcotest.test_case "history charge and decay" `Quick test_history_charge_decay;
+    Alcotest.test_case "checkpoint restore" `Quick test_checkpoint_restore;
+    QCheck_alcotest.to_alcotest prop_engines_cost_identical;
     Alcotest.test_case "route_all basic" `Quick test_route_all_basic;
     Alcotest.test_case "route_all same-cell net" `Quick test_route_all_same_cell_net;
     Alcotest.test_case "reroute reduces overflow" `Quick test_reroute_reduces_overflow;
+    Alcotest.test_case "route_all bidir engine" `Quick test_route_all_bidir_engine;
     QCheck_alcotest.to_alcotest prop_sink_paths_on_tree;
+    QCheck_alcotest.to_alcotest prop_domains_bit_identical;
+    QCheck_alcotest.to_alcotest prop_overflow_non_increasing;
+    Alcotest.test_case "sink fallback counted" `Quick test_sink_recovery_fallback_counted;
+    Alcotest.test_case "sink fallback raises under sanitize" `Quick
+      test_sink_recovery_raises_under_sanitize;
+    Alcotest.test_case "demand consistency check" `Quick test_demand_consistency_check;
+    Alcotest.test_case "sanitized routing identical" `Quick test_route_all_sanitized_identical;
+    Alcotest.test_case "pin: s27 routed wirelength" `Quick test_pin_s27;
+    Alcotest.test_case "pin: s386 routed wirelength" `Quick test_pin_s386;
   ]
 
 (* --- congestion reporting --------------------------------------------- *)
