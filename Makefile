@@ -1,7 +1,7 @@
 # One-command gate for every PR: full build, tier-1 tests, and a
 # planner smoke run on the embedded s27 circuit.
 
-.PHONY: all build test lint smoke smoke-warm smoke-trace smoke-sanitize smoke-route check bench clean
+.PHONY: all build test lint smoke smoke-warm smoke-trace smoke-sanitize smoke-route smoke-scale check bench clean
 
 all: build
 
@@ -46,7 +46,16 @@ smoke-sanitize:
 smoke-route:
 	LACR_SANITIZE=1 dune exec bin/lacr_cli.exe -- verify-route s27
 
-check: build test lint smoke smoke-warm smoke-trace smoke-sanitize smoke-route
+# Scale smoke: plan a ~5x10^4-unit hierarchical circuit under the
+# streamed path backend inside a hard 16 GiB address-space ceiling.
+# The dense (W,D) matrices alone would need ~57 GiB at this size
+# (2 x n^2 x 8 bytes at ~62k retiming-graph vertices), so only the
+# memory-bounded streamed engine fits through the ulimit.
+smoke-scale: build
+	bash -c 'ulimit -v 16777216; exec ./_build/default/bin/lacr_cli.exe \
+	  plan hier:50000 --paths-mode stream --domains 2 --second-iteration=false'
+
+check: build test lint smoke smoke-warm smoke-trace smoke-sanitize smoke-route smoke-scale
 
 bench:
 	LACR_BENCH_FAST=1 dune exec bench/main.exe -- --json BENCH_fast.json

@@ -3,6 +3,7 @@
 
    Sections
      P      (W,D) engine scaling: seed baseline vs CSR engine vs pool
+     S      streamed path engine at scale: the 10^5-unit hierarchical family
      Q      warm-started MCMF engine vs per-round cold compiles
      R      global router: seed Dijkstra vs epoch-stamped A* vs pool
      T      observability: traced per-stage breakdown, trace-off guard
@@ -25,6 +26,7 @@ module Config = Lacr_core.Config
 module Build = Lacr_core.Build
 module Lac = Lacr_core.Lac
 module Suite = Lacr_circuits.Suite
+module Synth = Lacr_circuits.Synth
 module Graph = Lacr_retime.Graph
 module Paths = Lacr_retime.Paths
 module Feasibility = Lacr_retime.Feasibility
@@ -47,16 +49,35 @@ let timed f =
 let fast_mode =
   match Sys.getenv_opt "LACR_BENCH_FAST" with Some ("1" | "true") -> true | _ -> false
 
+(* --only P,S,... restricts the run to the named sections (default:
+   everything).  The scale section in particular is worth running on
+   its own: `bench --only S --json FILE`. *)
+let only_sections =
+  let only = ref None in
+  Array.iteri
+    (fun i arg ->
+      if arg = "--only" && i + 1 < Array.length Sys.argv then
+        only := Some (String.split_on_char ',' Sys.argv.(i + 1)))
+    Sys.argv;
+  !only
+
+let want section =
+  match only_sections with None -> true | Some names -> List.mem section names
+
 (* --- machine-readable timing log (--json FILE) ---
 
-   Schema 3: FILE holds {schema: 3, timings: [...], stages: [...],
-   router: [...]}.  [timings] keeps the schema-1 {name, circuit,
-   domains, ms} objects; [stages] adds the per-stage breakdown of a
-   traced planning run ({name, circuit, depth, count, ms} per pipeline
-   span); [router] (new in 3) records section R's global-router runs
-   as {circuit, engine, domains, ms, wirelength, overflow}, so later
-   PRs can track the routing trajectory without scraping the ASCII
-   report. *)
+   Schema 4: FILE holds {schema: 4, timings: [...], stages: [...],
+   router: [...], scale: [...]}.  [timings] keeps the schema-1 {name,
+   circuit, domains, ms} objects; [stages] adds the per-stage
+   breakdown of a traced planning run ({name, circuit, depth, count,
+   ms} per pipeline span); [router] (schema 3) records section R's
+   global-router runs as {circuit, engine, domains, ms, wirelength,
+   overflow}; [scale] (new in 4) records section S's large-family
+   runs as {circuit, units, vertices, stage, mode, domains, ms,
+   major_words, top_heap_words, peak_rss_kb, pairs} — one row per
+   pipeline stage per scale rung, so BENCH_*.json carries the memory
+   trajectory (peak RSS and Gc major-heap words) of the streamed
+   path engine alongside wall time. *)
 
 let json_path =
   let path = ref None in
@@ -143,6 +164,46 @@ let log_timing ?solver ~name ~circuit ~domains seconds =
     }
     :: !timings
 
+(* One pipeline-stage measurement of a section S scale rung.
+   [c_pairs] is the number of (W,D) pairs the paths stage retained:
+   the streamed frontier size, or n^2 for the dense backend. *)
+type scale_row = {
+  c_circuit : string;
+  c_units : int;
+  c_vertices : int;
+  c_stage : string;
+  c_mode : string;
+  c_domains : int;
+  c_ms : float;
+  c_major_words : float;  (* words allocated on the major heap during the stage *)
+  c_top_heap_words : float;  (* max major-heap size so far, after the stage *)
+  c_peak_rss_kb : int;  (* process VmHWM after the stage; 0 outside Linux *)
+  c_pairs : int;
+}
+
+let scale_rows : scale_row list ref = ref []
+
+let log_scale row = scale_rows := row :: !scale_rows
+
+(* Peak resident set size of this process, from the kernel's
+   high-water mark.  Unlike Gc counters this also sees the graph,
+   floorplan and router structures, which is the honest denominator
+   for a "fits in memory" claim. *)
+let vm_hwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let kb = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+           Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" (fun v -> kb := v)
+       done
+     with End_of_file | Scanf.Scan_failure _ | Failure _ -> ());
+    close_in ic;
+    !kb
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -157,7 +218,7 @@ let json_escape s =
 
 let write_json path =
   let oc = open_out path in
-  output_string oc "{\n  \"schema\": 3,\n  \"timings\": [\n";
+  output_string oc "{\n  \"schema\": 4,\n  \"timings\": [\n";
   List.iteri
     (fun i t ->
       let solver =
@@ -192,10 +253,23 @@ let write_json path =
         r.r_overflow
         (if i = List.length !router_rows - 1 then "" else ","))
     (List.rev !router_rows);
+  output_string oc "  ],\n  \"scale\": [\n";
+  List.iteri
+    (fun i c ->
+      Printf.fprintf oc
+        "    {\"circuit\": \"%s\", \"units\": %d, \"vertices\": %d, \"stage\": \"%s\", \
+         \"mode\": \"%s\", \"domains\": %d, \"ms\": %.3f, \"major_words\": %.0f, \
+         \"top_heap_words\": %.0f, \"peak_rss_kb\": %d, \"pairs\": %d}%s\n"
+        (json_escape c.c_circuit) c.c_units c.c_vertices (json_escape c.c_stage)
+        (json_escape c.c_mode) c.c_domains c.c_ms c.c_major_words c.c_top_heap_words
+        c.c_peak_rss_kb c.c_pairs
+        (if i = List.length !scale_rows - 1 then "" else ","))
+    (List.rev !scale_rows);
   output_string oc "  ]\n}\n";
   close_out oc;
-  Printf.printf "\nwrote timing log: %s (%d timings, %d stages, %d router rows)\n" path
-    (List.length !timings) (List.length !stages) (List.length !router_rows)
+  Printf.printf "\nwrote timing log: %s (%d timings, %d stages, %d router rows, %d scale rows)\n"
+    path (List.length !timings) (List.length !stages) (List.length !router_rows)
+    (List.length !scale_rows)
 
 let table1_circuits () =
   let all = Suite.table1 () in
@@ -298,7 +372,7 @@ module Seed_paths = struct
       w.(u) <- wrow;
       d.(u) <- drow
     done;
-    { Paths.w; d }
+    Paths.Dense { Paths.w; d }
 end
 
 let retime_graph_of name =
@@ -307,7 +381,15 @@ let retime_graph_of name =
   | Ok view -> Graph.of_seqview view
   | Error msg -> failwith msg
 
-let wd_equal (a : Paths.wd) (b : Paths.wd) = a.Paths.w = b.Paths.w && a.Paths.d = b.Paths.d
+let wd_equal (a : Paths.wd) (b : Paths.wd) =
+  match (a, b) with
+  | Paths.Dense a, Paths.Dense b -> a.Paths.w = b.Paths.w && a.Paths.d = b.Paths.d
+  | Paths.Streamed a, Paths.Streamed b ->
+    a.Paths.row_off = b.Paths.row_off
+    && a.Paths.fdst = b.Paths.fdst
+    && a.Paths.fwgt = b.Paths.fwgt
+    && a.Paths.fdly = b.Paths.fdly
+  | _ -> false
 
 let best_of_runs reps f =
   let best = ref infinity in
@@ -359,6 +441,141 @@ let run_wd_scaling () =
   Printf.printf
     "\n(speedup = seed baseline / best engine time; 'identical' checks the w and d\n\
      matrices cell for cell across all engines and pool sizes)\n"
+
+(* --- S: streamed path engine at scale --- *)
+
+let mem_total_kb () =
+  match open_in "/proc/meminfo" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let kb = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.length line > 9 && String.sub line 0 9 = "MemTotal:" then
+           Scanf.sscanf (String.sub line 9 (String.length line - 9)) " %d" (fun v -> kb := v)
+       done
+     with End_of_file | Scanf.Scan_failure _ | Failure _ -> ());
+    close_in ic;
+    !kb
+
+let gib bytes = bytes /. (1024.0 *. 1024.0 *. 1024.0)
+
+(* The constraint systems the two backends produce must agree term for
+   term; section S re-checks it on the scale family the way P/Q/R
+   check their engines (QCheck covers random circuits, the s1423 pin
+   covers the suite). *)
+let cs_equal (a : Constraints.t) (b : Constraints.t) =
+  a.Constraints.period = b.Constraints.period
+  && a.Constraints.constraints = b.Constraints.constraints
+
+let run_scale () =
+  section "S   streamed path engine at scale: the 10^5-unit hierarchical family";
+  let domains = 4 in
+  (* Stream rungs ascending, dense comparison rung last, so each
+     stream row's process-lifetime peak RSS is not polluted by the
+     dense matrices. *)
+  let stream_units = if fast_mode then [ 5_000 ] else [ 20_000; 100_000 ] in
+  let compare_units = if fast_mode then 5_000 else 20_000 in
+  Printf.printf "%-12s %-20s %-7s %10s %10s %10s %9s %12s\n" "circuit" "stage" "mode" "ms"
+    "major(Mw)" "heap(Mw)" "rss(MB)" "pairs";
+  let measured = Hashtbl.create 8 in
+  let rung ~mode units =
+    let name = Printf.sprintf "hier:%d" units in
+    let spec = Synth.hier_spec ~units name in
+    let netlist = Synth.generate_hier spec in
+    let paths_mode = match mode with "dense" -> Paths.Mode.Dense | _ -> Paths.Mode.Stream in
+    let config = { Config.default with Config.paths_mode = paths_mode } in
+    Pool.with_pool ~size:domains (fun pool ->
+        let vertices = ref 0 in
+        let stage c_stage ?(pairs_of = fun _ -> 0) f =
+          let g0 = Gc.quick_stat () in
+          let r, dt = timed f in
+          let g1 = Gc.quick_stat () in
+          let row =
+            {
+              c_circuit = name;
+              c_units = units;
+              c_vertices = !vertices;
+              c_stage;
+              c_mode = mode;
+              c_domains = domains;
+              c_ms = 1000.0 *. dt;
+              c_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+              c_top_heap_words = float_of_int g1.Gc.top_heap_words;
+              c_peak_rss_kb = vm_hwm_kb ();
+              c_pairs = pairs_of r;
+            }
+          in
+          log_scale row;
+          Printf.printf "%-12s %-20s %-7s %10.1f %10.1f %10.1f %9.1f %12d\n%!" name c_stage
+            mode row.c_ms (row.c_major_words /. 1e6) (row.c_top_heap_words /. 1e6)
+            (float_of_int row.c_peak_rss_kb /. 1024.0)
+            row.c_pairs;
+          r
+        in
+        let inst =
+          stage "build" (fun () ->
+              match Build.build ~config ~pool netlist with
+              | Ok inst ->
+                vertices := Graph.num_vertices inst.Build.graph;
+                inst
+              | Error msg -> failwith (name ^ ": " ^ msg))
+        in
+        let g = inst.Build.graph in
+        let n = !vertices in
+        let wd =
+          stage "paths.compute"
+            ~pairs_of:(function
+              | Paths.Dense _ -> n * n
+              | Paths.Streamed fr -> Array.length fr.Paths.fdst)
+            (fun () -> Paths.compute ~mode:paths_mode ~pool g)
+        in
+        let extra = inst.Build.pin_constraints in
+        let mp = stage "min_period" (fun () -> Feasibility.min_period ~extra g wd) in
+        let t_init = Graph.clock_period g in
+        let t_clk = mp.Feasibility.period +. (0.2 *. (t_init -. mp.Feasibility.period)) in
+        let cs =
+          stage "constraints.generate" (fun () ->
+              Constraints.generate ~prune:true ~extra ~pool g wd ~period:t_clk)
+        in
+        ignore
+          (stage "lac.retime" (fun () ->
+               match Lac.retime ~pool inst cs with
+               | Ok o -> o.Lac.n_foa
+               | Error msg -> failwith (name ^ ": lac: " ^ msg)));
+        Hashtbl.replace measured (units, mode) (n, mp.Feasibility.period, cs))
+  in
+  List.iter (rung ~mode:"stream") stream_units;
+  rung ~mode:"dense" compare_units;
+  (* Backend identity on the comparison rung. *)
+  let n_cmp, p_s, cs_s = Hashtbl.find measured (compare_units, "stream") in
+  let _, p_d, cs_d = Hashtbl.find measured (compare_units, "dense") in
+  let identical = p_s = p_d && cs_equal cs_s cs_d in
+  Printf.printf "\nbackend identity at hier:%d: min period %s, constraint system %s\n"
+    compare_units
+    (if p_s = p_d then "identical" else "DIFFERS!")
+    (if cs_equal cs_s cs_d then "identical" else "DIFFERS!");
+  if not identical then failwith "scale: streamed backend differs from dense";
+  ignore n_cmp;
+  (* The memory-wall arithmetic: what the dense matrices alone would
+     cost at the largest stream rung, against this machine's RAM. *)
+  let top_units = List.fold_left max 0 stream_units in
+  let top_n, _, _ = Hashtbl.find measured (top_units, "stream") in
+  let dense_bytes = 2.0 *. float_of_int top_n *. float_of_int top_n *. 8.0 in
+  let ram_kb = mem_total_kb () in
+  Printf.printf
+    "dense (W,D) at n=%d: 2 x n^2 x 8 = %.0f GiB of matrices alone%s\n" top_n
+    (gib dense_bytes)
+    (if ram_kb > 0 && dense_bytes > 1024.0 *. float_of_int ram_kb then
+       Printf.sprintf " — exceeds this machine's %.0f GiB RAM; only the streamed backend \
+                       plans this circuit" (gib (1024.0 *. float_of_int ram_kb))
+     else "");
+  Printf.printf
+    "\n(per-stage wall time, major-heap allocation (Mwords), max major heap so far\n\
+     (Mwords), process peak RSS (VmHWM), and retained (W,D) pairs: the streamed\n\
+     frontier vs the dense n^2.  Stream rungs run before the dense comparison so\n\
+     their RSS high-water marks are their own.)\n"
 
 (* --- Q: warm-started successive-instance MCMF engine --- *)
 
@@ -1016,18 +1233,19 @@ let run_bechamel () =
 
 let () =
   Printf.printf "LAC-retiming benchmark harness (fast mode: %b)\n" fast_mode;
-  run_wd_scaling ();
-  run_warm_engine ();
-  run_router_scaling ();
-  run_trace_observability ();
-  run_table1 ();
-  run_alpha_ablation ();
-  run_runtime ();
-  run_nmax_ablation ();
-  run_grid_ablation ();
-  run_floorplanner_ablation ();
-  run_exact_gap ();
-  run_figures ();
-  run_bechamel ();
+  if want "P" then run_wd_scaling ();
+  if want "S" then run_scale ();
+  if want "Q" then run_warm_engine ();
+  if want "R" then run_router_scaling ();
+  if want "T" then run_trace_observability ();
+  if want "E" then run_table1 ();
+  if want "E" then run_alpha_ablation ();
+  if want "E" then run_runtime ();
+  if want "A" then run_nmax_ablation ();
+  if want "A" then run_grid_ablation ();
+  if want "A" then run_floorplanner_ablation ();
+  if want "A" then run_exact_gap ();
+  if want "F" then run_figures ();
+  if want "B" then run_bechamel ();
   (match json_path with Some path -> write_json path | None -> ());
   print_newline ()

@@ -17,7 +17,26 @@ module Lac = Lacr_core.Lac
 module Build = Lacr_core.Build
 module Suite = Lacr_circuits.Suite
 
+(* "hier:UNITS" or "hier:UNITS:SEED" — the synthetic hierarchical
+   family for scale runs (10^5+ units; see Synth.hier_spec). *)
+let parse_hier name =
+  match String.split_on_char ':' name with
+  | [ "hier"; units ] ->
+    (match int_of_string_opt units with
+    | Some u -> Some (Lacr_circuits.Synth.hier_spec ~units:u name)
+    | None -> None)
+  | [ "hier"; units; seed ] ->
+    (match (int_of_string_opt units, int_of_string_opt seed) with
+    | Some u, Some s -> Some (Lacr_circuits.Synth.hier_spec ~seed:s ~units:u name)
+    | _ -> None)
+  | _ -> None
+
 let load_circuit name_or_path =
+  match parse_hier name_or_path with
+  | Some hier ->
+    (try Ok (Lacr_circuits.Synth.generate_hier hier)
+     with Invalid_argument msg -> Error msg)
+  | None ->
   if Sys.file_exists name_or_path then begin
     let parse =
       if Filename.extension name_or_path = ".blif" then Lacr_netlist.Blif_io.parse_file
@@ -32,16 +51,18 @@ let load_circuit name_or_path =
     | Some n -> Ok n
     | None ->
       Error
-        (Printf.sprintf "unknown circuit %s (not a file, not one of: s27 %s)" name_or_path
+        (Printf.sprintf
+           "unknown circuit %s (not a file, not hier:UNITS, not one of: s27 %s)" name_or_path
            (String.concat " " Suite.table1_names))
 
-let config_with ?seed ?alpha ?grid ?domains ?sanitize ?router () =
+let config_with ?seed ?alpha ?grid ?domains ?sanitize ?router ?paths_mode () =
   let c = Config.default in
   let c = match seed with Some s -> { c with Config.seed = s } | None -> c in
   let c = match alpha with Some a -> { c with Config.alpha = a } | None -> c in
   let c = match grid with Some g -> { c with Config.grid = g } | None -> c in
   let c = match domains with Some d -> { c with Config.domains = d } | None -> c in
   let c = match router with Some r -> { c with Config.router = r } | None -> c in
+  let c = match paths_mode with Some m -> { c with Config.paths_mode = m } | None -> c in
   match sanitize with Some s -> { c with Config.sanitize = s } | None -> c
 
 (* Router options from the plan-level flags, on top of the defaults. *)
@@ -66,15 +87,15 @@ let router_options route_passes spec_rounds spec_batch no_astar =
 
 (* --- plan --- *)
 
-let run_plan circuit seed domains sanitize route_passes spec_rounds spec_batch no_astar verbose
-    second trace_file metrics_file =
+let run_plan circuit seed domains sanitize paths_mode route_passes spec_rounds spec_batch
+    no_astar verbose second trace_file metrics_file =
   match load_circuit circuit with
   | Error msg ->
     prerr_endline msg;
     1
   | Ok netlist ->
     let router = router_options route_passes spec_rounds spec_batch no_astar in
-    let config = config_with ?seed ?domains ~sanitize ~router () in
+    let config = config_with ?seed ?domains ~sanitize ~router ?paths_mode () in
     (* The collector is only live when an output was requested, so a
        plain `lacr plan` keeps the zero-overhead disabled path. *)
     let trace =
@@ -163,8 +184,8 @@ let run_trace_check trace_file metrics_file expect =
 
 (* --- table1 --- *)
 
-let run_table1 seed domains second csv =
-  let config = config_with ?seed ?domains () in
+let run_table1 seed domains paths_mode second csv =
+  let config = config_with ?seed ?domains ?paths_mode () in
   let rows =
     List.filter_map
       (fun (name, netlist) ->
@@ -504,6 +525,25 @@ let sanitize_arg =
            and span balance. Violations abort with exit code 2. Equivalent to \
            LACR_SANITIZE=1; the planned result is bit-identical, just slower.")
 
+let paths_mode_arg =
+  let mode =
+    let parse s =
+      match Lacr_retime.Paths.Mode.of_string s with
+      | Some m -> Ok m
+      | None -> Error (`Msg (Printf.sprintf "invalid paths mode %S (auto|dense|stream)" s))
+    in
+    Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Lacr_retime.Paths.Mode.to_string m))
+  in
+  Arg.(
+    value
+    & opt (some mode) None
+    & info [ "paths-mode" ] ~docv:"MODE"
+        ~doc:
+          "(W,D) path-matrix backend: $(b,dense) materializes the full n x n matrices, \
+           $(b,stream) keeps only the period-violating frontier (memory-bounded; required \
+           past ~10^4 units), $(b,auto) (default) picks by circuit size. Both backends \
+           produce bit-identical constraint systems and plans.")
+
 let second_arg =
   Arg.(
     value & opt bool true
@@ -575,9 +615,9 @@ let plan_cmd =
   let doc = "Run the interconnect planner on one circuit." in
   Cmd.v (Cmd.info "plan" ~doc)
     Term.(
-      const run_plan $ circuit_arg $ seed_arg $ domains_arg $ sanitize_arg $ route_passes_arg
-      $ spec_rounds_arg $ spec_batch_arg $ no_astar_arg $ verbose_arg $ second_arg $ trace_arg
-      $ metrics_arg)
+      const run_plan $ circuit_arg $ seed_arg $ domains_arg $ sanitize_arg $ paths_mode_arg
+      $ route_passes_arg $ spec_rounds_arg $ spec_batch_arg $ no_astar_arg $ verbose_arg
+      $ second_arg $ trace_arg $ metrics_arg)
 
 let trace_check_file_arg =
   Arg.(
@@ -615,7 +655,7 @@ let csv_arg =
 let table1_cmd =
   let doc = "Reproduce the paper's Table 1 over the benchmark suite." in
   Cmd.v (Cmd.info "table1" ~doc)
-    Term.(const run_table1 $ seed_arg $ domains_arg $ second_arg $ csv_arg)
+    Term.(const run_table1 $ seed_arg $ domains_arg $ paths_mode_arg $ second_arg $ csv_arg)
 
 let figures_cmd =
   let doc = "Render ASCII versions of the paper's Figures 1 and 2." in

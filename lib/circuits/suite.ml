@@ -49,11 +49,37 @@ let table1_names = List.map fst specs
 
 let spec_of name = List.assoc_opt name specs
 
-let by_name name =
-  if name = "s27" then Some (s27 ())
-  else
-    match spec_of name with
-    | Some spec -> Some (Synth.generate spec)
-    | None -> None
+(* Parsing s27 is cheap but synthesizing the larger stand-ins is not,
+   and the planner tests, the CLI's table1 sweep and the benchmark
+   harness all re-request the same circuits; generation is
+   deterministic in the name, so a per-name cache returns the
+   identical netlist without re-running the generator.  Keyed lookups
+   only (no table iteration), so cache order can never leak into
+   results. *)
+let cache : (string, Lacr_netlist.Netlist.t) Hashtbl.t = Hashtbl.create 16
 
-let table1 () = List.map (fun (name, spec) -> (name, Synth.generate spec)) specs
+let memo name build =
+  match Hashtbl.find_opt cache name with
+  | Some netlist -> Some netlist
+  | None ->
+    (match build () with
+    | None -> None
+    | Some netlist ->
+      Hashtbl.replace cache name netlist;
+      Some netlist)
+
+let by_name name =
+  memo name (fun () ->
+      if name = "s27" then Some (s27 ())
+      else
+        match spec_of name with
+        | Some spec -> Some (Synth.generate spec)
+        | None -> None)
+
+let table1 () =
+  List.map
+    (fun (name, _spec) ->
+      match by_name name with
+      | Some netlist -> (name, netlist)
+      | None -> failwith ("Suite.table1: unknown suite circuit " ^ name))
+    specs

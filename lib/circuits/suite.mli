@@ -18,7 +18,10 @@ val table1_names : string list
 
 val by_name : string -> Lacr_netlist.Netlist.t option
 (** [by_name "s27"] or any of {!table1_names}; [None] otherwise.
-    Deterministic: repeated calls build identical netlists. *)
+    Deterministic, and memoized per name: repeated calls return the
+    {e same} netlist without re-running the generator (generation is a
+    pure function of the name, so caching is observationally
+    invisible apart from speed). *)
 
 val table1 : unit -> (string * Lacr_netlist.Netlist.t) list
 (** All Table-1 circuits, in order. *)

@@ -26,6 +26,7 @@ type t = {
   n_max : int;
   max_wr : int;
   prune_constraints : bool;
+  paths_mode : Lacr_retime.Paths.Mode.t;
   domains : int;
   sanitize : bool;
 }
@@ -55,6 +56,7 @@ let default =
     n_max = 8;
     max_wr = 30;
     prune_constraints = true;
+    paths_mode = Lacr_retime.Paths.Mode.Auto;
     domains = 1;
     sanitize = false;
   }

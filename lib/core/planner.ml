@@ -84,9 +84,9 @@ let retiming_setup ?pool ?(trace = Obs.disabled) (inst : Build.instance) =
   Obs.with_span trace ~cat:"core" "retiming.setup" @@ fun () ->
   let g = inst.Build.graph in
   let t_init = Graph.clock_period g in
-  let wd = Paths.compute ?pool ~trace g in
-  let extra = inst.Build.pin_constraints in
   let cfg = inst.Build.config in
+  let wd = Paths.compute ~mode:cfg.Config.paths_mode ?pool ~trace g in
+  let extra = inst.Build.pin_constraints in
   let mp =
     Obs.with_span trace ~cat:"core" "feasibility.min_period" (fun () ->
         Feasibility.min_period ~extra g wd)
@@ -125,7 +125,7 @@ let plan_with_pool ~pool ~config ~second_iteration ?(trace = Obs.disabled) insta
              s1269 case).  Generate fresh constraints at the same
              T_clk and report infeasibility honestly. *)
           let g2 = instance2.Build.graph in
-          let wd2 = Paths.compute ~pool ~trace g2 in
+          let wd2 = Paths.compute ~mode:config.Config.paths_mode ~pool ~trace g2 in
           let constraints2 =
             Constraints.generate ~prune:config.Config.prune_constraints
               ~extra:instance2.Build.pin_constraints ~pool ~trace g2 wd2 ~period:t_clk

@@ -8,20 +8,60 @@ type constr = { a : int; b : int; bound : int }
    constraints, where list traversal dominates. *)
 let feasible_arrays ~n ~a ~b ~bound ~m =
   let dist = Array.make n 0 in
+  (* Predecessor of the last relaxation into each node: a cycle in
+     this graph implies a negative constraint cycle (exact integer
+     arithmetic, so the classic implication holds with no tolerance
+     caveat).  Checking it once per round after a short warm-up lets
+     infeasible probes exit after about one cycle length of rounds
+     instead of the full n — on 10^5-vertex systems the difference
+     between milliseconds and minutes.  Feasible systems converge
+     exactly as before, so the returned labelling is unchanged. *)
+  let pred = Array.make n (-1) in
+  let mark = Array.make n 0 in
+  let next_base = ref 1 in
+  let pred_has_cycle () =
+    let base = !next_base in
+    next_base := base + n;
+    let found = ref false in
+    let v = ref 0 in
+    while (not !found) && !v < n do
+      if mark.(!v) < base then begin
+        let token = base + !v in
+        let x = ref !v in
+        let walking = ref true in
+        while !walking do
+          if !x < 0 then walking := false
+          else if mark.(!x) >= base then begin
+            if mark.(!x) = token then found := true;
+            walking := false
+          end
+          else begin
+            mark.(!x) <- token;
+            x := pred.(!x)
+          end
+        done
+      end;
+      incr v
+    done;
+    !found
+  in
   let changed = ref true in
+  let negative = ref false in
   let rounds = ref 0 in
-  while !changed && !rounds <= n do
+  while !changed && (not !negative) && !rounds <= n do
     changed := false;
     incr rounds;
     for i = 0 to m - 1 do
       let nd = dist.(b.(i)) + bound.(i) in
       if nd < dist.(a.(i)) then begin
         dist.(a.(i)) <- nd;
+        pred.(a.(i)) <- b.(i);
         changed := true
       end
-    done
+    done;
+    if !changed && !rounds > 32 then negative := pred_has_cycle ()
   done;
-  if !changed then None else Some dist
+  if !changed || !negative then None else Some dist
 
 let flatten constraints =
   let m = List.length constraints in

@@ -24,8 +24,11 @@ type t = {
 exception Build_error of string
 
 (* Walk a signal backwards through flip-flops to its combinational (or
-   primary-input) driver, counting the flip-flops traversed. *)
-let trace_driver netlist signal =
+   primary-input) driver, counting the flip-flops traversed.  The
+   cycle budget is passed in by the caller: [Netlist.num_signals]
+   walks the signal list, and recounting it per fan-in connection
+   turns view construction quadratic (minutes at 10^5 units). *)
+let trace_driver netlist ~budget signal =
   let rec walk signal ffs steps =
     if steps < 0 then raise (Build_error "flip-flop-only cycle in netlist")
     else
@@ -33,7 +36,7 @@ let trace_driver netlist signal =
       | Netlist.Input | Netlist.Gate _ -> (signal, ffs)
       | Netlist.Dff data -> walk data (ffs + 1) (steps - 1)
   in
-  walk signal 0 (Netlist.num_signals netlist)
+  walk signal 0 budget
 
 let of_netlist netlist =
   try
@@ -71,9 +74,10 @@ let of_netlist netlist =
     in
     List.iter register (Netlist.signals netlist);
     let edges = ref [] in
+    let budget = Netlist.num_signals netlist in
     let add_edge src dst weight = edges := { src; dst; weight } :: !edges in
     let connect dst_id fanin_signal =
-      let driver, ffs = trace_driver netlist fanin_signal in
+      let driver, ffs = trace_driver netlist ~budget fanin_signal in
       match Hashtbl.find_opt unit_ids driver with
       | Some src_id -> add_edge src_id dst_id ffs
       | None -> raise (Build_error (Printf.sprintf "driver %s has no unit" driver))

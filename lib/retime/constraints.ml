@@ -15,10 +15,16 @@ let edge_constraints g =
 (* Rows are scanned in parallel (each source u fills its own slot) and
    folded back in source order, reproducing exactly the list the
    sequential prepend-as-you-go scan builds — constraint generation is
-   bit-for-bit independent of the pool size. *)
-let period_constraints ?(pool = Lacr_util.Pool.sequential) ?(trace = Lacr_obs.Trace.disabled)
+   bit-for-bit independent of the pool size.  The streamed arm does
+   not read the frontier: it re-enumerates every violating pair
+   directly from the graph ([Paths.candidate_rows], one Dijkstra +
+   tight-DAG sweep per source), so the emitted list is the dense
+   enumeration bit for bit at every period — including periods
+   outside the frontier's retention window.  The frontier itself only
+   ever backs the throwaway min-period probe systems ([compile]). *)
+let period_constraints ?(pool = Lacr_util.Pool.sequential) ?(trace = Lacr_obs.Trace.disabled) g
     (wd : Paths.wd) ~period =
-  let n = Array.length wd.Paths.w in
+  let n = Paths.num_vertices wd in
   let rows = Array.make n [] in
   (* Counter handles hoisted out of the parallel region; workers bump
      their own padded cells, once per source row, so the totals are
@@ -26,24 +32,40 @@ let period_constraints ?(pool = Lacr_util.Pool.sequential) ?(trace = Lacr_obs.Tr
   let traced = Lacr_obs.Trace.enabled trace in
   let c_scanned = Lacr_obs.Trace.counter trace "constraints.sources_scanned" in
   let c_cand = Lacr_obs.Trace.counter trace "constraints.period_candidates" in
-  Lacr_util.Pool.parallel_for pool n (fun u ->
-      let wrow = wd.Paths.w.(u) and drow = wd.Paths.d.(u) in
-      let acc = ref [] in
-      let kept = ref 0 in
-      for v = n - 1 downto 0 do
-        (* Self pairs carry W(u,u) = 0, so a too-slow vertex produces the
-           infeasible bound -1; other self constraints are trivial and
-           skipped. *)
-        if wrow.(v) <> max_int && drow.(v) > period +. epsilon && (u <> v || wrow.(v) = 0) then begin
-          acc := { Lacr_mcmf.Difference.a = u; b = v; bound = wrow.(v) - 1 } :: !acc;
-          incr kept
-        end
-      done;
-      rows.(u) <- !acc;
-      if traced then begin
-        Lacr_obs.Trace.incr c_scanned;
-        Lacr_obs.Trace.add c_cand !kept
-      end);
+  (match wd with
+  | Paths.Dense dn ->
+    Lacr_util.Pool.parallel_for pool n (fun u ->
+        let wrow = dn.Paths.w.(u) and drow = dn.Paths.d.(u) in
+        let acc = ref [] in
+        let kept = ref 0 in
+        for v = n - 1 downto 0 do
+          (* Self pairs carry W(u,u) = 0, so a too-slow vertex produces the
+             infeasible bound -1; other self constraints are trivial and
+             skipped. *)
+          if wrow.(v) <> max_int && drow.(v) > period +. epsilon && (u <> v || wrow.(v) = 0)
+          then begin
+            acc := { Lacr_mcmf.Difference.a = u; b = v; bound = wrow.(v) - 1 } :: !acc;
+            incr kept
+          end
+        done;
+        rows.(u) <- !acc;
+        if traced then begin
+          Lacr_obs.Trace.incr c_scanned;
+          Lacr_obs.Trace.add c_cand !kept
+        end)
+  | Paths.Streamed _ ->
+    let pr = Paths.candidate_rows ~pool g ~period in
+    Array.iteri
+      (fun u row ->
+        rows.(u) <-
+          Array.fold_right
+            (fun (v, wuv) acc -> { Lacr_mcmf.Difference.a = u; b = v; bound = wuv - 1 } :: acc)
+            row [])
+      pr.Paths.rows;
+    if traced then begin
+      Lacr_obs.Trace.add c_scanned n;
+      Lacr_obs.Trace.add c_cand pr.Paths.n_candidates
+    end);
   Array.fold_left (fun acc row -> List.rev_append row acc) [] rows
 
 (* Per-source dominance pruning (Maheshwari-Sapatnekar flavour): a
@@ -52,9 +74,9 @@ let period_constraints ?(pool = Lacr_util.Pool.sequential) ?(trace = Lacr_obs.Tr
    bound r(x) - r(v) <= W(x,v) whenever
    W(u,x) + W(x,v) <= W(u,v).  Scanning targets by ascending W keeps
    the retained set small (typically the W-frontier of each source). *)
-let pruned_period_constraints ?(pool = Lacr_util.Pool.sequential)
-    ?(trace = Lacr_obs.Trace.disabled) (wd : Paths.wd) ~period =
-  let n = Array.length wd.Paths.w in
+let pruned_period_constraints_dense ?(pool = Lacr_util.Pool.sequential)
+    ?(trace = Lacr_obs.Trace.disabled) (dn : Paths.dense) ~period =
+  let n = Array.length dn.Paths.w in
   let traced = Lacr_obs.Trace.enabled trace in
   let c_scanned = Lacr_obs.Trace.counter trace "constraints.sources_scanned" in
   let c_cand = Lacr_obs.Trace.counter trace "constraints.period_candidates" in
@@ -66,7 +88,7 @@ let pruned_period_constraints ?(pool = Lacr_util.Pool.sequential)
      changing any survivor list. *)
   let survivors = Array.make n [] in
   Lacr_util.Pool.parallel_for pool n (fun u ->
-      let wrow = wd.Paths.w.(u) and drow = wd.Paths.d.(u) in
+      let wrow = dn.Paths.w.(u) and drow = dn.Paths.d.(u) in
       let candidates = ref [] in
       for v = 0 to n - 1 do
         if wrow.(v) <> max_int && drow.(v) > period +. epsilon && (u <> v || wrow.(v) = 0) then
@@ -78,7 +100,7 @@ let pruned_period_constraints ?(pool = Lacr_util.Pool.sequential)
         let implied =
           List.exists
             (fun x ->
-              let wxv = wd.Paths.w.(x).(v) in
+              let wxv = dn.Paths.w.(x).(v) in
               wxv <> max_int && wrow.(x) + wxv <= wrow.(v))
             !kept
         in
@@ -100,17 +122,19 @@ let pruned_period_constraints ?(pool = Lacr_util.Pool.sequential)
   let acc = ref [] in
   for v = 0 to n - 1 do
     let sorted =
-      List.sort (fun u1 u2 -> Int.compare wd.Paths.w.(u1).(v) wd.Paths.w.(u2).(v)) by_target.(v)
+      List.sort
+        (fun u1 u2 -> Int.compare dn.Paths.w.(u1).(v) dn.Paths.w.(u2).(v))
+        by_target.(v)
     in
     let kept = ref [] in
     let consider u =
-      let wuv = wd.Paths.w.(u).(v) in
+      let wuv = dn.Paths.w.(u).(v) in
       let implied =
         u <> v
         && List.exists
              (fun x ->
-               let wux = wd.Paths.w.(u).(x) in
-               wux <> max_int && wux + wd.Paths.w.(x).(v) <= wuv)
+               let wux = dn.Paths.w.(u).(x) in
+               wux <> max_int && wux + dn.Paths.w.(x).(v) <= wuv)
              !kept
       in
       if not implied then begin
@@ -121,6 +145,46 @@ let pruned_period_constraints ?(pool = Lacr_util.Pool.sequential)
     List.iter consider sorted
   done;
   !acc
+
+(* The streamed mirror of the dense pruning above, recomputed directly
+   from the graph: per-source and per-target Dijkstra + tight-DAG
+   marking sweeps in [Paths] decide keep/drop with the same rule the
+   dense greedy applies (a candidate is implied exactly by an
+   earlier-ordered candidate on a minimum-weight path, i.e. a tight-DAG
+   ancestor — see paths.ml).  The candidate sets are re-enumerated in
+   full, not read from the frontier, so the emitted constraint list is
+   the dense backend's bit for bit at every period — including periods
+   outside the frontier's retention window — at the cost of one
+   forward and one reverse row sweep instead of a per-implication W
+   oracle (which re-ran a Dijkstra per cache miss and collapsed at
+   10^4+ vertices). *)
+let pruned_period_constraints_stream ?pool ?(trace = Lacr_obs.Trace.disabled) g ~period =
+  let n = Graph.num_vertices g in
+  let pr = Paths.prune_source_pass ?pool g ~period in
+  let cols = Paths.prune_target_pass ?pool g pr in
+  if Lacr_obs.Trace.enabled trace then begin
+    Lacr_obs.Trace.add (Lacr_obs.Trace.counter trace "constraints.sources_scanned") n;
+    Lacr_obs.Trace.add
+      (Lacr_obs.Trace.counter trace "constraints.period_candidates")
+      pr.Paths.n_candidates;
+    Lacr_obs.Trace.add
+      (Lacr_obs.Trace.counter trace "constraints.prune_survivors")
+      (Array.fold_left (fun acc r -> acc + Array.length r) 0 pr.Paths.rows)
+  end;
+  (* Same assembly as the dense target loop: targets ascending, each
+     kept source prepended in consider order. *)
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun (u, wuv) -> acc := { Lacr_mcmf.Difference.a = u; b = v; bound = wuv - 1 } :: !acc)
+      cols.(v)
+  done;
+  !acc
+
+let pruned_period_constraints ?pool ?trace g (wd : Paths.wd) ~period =
+  match wd with
+  | Paths.Dense dn -> pruned_period_constraints_dense ?pool ?trace dn ~period
+  | Paths.Streamed _ -> pruned_period_constraints_stream ?pool ?trace g ~period
 
 (* Flat-array compilation of the full (unpruned) system for one
    feasibility probe: edge constraints + extra + all violating pairs.
@@ -134,7 +198,7 @@ type compiled = {
 }
 
 let compile ?(extra = []) g (wd : Paths.wd) ~period =
-  let n = Array.length wd.Paths.w in
+  let n = Paths.num_vertices wd in
   let n_edges = Graph.num_edges g in
   let cap = ref (n_edges + List.length extra + 1024) in
   let ca = ref (Array.make !cap 0) in
@@ -164,13 +228,24 @@ let compile ?(extra = []) g (wd : Paths.wd) ~period =
     (fun (c : Lacr_mcmf.Difference.constr) ->
       push c.Lacr_mcmf.Difference.a c.Lacr_mcmf.Difference.b c.Lacr_mcmf.Difference.bound)
     extra;
-  for u = 0 to n - 1 do
-    let wrow = wd.Paths.w.(u) and drow = wd.Paths.d.(u) in
-    for v = 0 to n - 1 do
-      if wrow.(v) <> max_int && drow.(v) > period +. epsilon && (u <> v || wrow.(v) = 0) then
-        push u v (wrow.(v) - 1)
+  (match wd with
+  | Paths.Dense dn ->
+    for u = 0 to n - 1 do
+      let wrow = dn.Paths.w.(u) and drow = dn.Paths.d.(u) in
+      for v = 0 to n - 1 do
+        if wrow.(v) <> max_int && drow.(v) > period +. epsilon && (u <> v || wrow.(v) = 0) then
+          push u v (wrow.(v) - 1)
+      done
     done
-  done;
+  | Paths.Streamed fr ->
+    for u = 0 to n - 1 do
+      for i = fr.Paths.row_off.(u) to fr.Paths.row_off.(u + 1) - 1 do
+        let v = fr.Paths.fdst.(i) in
+        let wuv = fr.Paths.fwgt.(i) in
+        if fr.Paths.fdly.(i) > period +. epsilon && (u <> v || wuv = 0) then
+          push u v (wuv - 1)
+      done
+    done);
   { ca = !ca; cb = !cb; cbound = !cbound; m = !m }
 
 let generate ?(prune = false) ?(extra = []) ?pool ?(trace = Lacr_obs.Trace.disabled) g wd ~period
@@ -181,8 +256,8 @@ let generate ?(prune = false) ?(extra = []) ?pool ?(trace = Lacr_obs.Trace.disab
     (fun () ->
       let ecs = extra @ edge_constraints g in
       let pcs =
-        if prune then pruned_period_constraints ?pool ~trace wd ~period
-        else period_constraints ?pool ~trace wd ~period
+        if prune then pruned_period_constraints ?pool ~trace g wd ~period
+        else period_constraints ?pool ~trace g wd ~period
       in
       let t =
         {

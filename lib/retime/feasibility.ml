@@ -13,56 +13,37 @@ let feasible ?(extra = []) g wd ~period =
 
 type min_period_result = { period : float; labels : int array }
 
-(* Lower bound on any achievable period: the maximum cycle ratio
-   max_C d(C) / w(C) (registers on a cycle are invariant under
-   retiming, so the cycle's delay must fit in w(C) periods), and the
-   largest single vertex delay.  Checked by Lawler's reformulation:
-   lambda bounds all cycle ratios iff the graph with edge lengths
-   [lambda * w(e) - d(src e)] has no negative cycle.  This prunes the
-   expensive low-period probes out of the min-period binary search. *)
-let cycle_ratio_lower_bound g =
-  let n = Graph.num_vertices g in
-  let edges = Graph.edges g in
-  let no_negative_cycle lambda =
-    let dist = Array.make n 0.0 in
-    let changed = ref true in
-    let rounds = ref 0 in
-    while !changed && !rounds <= n do
-      changed := false;
-      incr rounds;
-      Array.iter
-        (fun (e : Graph.edge) ->
-          let len = (lambda *. float_of_int e.Graph.weight) -. Graph.delay g e.Graph.src in
-          if dist.(e.Graph.src) +. len < dist.(e.Graph.dst) -. 1e-9 then begin
-            dist.(e.Graph.dst) <- dist.(e.Graph.src) +. len;
-            changed := true
-          end)
-        edges
-    done;
-    not !changed
-  in
-  let max_delay =
-    let m = ref 0.0 in
-    for v = 0 to n - 1 do
-      if Graph.delay g v > !m then m := Graph.delay g v
-    done;
-    !m
-  in
-  if no_negative_cycle max_delay then max_delay
-  else begin
-    let lo = ref max_delay and hi = ref (max max_delay (Graph.clock_period g)) in
-    for _i = 1 to 30 do
-      let mid = (!lo +. !hi) /. 2.0 in
-      if no_negative_cycle mid then hi := mid else lo := mid
-    done;
-    !hi
-  end
+(* Lower bound on any achievable period: the maximum cycle ratio and
+   the largest single vertex delay.  The implementation lives in
+   [Paths] (it doubles as the streamed frontier's retention
+   threshold); re-exported here because min-period callers know it as
+   part of the feasibility API. *)
+let cycle_ratio_lower_bound = Paths.cycle_ratio_lower_bound
 
 let min_period ?(extra = []) g wd =
-  let bound = cycle_ratio_lower_bound g in
+  (* The streamed frontier already paid for the bound (it is its
+     retention threshold); recomputing it would repeat a 30-probe
+     Bellman-Ford bisection at every call. *)
+  let bound =
+    match wd with
+    | Paths.Streamed fr -> fr.Paths.fbound
+    | Paths.Dense _ -> cycle_ratio_lower_bound g
+  in
+  (* Candidates are capped at the initial clock period: the identity
+     retiming satisfies every constraint there (any pair violating a
+     period at or above the longest combinational path has W >= 1),
+     so the minimal feasible candidate never exceeds it, and the
+     clock period is itself a D value of some zero-weight pair, so
+     the capped window is never empty when the full one is not.
+     Feasibility is monotone in the period, hence the binary search
+     returns the same period and probes the same final candidate —
+     same labels — as the uncapped search.  The cap is also what lets
+     the streamed backend dominance-reduce pairs beyond the window
+     (see Paths). *)
+  let t_init = Graph.clock_period g in
   let candidates =
     Paths.distinct_delays wd
-    |> List.filter (fun d -> d >= bound -. 1e-9)
+    |> List.filter (fun d -> d >= bound -. 1e-9 && d <= t_init +. 1e-9)
     |> Array.of_list
   in
   let n_cand = Array.length candidates in

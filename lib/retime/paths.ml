@@ -1,4 +1,29 @@
-type wd = { w : int array array; d : float array array }
+module Mode = struct
+  type t = Auto | Dense | Stream
+
+  let to_string = function Auto -> "auto" | Dense -> "dense" | Stream -> "stream"
+
+  let of_string = function
+    | "auto" -> Some Auto
+    | "dense" -> Some Dense
+    | "stream" -> Some Stream
+    | _ -> None
+end
+
+type dense = { w : int array array; d : float array array }
+
+type frontier = {
+  fn : int;
+  threshold : float;
+  fbound : float;  (* cycle-ratio/max-delay lower bound (threshold = fbound - 1e-9) *)
+  ffar : float;  (* near/far cut: clock_period + 1e-9; far pairs are dominance-reduced *)
+  row_off : int array;
+  fdst : int array;
+  fwgt : int array;
+  fdly : float array;
+}
+
+type wd = Dense of dense | Streamed of frontier
 
 (* The per-source row computation runs on the graph's CSR fanout view
    (flat int arrays, no list chasing) with a monomorphic int-priority
@@ -109,7 +134,136 @@ let min_weights g source =
   dijkstra_row ~off:(Graph.csr_offsets g) ~dst:(Graph.csr_dst g) ~wgt:(Graph.csr_weight g) ~n
     (make_scratch n) source
 
-let compute ?(pool = Lacr_util.Pool.sequential) ?(trace = Lacr_obs.Trace.disabled) g =
+(* Lower bound on any achievable period: the maximum cycle ratio
+   max_C d(C) / w(C) (registers on a cycle are invariant under
+   retiming, so the cycle's delay must fit in w(C) periods), and the
+   largest single vertex delay.  Checked by Lawler's reformulation:
+   lambda bounds all cycle ratios iff the graph with edge lengths
+   [lambda * w(e) - d(src e)] has no negative cycle.
+
+   Besides pruning the min-period binary search, this bound is the
+   retention threshold of the streamed (W,D) frontier, which is why it
+   lives here rather than in [Feasibility] (which re-exports it).
+
+   The Bellman-Ford negative-cycle test walks the predecessor graph
+   once per round after a short warm-up: a cycle in the predecessor
+   graph implies a negative cycle, so the infeasible probes of the
+   bisection terminate after about one cycle length of rounds instead
+   of the full |V| rounds — the difference between minutes and
+   milliseconds at 10^5 vertices.  Each detected cycle is re-summed
+   before it is believed, so a verdict never differs from the plain
+   rounds-exhausted test. *)
+let cycle_ratio_lower_bound g =
+  let n = Graph.num_vertices g in
+  let edges = Graph.edges g in
+  let pred = Array.make n (-1) in
+  let mark = Array.make n 0 in
+  let next_base = ref 1 in
+  (* Is the predecessor graph cyclic?  Colored walks with monotone
+     tokens: one pass is O(n) and needs no clearing. *)
+  let pred_cycle_start () =
+    let base = !next_base in
+    next_base := base + n;
+    let found = ref (-1) in
+    let v = ref 0 in
+    while !found < 0 && !v < n do
+      if mark.(!v) < base then begin
+        let token = base + !v in
+        let x = ref !v in
+        let walking = ref true in
+        while !walking do
+          if !x < 0 then walking := false
+          else if mark.(!x) >= base then begin
+            if mark.(!x) = token then found := !x;
+            walking := false
+          end
+          else begin
+            mark.(!x) <- token;
+            x := pred.(!x)
+          end
+        done
+      end;
+      incr v
+    done;
+    !found
+  in
+  let no_negative_cycle lambda =
+    let len (e : Graph.edge) =
+      (lambda *. float_of_int e.Graph.weight) -. Graph.delay g e.Graph.src
+    in
+    let dist = Array.make n 0.0 in
+    Array.fill pred 0 n (-1);
+    let changed = ref true in
+    let negative = ref false in
+    let rounds = ref 0 in
+    while !changed && (not !negative) && !rounds <= n do
+      changed := false;
+      incr rounds;
+      Array.iter
+        (fun (e : Graph.edge) ->
+          if dist.(e.Graph.src) +. len e < dist.(e.Graph.dst) -. 1e-9 then begin
+            dist.(e.Graph.dst) <- dist.(e.Graph.src) +. len e;
+            pred.(e.Graph.dst) <- e.Graph.src;
+            changed := true
+          end)
+        edges;
+      if !changed && !rounds > 50 then begin
+        match pred_cycle_start () with
+        | -1 -> ()
+        | start ->
+          (* Verify the cycle really sums negative before cutting the
+             loop short; the tolerance in the relaxation test makes
+             the implication one float-rounding hair short of exact.
+             The minimum edge length per predecessor hop is sound: a
+             cycle negative under minimum lengths is a genuine
+             negative cycle of the graph. *)
+          let cycle_sum = ref 0.0 in
+          let ok = ref true in
+          let x = ref start in
+          let steps = ref 0 in
+          let continue_ = ref true in
+          while !continue_ do
+            incr steps;
+            let p = pred.(!x) in
+            if p < 0 || !steps > n then begin
+              ok := false;
+              continue_ := false
+            end
+            else begin
+              let best = ref infinity in
+              Array.iter
+                (fun (e : Graph.edge) ->
+                  if e.Graph.src = p && e.Graph.dst = !x then
+                    if len e < !best then best := len e)
+                edges;
+              cycle_sum := !cycle_sum +. !best;
+              x := p;
+              if !x = start then continue_ := false
+            end
+          done;
+          if !ok && !cycle_sum < 0.0 then negative := true
+      end
+    done;
+    (not !changed) && not !negative
+  in
+  let max_delay =
+    let m = ref 0.0 in
+    for v = 0 to n - 1 do
+      if Graph.delay g v > !m then m := Graph.delay g v
+    done;
+    !m
+  in
+  if no_negative_cycle max_delay then max_delay
+  else begin
+    let lo = ref max_delay and hi = ref (max max_delay (Graph.clock_period g)) in
+    for _i = 1 to 30 do
+      let mid = (!lo +. !hi) /. 2.0 in
+      if no_negative_cycle mid then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let compute_dense ~pool ~trace g =
   let n = Graph.num_vertices g in
   let off = Graph.csr_offsets g
   and dst = Graph.csr_dst g
@@ -154,19 +308,706 @@ let compute ?(pool = Lacr_util.Pool.sequential) ?(trace = Lacr_obs.Trace.disable
             done;
             Lacr_obs.Trace.add c_reach !reach
           end));
-  { w; d }
+  Dense { w; d }
 
-let reachable wd u v = wd.w.(u).(v) <> max_int
+(* --- streamed backend --- *)
+
+(* Reusable per-worker scratch for the streaming row kernel.  All
+   validity is epoch-stamped so a row touches only the vertices it
+   reaches: no O(n) clearing between rows, which is what keeps the
+   whole pass O(sum of reached set sizes) instead of O(n^2). *)
+type stream_scratch = {
+  swrow : int array;
+  swstamp : int array;  (* epoch when swrow holds a tentative distance *)
+  sdrow : float array;
+  ssettled : int array;  (* epoch when settled; doubles as "reached" *)
+  sindeg : int array;
+  sheap : Lacr_util.Int_heap.t;
+  squeue : int array;
+  stouched : int array;  (* reached vertices in settle order *)
+  scand : int array;  (* frontier targets of the current row *)
+  sdrop : int array;  (* epoch when dominated by a far tight predecessor *)
+  scmem : int array;  (* epoch when a prune-candidate (marking passes) *)
+  spos : int array;  (* epoch when a candidate ancestor precedes via positive weight *)
+  smax : int array;  (* largest candidate ancestor over zero-weight tight paths *)
+  mutable sepoch : int;
+}
+
+let make_stream_scratch n =
+  {
+    swrow = Array.make n 0;
+    swstamp = Array.make n 0;
+    sdrow = Array.make n neg_infinity;
+    ssettled = Array.make n 0;
+    sindeg = Array.make n 0;
+    sheap = Lacr_util.Int_heap.create ~capacity:(max 16 n) ();
+    squeue = Array.make n 0;
+    stouched = Array.make n 0;
+    scand = Array.make n 0;
+    sdrop = Array.make n 0;
+    scmem = Array.make n 0;
+    spos = Array.make n 0;
+    smax = Array.make n 0;
+    sepoch = 0;
+  }
+
+(* One streamed row: W and D restricted to the reached set, then the
+   frontier targets with D >= threshold, sorted by target index.
+   Returns the candidate count; targets are in [sc.scand], their W/D
+   read back from [sc.swrow]/[sc.sdrow].  Values are bit-identical to
+   the dense row kernels: the Dijkstra explores the same relaxations
+   and the tight-DAG maximum over identical float candidate sets is
+   order-independent.
+
+   Retention is split at [far_cut] (the initial clock period, plus the
+   constraint-test tolerance).  Feasibility never probes a period
+   above the initial clock period — the identity retiming makes it
+   feasible, so the min-period search is capped there — which makes a
+   "far" pair (D beyond the cut) one that violates *every* probed
+   period.  The near band [threshold, far_cut] is kept in full; a far
+   target is kept only when it has no far tight-DAG ancestor, i.e.
+   only the first crossing shell of the far cut survives.  Soundness:
+   a far ancestor x of y lies on a minimum-weight path, so
+   W(u,x) + W(x,y) = W(u,y) and y's constraint is implied by x's plus
+   the tight-edge constraints; x is a candidate at every probed
+   period, and the justification chains terminate because the tight
+   graph is acyclic (a tight cycle would be a zero-weight cycle), so
+   Bellman-Ford distance vectors — hence every feasibility verdict
+   and label set — are unchanged.  The reduction is invisible to
+   probe outcomes, and constraint *lists* never read the frontier at
+   all (generation is graph-direct, see constraints.ml), so both
+   backends emit bit-identical systems. *)
+let stream_row sc ~off ~dst ~wgt ~delays ~threshold ~far_cut u =
+  sc.sepoch <- sc.sepoch + 1;
+  let ep = sc.sepoch in
+  let wrow = sc.swrow and settled = sc.ssettled in
+  let heap = sc.sheap in
+  Lacr_util.Int_heap.clear heap;
+  (* The heap's lazy deletion needs a "tentative distance" check; an
+     unsettled vertex whose stamp is stale counts as infinity. *)
+  let wstamp = sc.swstamp in
+  wrow.(u) <- 0;
+  wstamp.(u) <- ep;
+  Lacr_util.Int_heap.push heap ~prio:0 u;
+  let touched = sc.stouched in
+  let nt = ref 0 in
+  while not (Lacr_util.Int_heap.is_empty heap) do
+    let x = Lacr_util.Int_heap.pop_min heap in
+    if settled.(x) <> ep then begin
+      settled.(x) <- ep;
+      touched.(!nt) <- x;
+      incr nt;
+      let wx = wrow.(x) in
+      for i = off.(x) to off.(x + 1) - 1 do
+        let y = dst.(i) in
+        if settled.(y) <> ep then begin
+          let nd = wx + wgt.(i) in
+          if wstamp.(y) <> ep || nd < wrow.(y) then begin
+            wrow.(y) <- nd;
+            wstamp.(y) <- ep;
+            Lacr_util.Int_heap.push heap ~prio:nd y
+          end
+        end
+      done
+    end
+  done;
+  (* Tight-DAG longest-delay pass over the reached set only.  [sindeg]
+     is re-purposed: reset for reached vertices, then accumulated. *)
+  let indeg = sc.sindeg in
+  for t = 0 to !nt - 1 do
+    indeg.(touched.(t)) <- 0
+  done;
+  for t = 0 to !nt - 1 do
+    let x = touched.(t) in
+    let wx = wrow.(x) in
+    for i = off.(x) to off.(x + 1) - 1 do
+      let y = dst.(i) in
+      if settled.(y) = ep && wx + wgt.(i) = wrow.(y) then indeg.(y) <- indeg.(y) + 1
+    done
+  done;
+  let drow = sc.sdrow in
+  for t = 0 to !nt - 1 do
+    drow.(touched.(t)) <- neg_infinity
+  done;
+  drow.(u) <- delays.(u);
+  let queue = sc.squeue in
+  let head = ref 0 and tail = ref 0 in
+  for t = 0 to !nt - 1 do
+    let v = touched.(t) in
+    if indeg.(v) = 0 then begin
+      queue.(!tail) <- v;
+      incr tail
+    end
+  done;
+  while !head < !tail do
+    let x = queue.(!head) in
+    incr head;
+    let wx = wrow.(x) and dx = drow.(x) in
+    for i = off.(x) to off.(x + 1) - 1 do
+      let y = dst.(i) in
+      if settled.(y) = ep && wx + wgt.(i) = wrow.(y) then begin
+        if dx > neg_infinity then begin
+          let cand = dx +. delays.(y) in
+          if cand > drow.(y) then drow.(y) <- cand
+        end;
+        indeg.(y) <- indeg.(y) - 1;
+        if indeg.(y) = 0 then begin
+          queue.(!tail) <- y;
+          incr tail
+        end
+      end
+    done
+  done;
+  (* Far-dominance marking: a target with a far tight-DAG ancestor is
+     dropped, so only the first shell past the far cut survives.  One
+     sweep in the topological order already sitting in [squeue]
+     ([drop] itself carries the transitive closure), so the reduction
+     costs nothing beyond the row itself. *)
+  let drop = sc.sdrop in
+  for t = 0 to !tail - 1 do
+    let x = queue.(t) in
+    if drop.(x) = ep || drow.(x) > far_cut then begin
+      let wx = wrow.(x) in
+      for i = off.(x) to off.(x + 1) - 1 do
+        let y = dst.(i) in
+        if settled.(y) = ep && wx + wgt.(i) = wrow.(y) then drop.(y) <- ep
+      done
+    end
+  done;
+  (* Frontier extraction: reached targets whose D clears the
+     threshold — all of the near band, far targets only when not
+     dominance-dropped — sorted by index so the merged arenas are
+     canonically ordered (grouped by source ascending, targets
+     ascending) independent of chunking and pool size. *)
+  let cand = sc.scand in
+  let nc = ref 0 in
+  for t = 0 to !nt - 1 do
+    let v = touched.(t) in
+    if drow.(v) >= threshold && (drow.(v) <= far_cut || drop.(v) <> ep) then begin
+      cand.(!nc) <- v;
+      incr nc
+    end
+  done;
+  let sub = Array.sub cand 0 !nc in
+  Array.sort Int.compare sub;
+  Array.blit sub 0 cand 0 !nc;
+  !nc
+
+(* Per-chunk growable arena of frontier triples plus per-source
+   counts.  Exactly one worker writes a given arena (chunks are
+   claimed whole), and the merge reads them after the pool joins. *)
+type arena = {
+  mutable adst : int array;
+  mutable awgt : int array;
+  mutable adly : float array;
+  mutable alen : int;
+  acounts : int array;
+  alo : int;
+}
+
+let arena_push a v w d =
+  let cap = Array.length a.adst in
+  if a.alen = cap then begin
+    let ncap = max 64 (2 * cap) in
+    let grow_int arr =
+      let narr = Array.make ncap 0 in
+      Array.blit arr 0 narr 0 a.alen;
+      narr
+    in
+    let ndly = Array.make ncap 0.0 in
+    Array.blit a.adly 0 ndly 0 a.alen;
+    a.adst <- grow_int a.adst;
+    a.awgt <- grow_int a.awgt;
+    a.adly <- ndly
+  end;
+  a.adst.(a.alen) <- v;
+  a.awgt.(a.alen) <- w;
+  a.adly.(a.alen) <- d;
+  a.alen <- a.alen + 1
+
+let compute_streamed ~pool ~trace g =
+  let n = Graph.num_vertices g in
+  let off = Graph.csr_offsets g
+  and dst = Graph.csr_dst g
+  and wgt = Graph.csr_weight g
+  and delays = Graph.delays g in
+  (* Every consumer of the matrices — min-period candidates filtered
+     at [>= bound - 1e-9], feasibility probes and constraint
+     generation at periods no smaller than the smallest candidate —
+     only ever reads pairs with D at or above the cycle-ratio lower
+     bound, so the frontier at [bound - 1e-9] loses nothing.  At the
+     other end, no consumer probes a period above the initial clock
+     period (the identity retiming already achieves it), so pairs
+     beyond [far_cut] violate every probe uniformly and are kept only
+     up to dominance — see [stream_row].  Without that reduction the
+     frontier is Theta(n^2) on deep registered pipelines (path delay
+     grows with register distance, so nearly every ordered pair
+     clears the threshold) and the memory wall this backend exists to
+     break comes straight back. *)
+  let bound = cycle_ratio_lower_bound g in
+  let threshold = bound -. 1e-9 in
+  let far_cut = Graph.clock_period g +. 1e-9 in
+  let traced = Lacr_obs.Trace.enabled trace in
+  let c_rows = Lacr_obs.Trace.counter trace "paths.rows" in
+  let c_front = Lacr_obs.Trace.counter trace "paths.frontier_pairs" in
+  Lacr_obs.Trace.with_span trace ~cat:"retime"
+    ~attrs:[ ("vertices", Lacr_obs.Trace.Int n); ("mode", Lacr_obs.Trace.Str "stream") ]
+    "paths.compute"
+    (fun () ->
+      let chunk =
+        max 1 (min 8192 ((n + (4 * Lacr_util.Pool.size pool) - 1) / (4 * Lacr_util.Pool.size pool)))
+      in
+      let n_chunks = (n + chunk - 1) / chunk in
+      let arenas = Array.make n_chunks None in
+      let scratches = Array.make Lacr_util.Pool.max_slots None in
+      Lacr_util.Pool.parallel_for_chunks ~chunk pool n (fun lo hi ->
+          let slot = Lacr_util.Pool.worker_slot () in
+          let sc =
+            match scratches.(slot) with
+            | Some sc -> sc
+            | None ->
+              let sc = make_stream_scratch n in
+              scratches.(slot) <- Some sc;
+              sc
+          in
+          let a =
+            {
+              adst = Array.make 256 0;
+              awgt = Array.make 256 0;
+              adly = Array.make 256 0.0;
+              alen = 0;
+              acounts = Array.make (hi - lo) 0;
+              alo = lo;
+            }
+          in
+          for u = lo to hi - 1 do
+            let nc = stream_row sc ~off ~dst ~wgt ~delays ~threshold ~far_cut u in
+            a.acounts.(u - lo) <- nc;
+            for i = 0 to nc - 1 do
+              let v = sc.scand.(i) in
+              arena_push a v sc.swrow.(v) sc.sdrow.(v)
+            done
+          done;
+          arenas.(lo / chunk) <- Some a;
+          if traced then begin
+            Lacr_obs.Trace.add c_rows (hi - lo);
+            Lacr_obs.Trace.add c_front a.alen
+          end);
+      (* Deterministic merge in chunk order: chunks partition the
+         source range contiguously, so concatenation yields the flat
+         frontier grouped by source ascending — the same bits for any
+         chunk size or pool size. *)
+      let row_off = Array.make (n + 1) 0 in
+      let total = ref 0 in
+      Array.iter
+        (function
+          | None -> ()
+          | Some a ->
+            Array.iteri (fun i c -> row_off.(a.alo + i + 1) <- c) a.acounts;
+            total := !total + a.alen)
+        arenas;
+      for v = 1 to n do
+        row_off.(v) <- row_off.(v) + row_off.(v - 1)
+      done;
+      let fdst = Array.make (max 1 !total) 0 in
+      let fwgt = Array.make (max 1 !total) 0 in
+      let fdly = Array.make (max 1 !total) 0.0 in
+      let pos = ref 0 in
+      Array.iter
+        (function
+          | None -> ()
+          | Some a ->
+            Array.blit a.adst 0 fdst !pos a.alen;
+            Array.blit a.awgt 0 fwgt !pos a.alen;
+            Array.blit a.adly 0 fdly !pos a.alen;
+            pos := !pos + a.alen)
+        arenas;
+      Streamed { fn = n; threshold; fbound = bound; ffar = far_cut; row_off; fdst; fwgt; fdly })
+
+let auto_cutoff = 4096
+
+let compute ?(mode = Mode.Dense) ?(pool = Lacr_util.Pool.sequential)
+    ?(trace = Lacr_obs.Trace.disabled) g =
+  let n = Graph.num_vertices g in
+  let stream =
+    match mode with Mode.Dense -> false | Mode.Stream -> true | Mode.Auto -> n > auto_cutoff
+  in
+  if stream then compute_streamed ~pool ~trace g else compute_dense ~pool ~trace g
+
+let num_vertices = function Dense { w; _ } -> Array.length w | Streamed fr -> fr.fn
+
+let frontier_weight fr u v =
+  let lo = ref fr.row_off.(u) and hi = ref (fr.row_off.(u + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let vm = fr.fdst.(mid) in
+    if vm = v then found := mid else if vm < v then lo := mid + 1 else hi := mid - 1
+  done;
+  if !found < 0 then None else Some fr.fwgt.(!found)
+
+let reachable wd u v =
+  match wd with
+  | Dense { w; _ } -> w.(u).(v) <> max_int
+  | Streamed _ -> invalid_arg "Paths.reachable: dense backend only"
 
 let iter_pairs wd f =
-  let n = Array.length wd.w in
-  for u = 0 to n - 1 do
-    for v = 0 to n - 1 do
-      if wd.w.(u).(v) <> max_int then f u v wd.w.(u).(v) wd.d.(u).(v)
+  match wd with
+  | Dense { w; d } ->
+    let n = Array.length w in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if w.(u).(v) <> max_int then f u v w.(u).(v) d.(u).(v)
+      done
+    done
+  | Streamed _ -> invalid_arg "Paths.iter_pairs: dense backend only"
+
+let iter_frontier wd f =
+  match wd with
+  | Dense _ -> invalid_arg "Paths.iter_frontier: streamed backend only"
+  | Streamed fr ->
+    for u = 0 to fr.fn - 1 do
+      for i = fr.row_off.(u) to fr.row_off.(u + 1) - 1 do
+        f u fr.fdst.(i) fr.fwgt.(i) fr.fdly.(i)
+      done
+    done
+
+(* Sorted distinct D values, streamed through a flat float buffer with
+   an in-place sort and adjacent dedup — no intermediate cons list
+   (the seed built an O(n^2) list before [sort_uniq]).  The result is
+   the same list [List.sort_uniq Float.compare] produced: ascending,
+   deduplicated under [Float.compare]. *)
+let distinct_delays wd =
+  let buf = ref (Array.make 1024 0.0) in
+  let len = ref 0 in
+  let push x =
+    if !len = Array.length !buf then begin
+      let nbuf = Array.make (2 * !len) 0.0 in
+      Array.blit !buf 0 nbuf 0 !len;
+      buf := nbuf
+    end;
+    !buf.(!len) <- x;
+    incr len
+  in
+  (match wd with
+  | Dense { w; d } ->
+    let n = Array.length w in
+    for u = 0 to n - 1 do
+      let wrow = w.(u) and drow = d.(u) in
+      for v = 0 to n - 1 do
+        if wrow.(v) <> max_int then push drow.(v)
+      done
+    done
+  | Streamed fr ->
+    for i = 0 to fr.row_off.(fr.fn) - 1 do
+      push fr.fdly.(i)
+    done);
+  let sub = Array.sub !buf 0 !len in
+  Array.sort Float.compare sub;
+  let out = ref [] in
+  for i = !len - 1 downto 0 do
+    if i = !len - 1 || Float.compare sub.(i) sub.(i + 1) <> 0 then out := sub.(i) :: !out
+  done;
+  !out
+
+(* On-demand W rows with a small FIFO-evicting cache, for consumers
+   (dominance pruning on the streamed backend) that need random
+   W(x,v) access without the dense matrix.  Rows are exact Dijkstra
+   rows — pure functions of (g, x) — so cache policy cannot affect
+   any result, only speed.  Returned rows are shared: do not mutate. *)
+let weight_rows g =
+  let n = Graph.num_vertices g in
+  let off = Graph.csr_offsets g
+  and dst = Graph.csr_dst g
+  and wgt = Graph.csr_weight g in
+  let scratch = make_scratch n in
+  let slots = max 2 (min 64 (4_000_000 / max 1 n)) in
+  let keys = Array.make slots (-1) in
+  let rows = Array.make slots [||] in
+  let next = ref 0 in
+  fun u ->
+    let hit = ref (-1) in
+    for i = 0 to slots - 1 do
+      if !hit < 0 && keys.(i) = u then hit := i
+    done;
+    if !hit >= 0 then rows.(!hit)
+    else begin
+      let r = dijkstra_row ~off ~dst ~wgt ~n scratch u in
+      keys.(!next) <- u;
+      rows.(!next) <- r;
+      next := (!next + 1) mod slots;
+      r
+    end
+
+(* --- graph-direct dominance pruning ------------------------------- *)
+
+(* The dense prune (constraints.ml) processes each row's candidates in
+   ascending W with equal-W groups in descending index order and drops
+   a candidate implied by a kept earlier one:
+   W(u,x) + W(x,v) <= W(u,v).  By the triangle inequality that is an
+   equality, i.e. x lies on some minimum-weight u ~> v path; and the
+   greedy has a history-free characterization (drop v iff ANY
+   earlier-ordered candidate implies it — if the implier was itself
+   dropped, its earlier implier implies v too, transitively).  A vertex
+   lies on a minimum-weight path to v exactly when the tight-edge DAG
+   reaches v from it (every edge of a minimum-weight path is tight,
+   and any tight path is minimum-weight), so the whole prune for one
+   row reduces to reachability marking over the tight DAG — no W
+   oracle, no second Dijkstra per implication test.  [tight_topo] runs
+   the row Dijkstra and topologically orders the tight DAG;
+   [mark_dominated] then propagates, in one sweep,
+     - [spos]: some candidate ancestor precedes the vertex through a
+       positive-weight tight path (strictly smaller W, hence earlier
+       in the prune order whatever the indices), and
+     - [smax]: the largest candidate ancestor connected through a
+       zero-weight tight path (equal W, earlier only when its index is
+       larger).
+   A candidate v is dropped iff [spos] is set or [smax] > v — exactly
+   the dense greedy's verdict. *)
+let tight_topo sc ~off ~dst ~wgt root =
+  sc.sepoch <- sc.sepoch + 1;
+  let ep = sc.sepoch in
+  let wrow = sc.swrow and settled = sc.ssettled and wstamp = sc.swstamp in
+  let heap = sc.sheap in
+  Lacr_util.Int_heap.clear heap;
+  wrow.(root) <- 0;
+  wstamp.(root) <- ep;
+  Lacr_util.Int_heap.push heap ~prio:0 root;
+  let touched = sc.stouched in
+  let nt = ref 0 in
+  while not (Lacr_util.Int_heap.is_empty heap) do
+    let x = Lacr_util.Int_heap.pop_min heap in
+    if settled.(x) <> ep then begin
+      settled.(x) <- ep;
+      touched.(!nt) <- x;
+      incr nt;
+      let wx = wrow.(x) in
+      for i = off.(x) to off.(x + 1) - 1 do
+        let y = dst.(i) in
+        if settled.(y) <> ep then begin
+          let nd = wx + wgt.(i) in
+          if wstamp.(y) <> ep || nd < wrow.(y) then begin
+            wrow.(y) <- nd;
+            wstamp.(y) <- ep;
+            Lacr_util.Int_heap.push heap ~prio:nd y
+          end
+        end
+      done
+    end
+  done;
+  let nt = !nt in
+  let indeg = sc.sindeg in
+  for t = 0 to nt - 1 do
+    indeg.(touched.(t)) <- 0
+  done;
+  for t = 0 to nt - 1 do
+    let x = touched.(t) in
+    let wx = wrow.(x) in
+    for i = off.(x) to off.(x + 1) - 1 do
+      let y = dst.(i) in
+      if settled.(y) = ep && wx + wgt.(i) = wrow.(y) then indeg.(y) <- indeg.(y) + 1
+    done
+  done;
+  let queue = sc.squeue in
+  let head = ref 0 and tail = ref 0 in
+  for t = 0 to nt - 1 do
+    let v = touched.(t) in
+    if indeg.(v) = 0 then begin
+      queue.(!tail) <- v;
+      incr tail
+    end
+  done;
+  while !head < !tail do
+    let x = queue.(!head) in
+    incr head;
+    let wx = wrow.(x) in
+    for i = off.(x) to off.(x + 1) - 1 do
+      let y = dst.(i) in
+      if settled.(y) = ep && wx + wgt.(i) = wrow.(y) then begin
+        indeg.(y) <- indeg.(y) - 1;
+        if indeg.(y) = 0 then begin
+          queue.(!tail) <- y;
+          incr tail
+        end
+      end
+    done
+  done;
+  nt
+
+(* Candidate membership in [scmem] (current epoch); [squeue] must hold
+   the tight-DAG topological order from [tight_topo]. *)
+let mark_dominated sc ~off ~dst ~wgt ~nt =
+  let ep = sc.sepoch in
+  let wrow = sc.swrow and settled = sc.ssettled in
+  let queue = sc.squeue and pos = sc.spos and mx = sc.smax and cmem = sc.scmem in
+  for t = 0 to nt - 1 do
+    mx.(queue.(t)) <- -1
+  done;
+  for t = 0 to nt - 1 do
+    let x = queue.(t) in
+    let px = pos.(x) = ep in
+    let mxx = mx.(x) in
+    let cx = cmem.(x) = ep in
+    let wx = wrow.(x) in
+    for i = off.(x) to off.(x + 1) - 1 do
+      let y = dst.(i) in
+      if settled.(y) = ep && wx + wgt.(i) = wrow.(y) then
+        if wgt.(i) > 0 then begin
+          if px || cx || mxx >= 0 then pos.(y) <- ep
+        end
+        else begin
+          if px then pos.(y) <- ep;
+          let m = if cx && x > mxx then x else mxx in
+          if m > mx.(y) then mx.(y) <- m
+        end
     done
   done
 
-let distinct_delays wd =
-  let acc = ref [] in
-  iter_pairs wd (fun _ _ _ delay -> acc := delay :: !acc);
-  List.sort_uniq Float.compare !acc
+type prune_rows = { rows : (int * int) array array; n_candidates : int }
+
+let source_pass ~prune ~pool g ~period =
+  let n = Graph.num_vertices g in
+  let off = Graph.csr_offsets g
+  and dst = Graph.csr_dst g
+  and wgt = Graph.csr_weight g
+  and delays = Graph.delays g in
+  let rows = Array.make n [||] in
+  let cand_counts = Array.make n 0 in
+  let scratches = Array.make Lacr_util.Pool.max_slots None in
+  Lacr_util.Pool.parallel_for_chunks pool n (fun lo hi ->
+      let slot = Lacr_util.Pool.worker_slot () in
+      let sc =
+        match scratches.(slot) with
+        | Some sc -> sc
+        | None ->
+          let sc = make_stream_scratch n in
+          scratches.(slot) <- Some sc;
+          sc
+      in
+      for u = lo to hi - 1 do
+        let nt = tight_topo sc ~off ~dst ~wgt u in
+        let ep = sc.sepoch in
+        let wrow = sc.swrow
+        and drow = sc.sdrow
+        and settled = sc.ssettled
+        and touched = sc.stouched
+        and queue = sc.squeue in
+        (* Longest delay over minimum-weight paths, relaxed in the
+           tight-DAG topological order — the same values the dense
+           [delay_row] computes. *)
+        for t = 0 to nt - 1 do
+          drow.(touched.(t)) <- neg_infinity
+        done;
+        drow.(u) <- delays.(u);
+        for t = 0 to nt - 1 do
+          let x = queue.(t) in
+          let wx = wrow.(x) and dx = drow.(x) in
+          if dx > neg_infinity then
+            for i = off.(x) to off.(x + 1) - 1 do
+              let y = dst.(i) in
+              if settled.(y) = ep && wx + wgt.(i) = wrow.(y) then begin
+                let c = dx +. delays.(y) in
+                if c > drow.(y) then drow.(y) <- c
+              end
+            done
+        done;
+        let cmem = sc.scmem in
+        let nc = ref 0 in
+        for t = 0 to nt - 1 do
+          let v = touched.(t) in
+          if drow.(v) > period +. 1e-9 && (u <> v || wrow.(v) = 0) then begin
+            cmem.(v) <- ep;
+            incr nc
+          end
+        done;
+        cand_counts.(u) <- !nc;
+        let pos = sc.spos and mx = sc.smax in
+        if prune then mark_dominated sc ~off ~dst ~wgt ~nt;
+        let kept = ref [] in
+        let nk = ref 0 in
+        for t = 0 to nt - 1 do
+          let v = touched.(t) in
+          if cmem.(v) = ep && ((not prune) || (pos.(v) <> ep && mx.(v) <= v)) then begin
+            kept := (v, wrow.(v)) :: !kept;
+            incr nk
+          end
+        done;
+        let arr = Array.make !nk (0, 0) in
+        List.iter
+          (fun p ->
+            decr nk;
+            arr.(!nk) <- p)
+          !kept;
+        Array.sort (fun (a, _) (b, _) -> Int.compare a b) arr;
+        rows.(u) <- arr
+      done);
+  { rows; n_candidates = Array.fold_left ( + ) 0 cand_counts }
+
+let prune_source_pass ?(pool = Lacr_util.Pool.sequential) g ~period =
+  source_pass ~prune:true ~pool g ~period
+
+let candidate_rows ?(pool = Lacr_util.Pool.sequential) g ~period =
+  source_pass ~prune:false ~pool g ~period
+
+let prune_target_pass ?(pool = Lacr_util.Pool.sequential) g (pr : prune_rows) =
+  let n = Graph.num_vertices g in
+  (* Reverse CSR: the target pass asks which survivor sources of a
+     fixed target lie on each other's minimum-weight paths to it,
+     which is tight-DAG ancestry from the target in the reversed
+     graph (W is path weight either way round). *)
+  let edges = Graph.edges g in
+  let roff = Array.make (n + 1) 0 in
+  Array.iter (fun (e : Graph.edge) -> roff.(e.Graph.dst + 1) <- roff.(e.Graph.dst + 1) + 1) edges;
+  for v = 1 to n do
+    roff.(v) <- roff.(v) + roff.(v - 1)
+  done;
+  let m = roff.(n) in
+  let rdst = Array.make (max 1 m) 0 in
+  let rwgt = Array.make (max 1 m) 0 in
+  let fill = Array.copy roff in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      let i = fill.(e.Graph.dst) in
+      rdst.(i) <- e.Graph.src;
+      rwgt.(i) <- e.Graph.weight;
+      fill.(e.Graph.dst) <- i + 1)
+    edges;
+  let by_target = Array.make n [] in
+  Array.iteri
+    (fun u vs -> Array.iter (fun (v, wuv) -> by_target.(v) <- (u, wuv) :: by_target.(v)) vs)
+    pr.rows;
+  let cols = Array.make n [] in
+  let scratches = Array.make Lacr_util.Pool.max_slots None in
+  Lacr_util.Pool.parallel_for_chunks pool n (fun lo hi ->
+      for v = lo to hi - 1 do
+        match by_target.(v) with
+        | [] -> ()
+        | [ single ] -> cols.(v) <- [ single ]
+        | sources ->
+          let slot = Lacr_util.Pool.worker_slot () in
+          let sc =
+            match scratches.(slot) with
+            | Some sc -> sc
+            | None ->
+              let sc = make_stream_scratch n in
+              scratches.(slot) <- Some sc;
+              sc
+          in
+          let nt = tight_topo sc ~off:roff ~dst:rdst ~wgt:rwgt v in
+          let ep = sc.sepoch in
+          let cmem = sc.scmem in
+          List.iter (fun (u, _) -> cmem.(u) <- ep) sources;
+          mark_dominated sc ~off:roff ~dst:rdst ~wgt:rwgt ~nt;
+          let pos = sc.spos and mx = sc.smax in
+          let kept =
+            List.filter (fun (u, _) -> pos.(u) <> ep && mx.(u) <= u) sources
+          in
+          (* Emission replays the dense consider order: ascending
+             W(u,v), equal weights by descending source index. *)
+          cols.(v) <-
+            List.sort
+              (fun (u1, w1) (u2, w2) ->
+                if w1 <> w2 then Int.compare w1 w2 else Int.compare u2 u1)
+              kept
+      done);
+  cols

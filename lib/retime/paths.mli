@@ -1,4 +1,4 @@
-(** The W and D matrices of Leiserson-Saxe retiming.
+(** The W and D matrices of Leiserson-Saxe retiming, in two backends.
 
     For a path [p : u ~> v], [w(p)] is the sum of edge weights and
     [d(p)] the sum of vertex delays including both endpoints.  Then
@@ -6,24 +6,86 @@
     paths.  Computed per source as a Dijkstra on weights (CSR adjacency
     + monomorphic int heap) followed by a longest-delay pass over the
     tight-edge DAG (tight edges cannot form a cycle because the circuit
-    has no zero-weight cycle). *)
+    has no zero-weight cycle).
 
-type wd = {
+    The {e dense} backend materializes the full [n x n] matrices —
+    exact, supports {!iter_pairs} and brute-force cross-checks, and
+    costs O(n^2) memory (~1.6 GB at n = 10^4, impossible at 10^5).
+    The {e streamed} backend keeps only the probe-relevant frontier.
+    Probed periods always lie in [[bound - 1e-9, clock_period]]: the
+    cycle-ratio bound caps them from below, and the identity retiming
+    makes the initial clock period feasible, capping the min-period
+    search from above.  So the frontier stores the {e near} band
+    ([D] within the probe window) in full, and {e far} pairs ([D]
+    beyond every probe, hence violating all of them uniformly) only
+    after an exact dominance reduction: a far pair dominated by a far
+    tight-DAG predecessor that precedes it in the dense prune's
+    candidate order is implied by the survivor plus edge constraints
+    and is dropped by the dense prune at every probed period, so
+    removing it changes no pruned constraint list, no feasibility
+    verdict and no label vector.  Constraint generation does not read
+    the frontier at all: both the pruned and the unpruned streamed
+    lists are re-enumerated directly from the graph per source
+    ({!prune_source_pass} / {!candidate_rows}), so every constraint
+    system a caller can hold is bit-identical between the backends —
+    as are min-period results and plans (QCheck-enforced in the test
+    suite).  Only the throwaway probe systems inside the min-period
+    search read the frontier, and there the far reduction is
+    implication-equivalent: same verdicts, same labels. *)
+
+module Mode : sig
+  type t =
+    | Auto  (** dense for small graphs, streamed past {!auto_cutoff} vertices *)
+    | Dense
+    | Stream
+
+  val to_string : t -> string
+  val of_string : string -> t option
+end
+
+type dense = {
   w : int array array;  (** [w.(u).(v)]; [max_int] when unreachable *)
   d : float array array;  (** [d.(u).(v)]; meaningful when reachable *)
 }
 
-val compute : ?pool:Lacr_util.Pool.t -> ?trace:Lacr_obs.Trace.ctx -> Graph.t -> wd
+type frontier = {
+  fn : int;  (** vertex count *)
+  threshold : float;  (** near pairs with [D >= threshold] are retained *)
+  fbound : float;  (** the cycle-ratio lower bound ([threshold + 1e-9] before rounding) *)
+  ffar : float;  (** near/far cut: initial clock period [+ 1e-9]; far pairs ([D > ffar]) are retained only up to dominance *)
+  row_off : int array;  (** [fn + 1] CSR offsets, grouped by source *)
+  fdst : int array;  (** target per retained pair, ascending within a row *)
+  fwgt : int array;  (** W(u,v) per retained pair *)
+  fdly : float array;  (** D(u,v) per retained pair *)
+}
+
+type wd = Dense of dense | Streamed of frontier
+
+val auto_cutoff : int
+(** Vertex count above which [Mode.Auto] switches to the streamed
+    backend (the dense matrices cross ~270 MB there). *)
+
+val compute :
+  ?mode:Mode.t -> ?pool:Lacr_util.Pool.t -> ?trace:Lacr_obs.Trace.ctx -> Graph.t -> wd
 (** Sources are independent, so the rows fill in parallel over [pool]
     (default {!Lacr_util.Pool.sequential}): each worker owns its
-    scratch and writes only its own rows.  Every row is a pure
-    function of the graph and its source, so the result is
-    bit-identical — [w] and [d] cell for cell — for every pool size.
+    scratch and writes only its own rows (dense) or its own
+    chunk-indexed arena, merged in chunk order (streamed).  Every row
+    is a pure function of the graph and its source and the streamed
+    frontier is stored canonically (sources ascending, targets
+    ascending), so the result is bit-identical for every pool size.
+
+    [mode] defaults to [Mode.Dense] — the seed behaviour — so
+    existing callers are unchanged; the planner passes
+    [Config.paths_mode] through.
 
     [trace] (default disabled) wraps the computation in a
-    [paths.compute] span and accumulates [paths.rows] /
-    [paths.reachable_pairs] counters per chunk; the disabled path adds
-    no work and no allocation to the row kernels. *)
+    [paths.compute] span and accumulates [paths.rows] plus
+    [paths.reachable_pairs] (dense) / [paths.frontier_pairs]
+    (streamed) counters per chunk; the disabled path adds no work and
+    no allocation to the row kernels. *)
+
+val num_vertices : wd -> int
 
 val min_weights : Graph.t -> int -> int array
 (** One W row: minimum path weight from a source to every vertex
@@ -31,14 +93,79 @@ val min_weights : Graph.t -> int -> int array
     exposed for callers and micro-benchmarks that do not need the full
     matrices. *)
 
+val cycle_ratio_lower_bound : Graph.t -> float
+(** [max(max_v d(v), max_C d(C)/w(C))] — no retiming can clock below
+    it.  Computed by Lawler's negative-cycle test with early
+    predecessor-cycle detection (detected cycles are re-summed before
+    being believed, so verdicts match the plain rounds-exhausted
+    Bellman-Ford bit for bit).  This is both the min-period search
+    pruner (re-exported by [Feasibility]) and the streamed frontier's
+    retention threshold. *)
+
 val reachable : wd -> int -> int -> bool
+(** Dense backend only; @raise Invalid_argument on [Streamed]. *)
 
 val iter_pairs : wd -> (int -> int -> int -> float -> unit) -> unit
 (** [iter_pairs wd f] calls [f u v w_uv d_uv] on every reachable pair.
     Self pairs use the trivial single-vertex path ([W(u,u) = 0],
     [D(u,u) = d(u)]), the Leiserson-Saxe convention under which a
-    vertex slower than the period yields an infeasible constraint. *)
+    vertex slower than the period yields an infeasible constraint.
+    Dense backend only; @raise Invalid_argument on [Streamed]. *)
+
+val iter_frontier : wd -> (int -> int -> int -> float -> unit) -> unit
+(** [iter_frontier wd f] calls [f u v w_uv d_uv] on every retained
+    frontier pair, sources ascending and targets ascending.  Streamed
+    backend only; @raise Invalid_argument on [Dense]. *)
+
+val frontier_weight : frontier -> int -> int -> int option
+(** [W(u,v)] if the pair is retained (binary search within the row). *)
 
 val distinct_delays : wd -> float list
-(** Sorted distinct [D] values over reachable pairs — the candidate
-    clock periods for min-period binary search. *)
+(** Sorted distinct [D] values — the candidate clock periods for
+    min-period binary search.  Dense: over all reachable pairs;
+    streamed: over the retained frontier.  After the min-period
+    candidate window [bound - 1e-9 <= d <= clock_period + 1e-9]
+    applied by both searches the two backends yield the identical
+    candidate list (the near band is retained in full).  Streams
+    through a flat float buffer with in-place sort and adjacent
+    dedup — no intermediate cons list. *)
+
+val weight_rows : Graph.t -> int -> int array
+(** [weight_rows g] is an on-demand W-row oracle with a small
+    FIFO-evicting row cache: [(weight_rows g) x] returns the exact
+    Dijkstra row of source [x] (shared — do not mutate).  Cache policy
+    cannot affect results, only speed; exposed for cross-checks and
+    consumers that need occasional random W access without the dense
+    matrices. *)
+
+type prune_rows = { rows : (int * int) array array; n_candidates : int }
+(** Source-side prune survivors: [rows.(u)] lists the surviving
+    [(v, W(u,v))] pairs of source [u], targets ascending;
+    [n_candidates] counts the period-violating pairs before pruning. *)
+
+val candidate_rows : ?pool:Lacr_util.Pool.t -> Graph.t -> period:float -> prune_rows
+(** The unpruned variant of {!prune_source_pass}: [rows.(u)] lists
+    {e every} period-violating [(v, W(u,v))] pair of source [u]
+    (targets ascending), recomputed directly from the graph with the
+    same per-source Dijkstra + tight-DAG sweep and no dominance
+    marking.  This is how the streamed backend emits the full
+    enumeration — bit-identical to the dense scan at every period —
+    without dense matrices and without consulting the frontier. *)
+
+val prune_source_pass :
+  ?pool:Lacr_util.Pool.t -> Graph.t -> period:float -> prune_rows
+(** The dense prune's source-side pass recomputed directly from the
+    graph, one Dijkstra + tight-DAG marking sweep per source
+    (pool-parallel, bit-deterministic): a period-violating candidate
+    is dropped exactly when an earlier-ordered candidate (smaller W,
+    or equal W from a larger index) lies on a minimum-weight path to
+    it — tight-DAG ancestry, the same verdicts as the dense greedy's
+    implication tests, at streaming memory cost. *)
+
+val prune_target_pass :
+  ?pool:Lacr_util.Pool.t -> Graph.t -> prune_rows -> (int * int) list array
+(** The mirrored target-side pass over the source-pass survivors, one
+    reverse-graph sweep per target with two or more surviving sources.
+    [cols.(v)] lists the kept [(u, W(u,v))] pairs in the dense pass's
+    consider order (ascending W, equal weights by descending source
+    index), ready for constraint emission. *)

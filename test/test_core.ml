@@ -258,6 +258,52 @@ let test_pinned_s386 () =
         (4, 412.889544);
       ]
 
+(* Streamed path engine pin (ISSUE 7): on a real ISCAS circuit the
+   [Stream] backend must reproduce the dense planner outcome exactly —
+   same minimum period, same pruned constraint system, same LAC
+   trajectory — at every pool size.  The QCheck equivalence property
+   covers random small circuits; this pins a full-size planning stage
+   on s1423 (657 gates), where the streamed frontier actually prunes. *)
+let test_s1423_stream_pin () =
+  let netlist = Option.get (Suite.by_name "s1423") in
+  match Build.build netlist with
+  | Error msg -> Alcotest.failf "s1423 build: %s" msg
+  | Ok inst ->
+    let g = inst.Build.graph in
+    let extra = inst.Build.pin_constraints in
+    let stage wd pool =
+      let mp = Lacr_retime.Feasibility.min_period ~extra g wd in
+      let t_init = Graph.clock_period g in
+      let period = mp.Lacr_retime.Feasibility.period in
+      let t_clk = period +. (0.2 *. (t_init -. period)) in
+      (period, Constraints.generate ?pool ~prune:true ~extra g wd ~period:t_clk)
+    in
+    let dense_period, dense_cs = stage (Paths.compute ~mode:Paths.Mode.Dense g) None in
+    let stream_outcomes =
+      List.map
+        (fun size ->
+          Lacr_util.Pool.with_pool ~size (fun pool ->
+              let wd = Paths.compute ~mode:Paths.Mode.Stream ~pool g in
+              stage wd (Some pool)))
+        [ 1; 2; 4 ]
+    in
+    List.iteri
+      (fun i (period, cs) ->
+        let d = [ 1; 2; 4 ] |> fun l -> List.nth l i in
+        check (Printf.sprintf "stream pool %d min period" d) true (period = dense_period);
+        check (Printf.sprintf "stream pool %d constraints" d) true (cs = dense_cs))
+      stream_outcomes;
+    (* The LAC loop sees identical constraints, so its trajectory is
+       the dense one; pin the headline counters so a silent change in
+       either backend trips this test. *)
+    (match Lac.retime inst dense_cs with
+    | Error msg -> Alcotest.failf "s1423 lac: %s" msg
+    | Ok outcome ->
+      check_int "s1423 n_foa" 0 outcome.Lac.n_foa;
+      check_int "s1423 n_f" 292 outcome.Lac.n_f;
+      check_int "s1423 n_fn" 90 outcome.Lac.n_fn;
+      check_int "s1423 n_wr" 6 outcome.Lac.n_wr)
+
 let test_figures_render () =
   let flow = Report.render_flow_figure () in
   check "flow mentions retiming" true
@@ -285,6 +331,7 @@ let suite =
     Alcotest.test_case "s27 plan" `Quick test_s27_plan;
     Alcotest.test_case "pinned lac outcome s27" `Quick test_pinned_s27;
     Alcotest.test_case "pinned lac outcome s386" `Slow test_pinned_s386;
+    Alcotest.test_case "s1423 stream backend pin" `Slow test_s1423_stream_pin;
     Alcotest.test_case "report row and table" `Slow test_report_row_and_table;
     Alcotest.test_case "figures render" `Quick test_figures_render;
   ]

@@ -86,10 +86,16 @@ let random_graph rng n =
   let chords = ref [] in
   for _c = 1 to n_chords do
     let src = Rng.int rng n and dst = Rng.int rng n in
-    if src <> dst then
-      (* Weight >= 1 keeps zero-weight cycles impossible regardless of
-         chord direction. *)
-      chords := { Graph.src; dst; weight = 1 + Rng.int rng 2 } :: !chords
+    if src <> dst then begin
+      (* Backward chords need weight >= 1 to keep zero-weight cycles
+         impossible; forward chords may carry weight 0 (any cycle
+         through them must close via a ring edge, which weighs >= 1).
+         Zero-weight chords create equal-W candidate ties and
+         zero-weight implications, the cases where prune tie-break
+         order is observable. *)
+      let weight = if src < dst && Rng.int rng 100 < 40 then 0 else 1 + Rng.int rng 2 in
+      chords := { Graph.src; dst; weight } :: !chords
+    end
   done;
   Graph.create ~delays ~edges:(ring @ !chords) ~host:0
 
@@ -212,13 +218,17 @@ let test_paths_wd_simple_chain () =
   let delays = [| 0.0; 2.0; 3.0 |] in
   let e src dst weight = { Graph.src; dst; weight } in
   let g = Graph.create ~delays ~edges:[ e 0 1 1; e 1 2 0; e 2 0 1 ] ~host:0 in
-  let wd = Paths.compute g in
-  check_int "W(0,2)" 1 wd.Paths.w.(0).(2);
-  check_float "D(1,2)" 5.0 wd.Paths.d.(1).(2);
-  check_int "W(1,2)" 0 wd.Paths.w.(1).(2);
+  let dn =
+    match Paths.compute g with
+    | Paths.Dense dn -> dn
+    | Paths.Streamed _ -> Alcotest.fail "default compute must be dense"
+  in
+  check_int "W(0,2)" 1 dn.Paths.w.(0).(2);
+  check_float "D(1,2)" 5.0 dn.Paths.d.(1).(2);
+  check_int "W(1,2)" 0 dn.Paths.w.(1).(2);
   (* Self pairs use the trivial path: W(0,0) = 0, D(0,0) = d(0). *)
-  check_int "W(0,0)" 0 wd.Paths.w.(0).(0);
-  check_float "D(0,0)" 0.0 wd.Paths.d.(0).(0)
+  check_int "W(0,0)" 0 dn.Paths.w.(0).(0);
+  check_float "D(0,0)" 0.0 dn.Paths.d.(0).(0)
 
 (* --- QCheck properties ------------------------------------------------ *)
 
@@ -266,13 +276,18 @@ let prop_cycle_weight_invariant =
       | Error _ -> false
       | Ok retimed ->
         let n = Graph.num_vertices g in
+        (* Cycle weight uses ONE edge per hop: chords parallel to a
+           ring edge shift by the same r(dst) - r(src) as the ring
+           edge, so summing all of them would count the hop's shift
+           more than once and break the telescoping.  The minimum over
+           parallel edges shifts by exactly that delta, so its ring
+           sum is a true retiming invariant. *)
         let ring_weight graph =
           let weight_of src dst =
-            List.fold_left
+            Array.fold_left
               (fun acc (e : Graph.edge) ->
-                if e.Graph.src = src && e.Graph.dst = dst then acc + e.Graph.weight else acc)
-              0
-              (Array.to_list (Graph.edges graph))
+                if e.Graph.src = src && e.Graph.dst = dst then min acc e.Graph.weight else acc)
+              max_int (Graph.edges graph)
           in
           let rec total v acc = if v = n then acc else total (v + 1) (acc + weight_of v ((v + 1) mod n)) in
           total 0 0
@@ -495,10 +510,19 @@ let suite =
 (* --- parallel (W,D) engine and pooled constraint generation ---------- *)
 
 let wd_equal (a : Paths.wd) (b : Paths.wd) =
-  (* Structural equality is bitwise here: the w cells are ints and the
-     d cells are floats produced by the very same operations, so any
-     engine divergence (including NaN/infinity handling) fails it. *)
-  a.Paths.w = b.Paths.w && a.Paths.d = b.Paths.d
+  (* Structural equality is bitwise here: the cells are ints and
+     floats produced by the very same operations, so any engine
+     divergence (including NaN/infinity handling) fails it.  Backends
+     must match too: Dense never equals Streamed. *)
+  match (a, b) with
+  | Paths.Dense a, Paths.Dense b -> a.Paths.w = b.Paths.w && a.Paths.d = b.Paths.d
+  | Paths.Streamed a, Paths.Streamed b ->
+    a.Paths.row_off = b.Paths.row_off
+    && a.Paths.fdst = b.Paths.fdst
+    && a.Paths.fwgt = b.Paths.fwgt
+    && a.Paths.fdly = b.Paths.fdly
+    && Float.compare a.Paths.threshold b.Paths.threshold = 0
+  | _ -> false
 
 let prop_parallel_wd_bit_identical =
   QCheck2.Test.make ~count:40
@@ -546,9 +570,13 @@ let test_pooled_constraints_identical () =
 let test_min_weights_row () =
   (* The exported single-row kernel must agree with the full matrix. *)
   let g = make_graph (8, 4242) in
-  let wd = Paths.compute g in
+  let dn =
+    match Paths.compute g with
+    | Paths.Dense dn -> dn
+    | Paths.Streamed _ -> Alcotest.fail "default compute must be dense"
+  in
   for u = 0 to Graph.num_vertices g - 1 do
-    check (Printf.sprintf "row %d" u) true (Paths.min_weights g u = wd.Paths.w.(u))
+    check (Printf.sprintf "row %d" u) true (Paths.min_weights g u = dn.Paths.w.(u))
   done
 
 let test_pooled_lac_outcome_identical () =
@@ -582,6 +610,132 @@ let test_pooled_lac_outcome_identical () =
     check_int "n_fn equal" a.Lacr_core.Lac.n_fn b.Lacr_core.Lac.n_fn
   | Error msg, _ | _, Error msg -> Alcotest.fail msg
 
+(* --- streamed backend equivalence ------------------------------------ *)
+
+(* The contract the planner relies on: for every period any consumer
+   ever probes (min-period candidates and the derived T_clk), the
+   streamed backend produces the same constraint systems as the dense
+   matrices — pruned and unpruned, same content, same order — at
+   every pool size (generation is graph-direct on the streamed side),
+   and its frontier-backed probe systems are the implication-
+   equivalent reduction of the dense enumeration: identical
+   Bellman-Ford distance vectors, whose labels satisfy the full dense
+   system. *)
+let prop_stream_dense_identical =
+  QCheck.Test.make ~name:"streamed backend == dense backend (constraints + min-period)"
+    ~count:40
+    QCheck.(pair (int_range 4 24) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let g = random_graph (Rng.create seed) n in
+      let dense = Paths.compute ~mode:Paths.Mode.Dense g in
+      let mp_d = Feasibility.min_period g dense in
+      let t_min = mp_d.Feasibility.period in
+      let t_init = Graph.clock_period g in
+      let periods = [ t_min; t_min +. (0.2 *. (t_init -. t_min)); t_init ] in
+      let dist_of (c : Constraints.compiled) =
+        Lacr_mcmf.Difference.feasible_arrays ~n:(Graph.num_vertices g) ~a:c.Constraints.ca
+          ~b:c.Constraints.cb ~bound:c.Constraints.cbound ~m:c.Constraints.m
+      in
+      List.for_all
+        (fun size ->
+          Lacr_util.Pool.with_pool ~size (fun pool ->
+              let stream = Paths.compute ~mode:Paths.Mode.Stream ~pool g in
+              let mp_s = Feasibility.min_period g stream in
+              Float.compare t_min mp_s.Feasibility.period = 0
+              && mp_d.Feasibility.labels = mp_s.Feasibility.labels
+              && List.for_all
+                   (fun period ->
+                     List.for_all
+                       (fun prune ->
+                         let a = Constraints.generate ~prune g dense ~period in
+                         let b = Constraints.generate ~prune ~pool g stream ~period in
+                         a.Constraints.constraints = b.Constraints.constraints
+                         && a.Constraints.n_edge = b.Constraints.n_edge
+                         && a.Constraints.n_period = b.Constraints.n_period)
+                       [ true; false ]
+                     &&
+                     let cd = Constraints.compile g dense ~period in
+                     let cs = Constraints.compile g stream ~period in
+                     match (dist_of cd, dist_of cs) with
+                     | None, None -> true
+                     | Some x, Some y ->
+                       x = y
+                       && Constraints.satisfied_by
+                            (Constraints.generate ~prune:false g dense ~period)
+                            y
+                     | _ -> false)
+                   periods))
+        [ 1; 2; 4 ])
+
+let test_stream_distinct_delays_candidates () =
+  (* The streamed candidate list after the min-period bound filter must
+     equal the dense one: that is what makes the binary searches probe
+     the same periods. *)
+  let rng = Rng.create 55117 in
+  for _ = 1 to 10 do
+    let g = random_graph rng (4 + Rng.int rng 20) in
+    let bound = Paths.cycle_ratio_lower_bound g in
+    let t_init = Graph.clock_period g in
+    let keep ds = List.filter (fun d -> d >= bound -. 1e-9 && d <= t_init +. 1e-9) ds in
+    let dense = keep (Paths.distinct_delays (Paths.compute ~mode:Paths.Mode.Dense g)) in
+    let stream = keep (Paths.distinct_delays (Paths.compute ~mode:Paths.Mode.Stream g)) in
+    check "candidate lists equal" true (List.for_all2 (fun a b -> Float.compare a b = 0) dense stream && List.length dense = List.length stream)
+  done
+
+let test_stream_frontier_shape () =
+  (* Structural sanity of the frontier: canonical CSR ordering, the
+     near band [threshold, ffar] retained in full with dense-identical
+     W/D, far pairs dropped only when an earlier-ordered far candidate
+     dominates them, and frontier_weight finding the retained pairs. *)
+  let g = random_graph (Rng.create 7321) 16 in
+  match Paths.compute ~mode:Paths.Mode.Stream g with
+  | Paths.Dense _ -> Alcotest.fail "Stream mode must produce a streamed backend"
+  | Paths.Streamed fr as wd ->
+    check_int "vertex count" (Graph.num_vertices g) Paths.(num_vertices wd);
+    check "far cut above threshold" true (fr.Paths.ffar >= fr.Paths.threshold);
+    let prev_u = ref (-1) and prev_v = ref (-1) in
+    Paths.iter_frontier wd (fun u v w d ->
+        if u <> !prev_u then begin
+          check "sources ascending" true (u > !prev_u);
+          prev_u := u;
+          prev_v := -1
+        end;
+        check "targets ascending" true (v > !prev_v);
+        prev_v := v;
+        check "above threshold" true (d >= fr.Paths.threshold);
+        check "weight via binary search" true (Paths.frontier_weight fr u v = Some w));
+    (match Paths.compute ~mode:Paths.Mode.Dense g with
+    | Paths.Streamed _ -> Alcotest.fail "Dense mode must produce dense matrices"
+    | Paths.Dense dn as dwd ->
+      let members = Hashtbl.create 64 in
+      Paths.iter_frontier wd (fun u v w d ->
+          check "retained W matches dense" true (dn.Paths.w.(u).(v) = w);
+          check "retained D matches dense" true (Float.compare dn.Paths.d.(u).(v) d = 0);
+          Hashtbl.replace members (u, v) ());
+      let n = Graph.num_vertices g in
+      Paths.iter_pairs dwd (fun u v w d ->
+          if d >= fr.Paths.threshold && not (Hashtbl.mem members (u, v)) then begin
+            (* Only far pairs may be missing, and each must have a far
+               tight-DAG ancestor — a far x on a minimum-weight u ~> v
+               path (triangle equality) — whose retained (or likewise
+               dominated) constraint implies the dropped one at every
+               probe. *)
+            check "only far pairs may be dropped" true (d > fr.Paths.ffar);
+            let justified = ref false in
+            for x = 0 to n - 1 do
+              let wux = dn.Paths.w.(u).(x) in
+              if (not !justified) && wux <> max_int && x <> v then begin
+                let wxv = dn.Paths.w.(x).(v) in
+                if
+                  wxv <> max_int
+                  && dn.Paths.d.(u).(x) > fr.Paths.ffar
+                  && wux + wxv = w
+                then justified := true
+              end
+            done;
+            check "dropped far pair is dominated" true !justified
+          end))
+
 let suite =
   suite
   @ [
@@ -591,4 +745,8 @@ let suite =
         test_pooled_constraints_identical;
       Alcotest.test_case "min_weights row matches matrix" `Quick test_min_weights_row;
       Alcotest.test_case "pooled LAC outcome identical" `Quick test_pooled_lac_outcome_identical;
+      QCheck_alcotest.to_alcotest prop_stream_dense_identical;
+      Alcotest.test_case "stream candidate delays match dense" `Quick
+        test_stream_distinct_delays_candidates;
+      Alcotest.test_case "streamed frontier structure" `Quick test_stream_frontier_shape;
     ]
