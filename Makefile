@@ -1,7 +1,7 @@
 # One-command gate for every PR: full build, tier-1 tests, and a
 # planner smoke run on the embedded s27 circuit.
 
-.PHONY: all build test lint smoke smoke-warm smoke-trace smoke-sanitize smoke-route smoke-scale check bench clean
+.PHONY: all build test lint smoke smoke-warm smoke-trace smoke-sanitize smoke-route smoke-scale smoke-serve check bench clean
 
 all: build
 
@@ -55,7 +55,19 @@ smoke-scale: build
 	bash -c 'ulimit -v 16777216; exec ./_build/default/bin/lacr_cli.exe \
 	  plan hier:50000 --paths-mode stream --domains 2 --second-iteration=false'
 
-check: build test lint smoke smoke-warm smoke-trace smoke-sanitize smoke-route smoke-scale
+# Serving smoke: start lacrd on a private Unix socket, drive it with
+# the seeded load generator (cache warm-up, byte-identity of daemon
+# results against fresh single-shot plans, metrics aggregation), then
+# shut it down over the wire and require a clean daemon exit.
+smoke-serve: build
+	bash -c 'set -e; sock=$$(mktemp -u /tmp/lacrd_smoke.XXXXXX.sock); \
+	  ./_build/default/bin/lacrd.exe --socket $$sock --workers 2 --queue-depth 8 & pid=$$!; \
+	  trap "kill $$pid 2>/dev/null || true" EXIT; \
+	  ./_build/default/bin/lacr_cli.exe serve-client --socket $$sock \
+	    --connections 2 --requests 24 --seed 11 --verify --shutdown; \
+	  wait $$pid'
+
+check: build test lint smoke smoke-warm smoke-trace smoke-sanitize smoke-route smoke-scale smoke-serve
 
 bench:
 	LACR_BENCH_FAST=1 dune exec bench/main.exe -- --json BENCH_fast.json

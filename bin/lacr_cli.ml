@@ -102,12 +102,15 @@ let run_plan circuit seed domains sanitize paths_mode route_passes spec_rounds s
       if trace_file <> None || metrics_file <> None then Lacr_obs.Trace.create ()
       else Lacr_obs.Trace.disabled
     in
-    (match Planner.plan ~config ~second_iteration:second ~trace netlist with
-    | exception Lacr_util.Sanitize.Violation { invariant; detail } ->
-      Printf.eprintf "sanitizer violation [%s]: %s\n" invariant detail;
+    (* plan_checked: structured errors instead of escaping exceptions —
+       sanitizer violations keep their historical exit code 2, routing
+       dead ends become a clean message instead of a crash. *)
+    (match Planner.plan_checked ~config ~second_iteration:second ~trace netlist with
+    | Error (Planner.Sanitizer_violation _ as err) ->
+      prerr_endline (Planner.error_message err);
       2
-    | Error msg ->
-      Printf.eprintf "planning failed: %s\n" msg;
+    | Error err ->
+      Printf.eprintf "planning failed: %s\n" (Planner.error_message err);
       1
     | Ok run ->
       let name = Lacr_netlist.Netlist.name netlist in
@@ -467,6 +470,37 @@ let run_stats circuit =
         | Error msg -> prerr_endline msg);
         0))
 
+(* --- serve-client: deterministic load generator for lacrd --- *)
+
+let run_serve_client socket tcp connections requests seed mix verify second wait shutdown =
+  let module Serve = Lacr_serve in
+  let endpoint =
+    match tcp with
+    | Some port -> Serve.Protocol.Tcp port
+    | None ->
+      Serve.Protocol.Unix_path (match socket with Some path -> path | None -> "lacrd.sock")
+  in
+  let options =
+    {
+      Serve.Loadgen.endpoint;
+      connections;
+      requests;
+      seed;
+      mix;
+      verify;
+      second_iteration = second;
+      wait_s = wait;
+      shutdown_after = shutdown;
+    }
+  in
+  match Serve.Loadgen.run options with
+  | Error msg ->
+    prerr_endline ("serve-client: " ^ msg);
+    1
+  | Ok summary ->
+    print_string (Serve.Loadgen.render_summary summary);
+    if Serve.Loadgen.passed summary then 0 else 1
+
 (* --- info --- *)
 
 let run_info () =
@@ -708,6 +742,72 @@ let stats_cmd =
   let doc = "Print structural statistics (levelization, dead logic)." in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run_stats $ circuit_arg)
 
+let serve_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on (default lacrd.sock).")
+
+let serve_tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"Connect over loopback TCP instead of a Unix socket.")
+
+let connections_arg =
+  Arg.(value & opt int 2 & info [ "connections" ] ~docv:"N" ~doc:"Concurrent connections.")
+
+let requests_arg =
+  Arg.(value & opt int 20 & info [ "requests" ] ~docv:"N" ~doc:"Total plan requests to send.")
+
+let loadgen_seed_arg =
+  Arg.(
+    value & opt int 7
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Schedule seed: the circuit mix per request is a pure function of it.")
+
+let mix_arg =
+  Arg.(
+    value
+    & opt (list string) [ "s27"; "s27"; "s27"; "s298" ]
+    & info [ "mix" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated circuit names the schedule draws from (duplicates weight the \
+           draw); suite names or hier:UNITS[:SEED].")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Re-plan every distinct circuit in-process and require the daemon's result \
+           subtrees to be byte-identical (warm and cold alike); also check the metrics \
+           aggregate against the sum of per-request echoes.")
+
+let wait_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "wait" ] ~docv:"SECONDS"
+        ~doc:"Connect-retry window, for daemons still starting up.")
+
+let shutdown_arg =
+  Arg.(
+    value & flag
+    & info [ "shutdown" ] ~doc:"Send a shutdown request after the final metrics pull.")
+
+let serve_client_cmd =
+  let doc =
+    "Deterministic load generator for lacrd: concurrent connections, a seeded request mix, \
+     byte-level verification of warm-cache responses against fresh single-shot plans, and \
+     metrics validation. Exits non-zero on any mismatch or non-load failure."
+  in
+  Cmd.v (Cmd.info "serve-client" ~doc)
+    Term.(
+      const run_serve_client $ serve_socket_arg $ serve_tcp_arg $ connections_arg
+      $ requests_arg $ loadgen_seed_arg $ mix_arg $ verify_arg $ second_arg $ wait_arg
+      $ shutdown_arg)
+
 let main_cmd =
   let doc = "interconnect planning with local area constrained retiming (DATE 2003)" in
   Cmd.group (Cmd.info "lacr" ~version:"1.0.0" ~doc)
@@ -723,6 +823,7 @@ let main_cmd =
       dot_cmd;
       stats_cmd;
       trace_check_cmd;
+      serve_client_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -50,23 +50,36 @@ let table1_names = List.map fst specs
 let spec_of name = List.assoc_opt name specs
 
 (* Parsing s27 is cheap but synthesizing the larger stand-ins is not,
-   and the planner tests, the CLI's table1 sweep and the benchmark
-   harness all re-request the same circuits; generation is
-   deterministic in the name, so a per-name cache returns the
-   identical netlist without re-running the generator.  Keyed lookups
-   only (no table iteration), so cache order can never leak into
-   results. *)
+   and the planner tests, the CLI's table1 sweep, the benchmark
+   harness and the serving daemon all re-request the same circuits;
+   generation is deterministic in the name, so a per-name cache
+   returns the identical netlist without re-running the generator.
+   Keyed lookups only (no table iteration), so cache order can never
+   leak into results.
+
+   The daemon's worker domains hit this memo concurrently, so every
+   access — including the generator run on a miss — happens under one
+   mutex.  Holding the lock across generation serializes concurrent
+   first requests for distinct circuits, but it also guarantees a
+   single generator run per name: every caller of [by_name n] gets
+   the physically identical netlist, which the warm-cache fingerprint
+   layer and the 4-domain regression test rely on. *)
 let cache : (string, Lacr_netlist.Netlist.t) Hashtbl.t = Hashtbl.create 16
+let cache_mutex = Mutex.create ()
 
 let memo name build =
-  match Hashtbl.find_opt cache name with
-  | Some netlist -> Some netlist
-  | None ->
-    (match build () with
-    | None -> None
-    | Some netlist ->
-      Hashtbl.replace cache name netlist;
-      Some netlist)
+  Mutex.lock cache_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_mutex)
+    (fun () ->
+      match Hashtbl.find_opt cache name with
+      | Some netlist -> Some netlist
+      | None ->
+        (match build () with
+        | None -> None
+        | Some netlist ->
+          Hashtbl.replace cache name netlist;
+          Some netlist))
 
 let by_name name =
   memo name (fun () ->
@@ -75,6 +88,44 @@ let by_name name =
         match spec_of name with
         | Some spec -> Some (Synth.generate spec)
         | None -> None)
+
+(* "hier:UNITS" or "hier:UNITS:SEED" — the synthetic hierarchical
+   family for scale runs (see Synth.hier_spec). *)
+let parse_hier name =
+  match String.split_on_char ':' name with
+  | [ "hier"; units ] ->
+    (match int_of_string_opt units with
+    | Some u -> Some (Synth.hier_spec ~units:u name)
+    | None -> None)
+  | [ "hier"; units; seed ] ->
+    (match (int_of_string_opt units, int_of_string_opt seed) with
+    | Some u, Some s -> Some (Synth.hier_spec ~seed:s ~units:u name)
+    | _ -> None)
+  | _ -> None
+
+let resolve name =
+  match parse_hier name with
+  | exception Invalid_argument msg -> Error msg
+  | Some hier ->
+    (match
+       memo name (fun () ->
+           match Synth.generate_hier hier with
+           | netlist -> Some netlist
+           | exception Invalid_argument _ -> None)
+     with
+    | Some netlist -> Ok netlist
+    | None ->
+      (* Re-run outside the memo for the precise message. *)
+      (match Synth.generate_hier hier with
+      | _ -> Error (Printf.sprintf "hier circuit %s failed to memoize" name)
+      | exception Invalid_argument msg -> Error msg))
+  | None ->
+    (match by_name name with
+    | Some netlist -> Ok netlist
+    | None ->
+      Error
+        (Printf.sprintf "unknown circuit %s (not hier:UNITS[:SEED], not one of: s27 %s)" name
+           (String.concat " " table1_names)))
 
 let table1 () =
   List.map

@@ -21,7 +21,18 @@ val by_name : string -> Lacr_netlist.Netlist.t option
     Deterministic, and memoized per name: repeated calls return the
     {e same} netlist without re-running the generator (generation is a
     pure function of the name, so caching is observationally
-    invisible apart from speed). *)
+    invisible apart from speed).  The memo is mutex-guarded and safe
+    to hit from concurrent domains — the serving daemon's workers
+    resolve circuits through it; a miss generates under the lock, so
+    each name is synthesized exactly once process-wide. *)
+
+val resolve : string -> (Lacr_netlist.Netlist.t, string) result
+(** {!by_name} extended with the hierarchical scale family:
+    [resolve "hier:UNITS"] / ["hier:UNITS:SEED"] generates (and
+    memoizes, under the same mutex) {!Synth.generate_hier} of
+    {!Synth.hier_spec}.  [Error] carries a usable message for unknown
+    names and degenerate hier shapes — the circuit-resolution entry
+    point for the daemon and the CLI. *)
 
 val table1 : unit -> (string * Lacr_netlist.Netlist.t) list
 (** All Table-1 circuits, in order. *)

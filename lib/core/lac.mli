@@ -54,6 +54,7 @@ val retime :
   ?n_max:int ->
   ?max_wr:int ->
   ?reuse:bool ->
+  ?session:Lacr_retime.Min_area.compiled ->
   ?pool:Lacr_util.Pool.t ->
   ?obs:Lacr_obs.Trace.ctx ->
   Build.instance ->
@@ -63,9 +64,16 @@ val retime :
     [reuse] (default [true]) runs the warm-started compiled solver
     across rounds; [reuse:false] recompiles cold every round (the
     pre-engine behaviour, kept for benchmarking) — outcomes are
-    bit-identical either way.  [pool] (shared with the planner's
-    (W,D)/constraint stages) parallelizes the integer flip-flop
-    accounting; outcomes are pool-size independent.
+    bit-identical either way.  [session] supplies a compiled solver
+    held resident across whole runs (the serving daemon's warm
+    cache, see {!Planner.compile_solver}): the compile step is
+    skipped and the first round warm-starts from the potentials the
+    previous run left in the instance.  It must have been compiled
+    from the same graph and constraint system; outcomes are again
+    bit-identical (canonical potentials), only latency and the
+    per-round solver counters change.  [pool] (shared with the
+    planner's (W,D)/constraint stages) parallelizes the integer
+    flip-flop accounting; outcomes are pool-size independent.
 
     [clock] (default: the [obs] context's clock, i.e. the wall clock
     when observability is disabled) supplies the timestamps behind
@@ -106,6 +114,7 @@ val retime_problem :
   ?n_max:int ->
   ?max_wr:int ->
   ?reuse:bool ->
+  ?session:Lacr_retime.Min_area.compiled ->
   ?pool:Lacr_util.Pool.t ->
   ?obs:Lacr_obs.Trace.ctx ->
   Problem.t ->

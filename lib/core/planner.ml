@@ -21,6 +21,51 @@ and second = {
   lac2 : (Lac.outcome, string) result;
 }
 
+(* Structured failure for library callers that must not crash or exit
+   on a bad request — the serving daemon maps these onto stable wire
+   error codes.  [plan] keeps its historical (run, string) signature;
+   [plan_checked] and the prepared-state entry points return [error]
+   and additionally capture the two escaping exception families
+   (routing dead ends under the sanitizer, sanitizer violations). *)
+type error =
+  | Failed of string
+  | Routing_failed of { src : int; dst : int; reason : string }
+  | Sanitizer_violation of { invariant : string; detail : string }
+
+let error_code = function
+  | Failed _ -> "plan_failed"
+  | Routing_failed _ -> "routing_error"
+  | Sanitizer_violation _ -> "sanitize_violation"
+
+let error_message = function
+  | Failed msg -> msg
+  | Routing_failed { src; dst; reason } ->
+    Printf.sprintf "global routing failed from cell %d to cell %d: %s" src dst reason
+  | Sanitizer_violation { invariant; detail } ->
+    Printf.sprintf "sanitizer violation [%s]: %s" invariant detail
+
+let capture f =
+  match f () with
+  | Ok v -> Ok v
+  | Error msg -> Error (Failed msg)
+  | exception Lacr_routing.Maze.Routing_error { src; dst; reason } ->
+    Error (Routing_failed { src; dst; reason })
+  | exception Lacr_util.Sanitize.Violation { invariant; detail } ->
+    Error (Sanitizer_violation { invariant; detail })
+
+(* Everything [plan] derives from the netlist before the retiming
+   solves: the built instance plus the period analysis and the
+   constraint system generated once at T_clk.  Immutable, so a
+   resident copy can serve any number of [plan_prepared] calls. *)
+type prepared = {
+  p_netlist : Lacr_netlist.Netlist.t;
+  p_instance : Build.instance;
+  p_t_init : float;
+  p_t_min : float;
+  p_t_clk : float;
+  p_constraints : Constraints.t;
+}
+
 (* Grow each over-utilized soft block (the floorplanner "allocates
    additional space to those over-utilized soft blocks", paper §1). *)
 let growth_table (inst : Build.instance) (outcome : Lac.outcome) =
@@ -99,11 +144,23 @@ let retiming_setup ?pool ?(trace = Obs.disabled) (inst : Build.instance) =
   in
   (t_init, t_min, t_clk, constraints)
 
-let plan_with_pool ~pool ~config ~second_iteration ?(trace = Obs.disabled) instance netlist =
+let prepare_with_pool ~pool ~trace instance netlist =
   let t_init, t_min, t_clk, constraints = retiming_setup ~pool ~trace instance in
+  {
+    p_netlist = netlist;
+    p_instance = instance;
+    p_t_init = t_init;
+    p_t_min = t_min;
+    p_t_clk = t_clk;
+    p_constraints = constraints;
+  }
+
+let plan_prepared_with_pool ~pool ~second_iteration ?session ~trace prepared =
+  let { p_netlist = netlist; p_instance = instance; p_t_clk = t_clk; _ } = prepared in
+  let config = instance.Build.config in
   (match
-     ( Lac.min_area_baseline ~pool ~obs:trace instance constraints,
-       Lac.retime ~pool ~obs:trace instance constraints )
+     ( Lac.min_area_baseline ~pool ~obs:trace instance prepared.p_constraints,
+       Lac.retime ?session ~pool ~obs:trace instance prepared.p_constraints )
    with
   | Error msg, _ | _, Error msg -> Error msg
   | Ok minarea, Ok lac ->
@@ -123,7 +180,10 @@ let plan_with_pool ~pool ~config ~second_iteration ?(trace = Obs.disabled) insta
           (* The expanded floorplan changes interconnect delays; the
              original T_clk may no longer be feasible (the paper's
              s1269 case).  Generate fresh constraints at the same
-             T_clk and report infeasibility honestly. *)
+             T_clk and report infeasibility honestly.  The resident
+             [session] solver belongs to the first-iteration
+             constraint system, so the re-plan always compiles its
+             own. *)
           let g2 = instance2.Build.graph in
           let wd2 = Paths.compute ~mode:config.Config.paths_mode ~pool ~trace g2 in
           let constraints2 =
@@ -133,23 +193,68 @@ let plan_with_pool ~pool ~config ~second_iteration ?(trace = Obs.disabled) insta
           let lac2 = Lac.retime ~pool ~obs:trace instance2 constraints2 in
           Some (Ok { instance2; lac2 })
     in
-    Ok { instance; t_init; t_min; t_clk; minarea; lac; second })
+    Ok
+      {
+        instance;
+        t_init = prepared.p_t_init;
+        t_min = prepared.p_t_min;
+        t_clk;
+        minarea;
+        lac;
+        second;
+      })
 
-let plan ?(config = Config.default) ?(second_iteration = true) ?(trace = Obs.disabled) netlist =
-  (* [sanitize] widens, never narrows: LACR_SANITIZE=1 in the
-     environment stays in force even when the config says [false]. *)
+(* [sanitize] widens, never narrows: LACR_SANITIZE=1 in the
+   environment stays in force even when the config says [false]. *)
+let sanitize_scope config f =
   Lacr_util.Sanitize.with_enabled
     (Lacr_util.Sanitize.enabled () || config.Config.sanitize)
-  @@ fun () ->
+    f
+
+let pool_size config = Lacr_util.Pool.resolve_size ~requested:config.Config.domains
+
+let plan ?(config = Config.default) ?(second_iteration = true) ?(trace = Obs.disabled) netlist =
+  sanitize_scope config @@ fun () ->
   Obs.with_span trace ~cat:"core" "plan" @@ fun () ->
   (* One pool for the whole run: global routing, the (W,D) matrices,
      constraint generation and the LAC flip-flop accounting of both
      planning iterations share its worker domains.  Every stage is
      bit-deterministic in the pool size, so plans are reproducible
      under any --domains / LACR_DOMAINS setting. *)
-  Lacr_util.Pool.with_pool
-    ~size:(Lacr_util.Pool.resolve_size ~requested:config.Config.domains)
-    (fun pool ->
+  Lacr_util.Pool.with_pool ~size:(pool_size config) (fun pool ->
       match Build.build ~config ~pool ~trace netlist with
       | Error msg -> Error msg
-      | Ok instance -> plan_with_pool ~pool ~config ~second_iteration ~trace instance netlist)
+      | Ok instance ->
+        plan_prepared_with_pool ~pool ~second_iteration ~trace
+          (prepare_with_pool ~pool ~trace instance netlist))
+
+let plan_checked ?config ?second_iteration ?trace netlist =
+  capture (fun () -> plan ?config ?second_iteration ?trace netlist)
+
+(* The split pipeline: [prepare] does everything up to (and including)
+   constraint generation, [plan_prepared] runs the retiming solves and
+   the optional expansion re-plan.  Each owns a fresh pool for its
+   stage — every stage is bit-deterministic in the pool size, so
+   [prepare |> plan_prepared] equals [plan] field for field; the split
+   only exists so a resident [prepared] (and optionally a resident
+   compiled solver) can be reused across requests. *)
+let prepare ?(config = Config.default) ?(trace = Obs.disabled) netlist =
+  capture @@ fun () ->
+  sanitize_scope config @@ fun () ->
+  Obs.with_span trace ~cat:"core" "plan.prepare" @@ fun () ->
+  Lacr_util.Pool.with_pool ~size:(pool_size config) (fun pool ->
+      match Build.build ~config ~pool ~trace netlist with
+      | Error msg -> Error msg
+      | Ok instance -> Ok (prepare_with_pool ~pool ~trace instance netlist))
+
+let plan_prepared ?(second_iteration = true) ?session ?(trace = Obs.disabled) prepared =
+  let config = prepared.p_instance.Build.config in
+  capture @@ fun () ->
+  sanitize_scope config @@ fun () ->
+  Obs.with_span trace ~cat:"core" "plan.solve" @@ fun () ->
+  Lacr_util.Pool.with_pool ~size:(pool_size config) (fun pool ->
+      plan_prepared_with_pool ~pool ~second_iteration ?session ~trace prepared)
+
+let compile_solver prepared =
+  Lacr_retime.Min_area.compile (Problem.of_instance prepared.p_instance).Problem.graph
+    prepared.p_constraints

@@ -32,6 +32,43 @@ and second = {
           become infeasible after a drastic floorplan change *)
 }
 
+(** Structured planning failure, for callers that must keep running on
+    a bad request (the serving daemon, long-lived embedders).  Unlike
+    the [string] errors of {!plan}, this also captures the two
+    exception families a planning run can raise — sanitizer violations
+    and routing dead ends — so no pipeline entry point below lets an
+    exception escape. *)
+type error =
+  | Failed of string  (** ordinary pipeline failure, human-readable *)
+  | Routing_failed of { src : int; dst : int; reason : string }
+      (** {!Lacr_routing.Maze.Routing_error}: the global router could
+          not connect [src]→[dst] *)
+  | Sanitizer_violation of { invariant : string; detail : string }
+      (** {!Lacr_util.Sanitize.Violation}: an internal invariant check
+          failed (only reachable with the sanitizer enabled) *)
+
+val error_code : error -> string
+(** Stable machine-readable code: ["plan_failed"], ["routing_error"]
+    or ["sanitize_violation"] — the wire protocol's error vocabulary;
+    never extended without a DESIGN.md §10 note. *)
+
+val error_message : error -> string
+(** Human-readable rendering, one line. *)
+
+(** Everything {!plan} derives from a netlist before the retiming
+    solves: the built instance, the period analysis ([t_init]/[t_min]/
+    the frozen [t_clk]) and the constraint system generated once at
+    [t_clk].  Immutable once built — a resident copy (the daemon's
+    warm cache) can serve any number of {!plan_prepared} calls. *)
+type prepared = {
+  p_netlist : Lacr_netlist.Netlist.t;
+  p_instance : Build.instance;
+  p_t_init : float;
+  p_t_min : float;
+  p_t_clk : float;
+  p_constraints : Lacr_retime.Constraints.t;
+}
+
 val plan :
   ?config:Config.t ->
   ?second_iteration:bool ->
@@ -49,6 +86,54 @@ val plan :
     optional [plan.second] re-plan.  Counter and histogram aggregates
     are bit-identical for every [config.domains]; enabling tracing
     changes no field of the returned {!run}. *)
+
+val plan_checked :
+  ?config:Config.t ->
+  ?second_iteration:bool ->
+  ?trace:Lacr_obs.Trace.ctx ->
+  Lacr_netlist.Netlist.t ->
+  (run, error) result
+(** {!plan} with structured errors and no escaping exceptions: the
+    daemon-safe single-shot entry point.  The successful [run] is
+    field-for-field the one {!plan} returns. *)
+
+val prepare :
+  ?config:Config.t ->
+  ?trace:Lacr_obs.Trace.ctx ->
+  Lacr_netlist.Netlist.t ->
+  (prepared, error) result
+(** The front half of {!plan}: build the instance, measure the
+    periods, freeze [t_clk], generate the constraints.  Owns a fresh
+    worker pool for the duration of the call (size from
+    [config.domains]); wrapped in a [plan.prepare] span. *)
+
+val plan_prepared :
+  ?second_iteration:bool ->
+  ?session:Lacr_retime.Min_area.compiled ->
+  ?trace:Lacr_obs.Trace.ctx ->
+  prepared ->
+  (run, error) result
+(** The back half: both retiming solves and the optional expansion
+    re-plan, under a [plan.solve] span.  [prepare |> plan_prepared]
+    equals {!plan} field for field — every stage is bit-deterministic
+    in the pool size, so the split (and any reuse of the [prepared]
+    across calls) is observationally invisible apart from latency.
+
+    [session] passes a resident compiled flow solver (from
+    {!compile_solver}) to the first-iteration LAC run: the compile
+    step is skipped and the solve warm-starts from whatever potentials
+    the previous call through the same [session] left behind.
+    Canonical potentials make the labelling — and hence the whole
+    [run] — identical with or without it; only the solver counters and
+    latency move.  The second-iteration re-plan never uses [session]
+    (its constraint system is fresh). *)
+
+val compile_solver : prepared -> (Lacr_retime.Min_area.compiled, string) result
+(** Compile the constraint system of a [prepared] into a reusable flow
+    solver, for threading through {!plan_prepared}[ ~session] — the
+    cross-request warm-start of the serving daemon's cache.  One
+    [session] must only ever be used by one call at a time (the
+    compiled solver is internally mutable). *)
 
 val growth_for : Build.instance -> Lac.outcome -> string -> float
 (** Soft-block growth factors for the second iteration: proportional

@@ -13,77 +13,92 @@ type t =
 
 let of_int i = Num (float_of_int i)
 
-(* --- emitter --- *)
+(* --- emitter ---
 
-let escape_into buf s =
-  Buffer.add_char buf '"';
+   The emitter is written against an abstract character sink so the
+   same traversal serves both the in-memory string path (Buffer sink)
+   and the incremental channel path the serving daemon uses to stream
+   large responses without materializing them: [emit_to_channel]
+   writes each token straight into the [out_channel]'s own buffer. *)
+
+type sink = {
+  put_s : string -> unit;
+  put_c : char -> unit;
+}
+
+let buffer_sink buf = { put_s = Buffer.add_string buf; put_c = Buffer.add_char buf }
+let channel_sink oc = { put_s = output_string oc; put_c = output_char oc }
+
+let escape_into sink s =
+  sink.put_c '"';
   String.iter
     (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
+      | '"' -> sink.put_s "\\\""
+      | '\\' -> sink.put_s "\\\\"
+      | '\n' -> sink.put_s "\\n"
+      | '\r' -> sink.put_s "\\r"
+      | '\t' -> sink.put_s "\\t"
+      | c when Char.code c < 0x20 -> sink.put_s (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> sink.put_c c)
     s;
-  Buffer.add_char buf '"'
+  sink.put_c '"'
 
-let number_into buf x =
-  if Float.is_integer x && abs_float x < 1e15 then
-    Buffer.add_string buf (Printf.sprintf "%.0f" x)
+let number_into sink x =
+  if Float.is_integer x && abs_float x < 1e15 then sink.put_s (Printf.sprintf "%.0f" x)
   else if not (Float.is_finite x) then
     (* NaN/inf are not JSON; emit null rather than corrupt the file. *)
-    Buffer.add_string buf "null"
-  else Buffer.add_string buf (Printf.sprintf "%.6f" x)
+    sink.put_s "null"
+  else sink.put_s (Printf.sprintf "%.6f" x)
 
-let rec emit buf ~indent ~level v =
-  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
-  let newline () = if indent then Buffer.add_char buf '\n' in
+let rec emit sink ~indent ~level v =
+  let pad n = if indent then sink.put_s (String.make (2 * n) ' ') in
+  let newline () = if indent then sink.put_c '\n' in
   match v with
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Num x -> number_into buf x
-  | Str s -> escape_into buf s
-  | Arr [] -> Buffer.add_string buf "[]"
+  | Null -> sink.put_s "null"
+  | Bool b -> sink.put_s (if b then "true" else "false")
+  | Num x -> number_into sink x
+  | Str s -> escape_into sink s
+  | Arr [] -> sink.put_s "[]"
   | Arr items ->
-    Buffer.add_char buf '[';
+    sink.put_c '[';
     newline ();
     List.iteri
       (fun i item ->
         if i > 0 then begin
-          Buffer.add_char buf ',';
+          sink.put_c ',';
           newline ()
         end;
         pad (level + 1);
-        emit buf ~indent ~level:(level + 1) item)
+        emit sink ~indent ~level:(level + 1) item)
       items;
     newline ();
     pad level;
-    Buffer.add_char buf ']'
-  | Obj [] -> Buffer.add_string buf "{}"
+    sink.put_c ']'
+  | Obj [] -> sink.put_s "{}"
   | Obj fields ->
-    Buffer.add_char buf '{';
+    sink.put_c '{';
     newline ();
     List.iteri
       (fun i (k, item) ->
         if i > 0 then begin
-          Buffer.add_char buf ',';
+          sink.put_c ',';
           newline ()
         end;
         pad (level + 1);
-        escape_into buf k;
-        Buffer.add_string buf (if indent then ": " else ":");
-        emit buf ~indent ~level:(level + 1) item)
+        escape_into sink k;
+        sink.put_s (if indent then ": " else ":");
+        emit sink ~indent ~level:(level + 1) item)
       fields;
     newline ();
     pad level;
-    Buffer.add_char buf '}'
+    sink.put_c '}'
+
+let emit_to_buffer ?(indent = false) buf v = emit (buffer_sink buf) ~indent ~level:0 v
+let emit_to_channel ?(indent = false) oc v = emit (channel_sink oc) ~indent ~level:0 v
 
 let to_string ?(indent = false) v =
   let buf = Buffer.create 4096 in
-  emit buf ~indent ~level:0 v;
+  emit_to_buffer ~indent buf v;
   Buffer.contents buf
 
 let write_file path v =
@@ -91,7 +106,7 @@ let write_file path v =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (to_string ~indent:true v);
+      emit_to_channel ~indent:true oc v;
       output_char oc '\n')
 
 (* --- parser --- *)

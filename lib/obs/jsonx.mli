@@ -17,6 +17,16 @@ val of_int : int -> t
 val to_string : ?indent:bool -> t -> string
 (** [indent] (default false) pretty-prints with two-space indents. *)
 
+val emit_to_buffer : ?indent:bool -> Buffer.t -> t -> unit
+(** Append the document to [buf]; byte-identical to appending
+    {!to_string} of the same document. *)
+
+val emit_to_channel : ?indent:bool -> out_channel -> t -> unit
+(** Stream the document into a channel token by token, without
+    materializing it as one string — the serving daemon's emitter for
+    large responses.  Byte-identical to writing {!to_string}.  Does not
+    flush. *)
+
 val write_file : string -> t -> unit
 
 val parse : string -> (t, string) result

@@ -89,7 +89,14 @@ let disabled = Off
 
 let max_slots = Lacr_util.Pool.max_slots
 
-let create ?(clock = Unix.gettimeofday) () =
+(* The repo's one wall-clock read.  [create]'s default clock and the
+   disabled-context fallback of [clock_of] both alias this binding, so
+   exactly one line in the tree touches the ambient clock — everything
+   else (planner timings, the serving daemon's latency measurements)
+   injects a clock or routes through [clock_of]. *)
+let wall_clock () = Unix.gettimeofday ()
+
+let create ?(clock = wall_clock) () =
   let slots =
     Array.init max_slots (fun _ -> { events = []; stack = []; last_ts = 0.0 })
   in
@@ -109,7 +116,7 @@ let enabled = function Off -> false | On _ -> true
    (e.g. [Lac.exec_seconds]): the injected clock when the context is
    live, the wall clock otherwise.  This is the repo's single
    clock-injection point — everything else routes through it. *)
-let clock_of = function Off -> Unix.gettimeofday | On state -> state.clock
+let clock_of = function Off -> wall_clock | On state -> state.clock
 
 (* Sanitizer: exported data is only meaningful once every span is
    closed; an unbalanced stack means a with_span-less begin/end pair

@@ -1,0 +1,54 @@
+(* The daemon's warm-state store: prepared planning pipelines and their
+   compiled flow solvers, keyed by request fingerprint.
+
+   Checkout is exclusive: taking an entry removes it from the table, so
+   at most one request at a time can touch a given compiled solver (it
+   is internally mutable — its potentials are exactly the warm-start
+   state).  The finished request publishes the entry back; a second
+   concurrent request for the same fingerprint simply misses and
+   computes fresh state, which is correct (results are bit-identical
+   warm or cold) if occasionally wasteful.  Keyed lookups only — no
+   table iteration — so cache state can never leak into result
+   ordering. *)
+
+type entry = {
+  prepared : Lacr_core.Planner.prepared;
+  solver : Lacr_retime.Min_area.compiled;
+}
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 16; hits = 0; misses = 0 }
+
+let checkout t key =
+  Mutex.lock t.mutex;
+  let entry = Hashtbl.find_opt t.table key in
+  (match entry with
+  | Some _ ->
+    Hashtbl.remove t.table key;
+    t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
+  Mutex.unlock t.mutex;
+  entry
+
+let publish t key entry =
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.table key entry;
+  Mutex.unlock t.mutex
+
+let counts t =
+  Mutex.lock t.mutex;
+  let c = (t.hits, t.misses) in
+  Mutex.unlock t.mutex;
+  c
+
+let resident t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n

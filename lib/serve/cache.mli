@@ -1,0 +1,34 @@
+(** Warm-state cache of the serving daemon: resident
+    {!Lacr_core.Planner.prepared} pipelines and their compiled flow
+    solvers, keyed by request fingerprint (the circuit name — the
+    daemon's configuration is fixed for its lifetime).
+
+    Entries are handed out {e exclusively}: {!checkout} removes the
+    entry, so one request at a time owns the (internally mutable)
+    compiled solver; {!publish} returns it for the next request.
+    Concurrent requests for the same fingerprint miss and recompute —
+    correct, because warm and cold plans are bit-identical.  Safe to
+    call from any number of domains. *)
+
+type entry = {
+  prepared : Lacr_core.Planner.prepared;
+  solver : Lacr_retime.Min_area.compiled;
+}
+
+type t
+
+val create : unit -> t
+
+val checkout : t -> string -> entry option
+(** Take exclusive ownership of the entry for this fingerprint, if
+    resident.  Counts a hit or a miss. *)
+
+val publish : t -> string -> entry -> unit
+(** Return (or first-install) an entry.  Call only after the solver is
+    quiescent — no in-flight solve may still reference it. *)
+
+val counts : t -> int * int
+(** [(hits, misses)] so far. *)
+
+val resident : t -> int
+(** Entries currently in the table (checked-out entries excluded). *)

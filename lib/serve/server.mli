@@ -1,0 +1,39 @@
+(** The lacrd server: a listening Unix-domain or loopback-TCP socket,
+    one connection thread per client, and a fixed set of worker
+    domains draining a bounded job queue.
+
+    Request routing: [plan] and [stats] ride the queue to the worker
+    domains; [health], [metrics] and [shutdown] are answered inline by
+    the connection thread so they stay responsive under full load.
+    When [queue_depth] jobs are already waiting, further queued
+    requests are rejected immediately with the [overloaded] code —
+    backpressure is explicit, the queue never grows without bound. *)
+
+type options = {
+  endpoint : Protocol.endpoint;
+  workers : int;  (** worker domains; clamped to at least 1 *)
+  queue_depth : int;  (** max jobs waiting (in-flight jobs excluded) *)
+}
+
+val default_options : options
+(** [lacrd.sock] in the current directory, 2 workers, depth 8. *)
+
+type t
+
+val start : ?options:options -> Service.t -> t
+(** Bind and listen, spawn the worker domains, ignore SIGPIPE.
+    Serving does not begin until {!run}.  @raise Unix.Unix_error when
+    the endpoint cannot be bound. *)
+
+val run : t -> unit
+(** The accept loop; blocks until shutdown (a [shutdown] request or
+    {!stop}), then drains the queue, joins the workers, unblocks and
+    joins the connection threads, and removes the Unix socket file. *)
+
+val stop : t -> unit
+(** Initiate shutdown from outside the protocol (e.g. a signal
+    handler or a test): new work is rejected with [shutting_down],
+    the listener closes, and {!run} returns once drained. *)
+
+val endpoint : t -> Protocol.endpoint
+(** The bound endpoint — for [Tcp 0], carries the actual port. *)

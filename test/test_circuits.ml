@@ -84,9 +84,48 @@ let prop_generated_counts_match_spec =
       && Netlist.num_gates n = spec.Synth.n_gates
       && Netlist.num_outputs n = min spec.Synth.n_outputs spec.Synth.n_gates)
 
+(* The memo behind Suite.by_name/resolve is hit concurrently by the
+   serving daemon's worker domains; hammer it from 4 domains over a
+   mixed name set (cache misses on first touch, hits after) and check
+   every domain saw the physically identical netlist per name — a
+   race would either crash the Hashtbl or hand out duplicate
+   generator runs. *)
+let test_suite_memo_concurrent () =
+  let names = [| "s27"; "s298"; "s386"; "hier:300" |] in
+  let rounds = 25 in
+  let per_domain = Array.length names * rounds in
+  let results = Array.make (4 * per_domain) None in
+  let worker d () =
+    for i = 0 to per_domain - 1 do
+      let name = names.(i mod Array.length names) in
+      match Lacr_circuits.Suite.resolve name with
+      | Ok netlist -> results.((d * per_domain) + i) <- Some (name, netlist)
+      | Error msg -> Alcotest.failf "resolve %s failed under concurrency: %s" name msg
+    done
+  in
+  let domains = List.init 3 (fun d -> Domain.spawn (worker (d + 1))) in
+  worker 0 ();
+  List.iter Domain.join domains;
+  Array.iter
+    (fun name ->
+      let witness = ref None in
+      Array.iter
+        (function
+          | Some (n, netlist) when String.equal n name ->
+            (match !witness with
+            | None -> witness := Some netlist
+            | Some w ->
+              Alcotest.(check bool)
+                (name ^ " physically identical across domains")
+                true (w == netlist))
+          | Some _ | None -> ())
+        results)
+    names
+
 let suite =
   [
     Alcotest.test_case "s27 statistics" `Quick test_s27_statistics;
+    Alcotest.test_case "suite memo concurrent domains" `Quick test_suite_memo_concurrent;
     Alcotest.test_case "s27 seqview" `Quick test_s27_seqview;
     Alcotest.test_case "suite names" `Quick test_suite_names;
     Alcotest.test_case "suite matches published stats" `Quick test_suite_matches_published_stats;

@@ -118,6 +118,30 @@ let prop_round_trip_indented =
       | Error msg -> QCheck2.Test.fail_reportf "re-parse failed: %s" msg
       | Ok v' -> String.equal (J.to_string v) (J.to_string v'))
 
+(* The incremental emitters must be byte-identical to the string
+   emitter, in both layouts: the daemon streams responses through
+   [emit_to_channel] and the loadgen re-parses them, so any divergence
+   would show up as a spurious bit-identity failure. *)
+let prop_incremental_emitters =
+  QCheck2.Test.make ~count:200 ~name:"emit_to_buffer/emit_to_channel match to_string" gen_doc
+    (fun v ->
+      List.for_all
+        (fun indent ->
+          let reference = J.to_string ~indent v in
+          let buf = Buffer.create 64 in
+          J.emit_to_buffer ~indent buf v;
+          let via_buffer = Buffer.contents buf in
+          let path = Filename.temp_file "jsonx_emit" ".json" in
+          let via_channel =
+            Fun.protect
+              ~finally:(fun () -> Sys.remove path)
+              (fun () ->
+                Out_channel.with_open_bin path (fun oc -> J.emit_to_channel ~indent oc v);
+                In_channel.with_open_bin path In_channel.input_all)
+          in
+          String.equal reference via_buffer && String.equal reference via_channel)
+        [ false; true ])
+
 let suite =
   [
     Alcotest.test_case "string escapes" `Quick test_string_escapes;
@@ -127,4 +151,5 @@ let suite =
     Alcotest.test_case "number edge cases" `Quick test_numbers;
     QCheck_alcotest.to_alcotest prop_round_trip;
     QCheck_alcotest.to_alcotest prop_round_trip_indented;
+    QCheck_alcotest.to_alcotest prop_incremental_emitters;
   ]

@@ -18,5 +18,6 @@ let () =
       ("obs", Test_obs.suite);
       ("jsonx", Test_jsonx.suite);
       ("sanitize", Test_sanitize.suite);
+      ("serve", Test_serve.suite);
       ("lint", Test_lint.suite);
     ]

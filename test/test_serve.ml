@@ -1,0 +1,235 @@
+(* Serving-daemon tests, against a real in-process server on a
+   temp-dir Unix socket: a seeded soak (mixed requests over concurrent
+   connections, byte-identity of warm and cold results against fresh
+   single-shot plans, metrics aggregate = sum of per-request echoes),
+   a deterministic queue-full backpressure drill (stall_ms holds the
+   single worker, health bypasses the queue, the overflow request is
+   rejected with `overloaded`), and the structured error paths. *)
+
+module Jsonx = Lacr_obs.Jsonx
+module Protocol = Lacr_serve.Protocol
+module Service = Lacr_serve.Service
+module Server = Lacr_serve.Server
+module Loadgen = Lacr_serve.Loadgen
+
+let clock = Lacr_obs.Trace.clock_of Lacr_obs.Trace.disabled
+
+let with_server ?(workers = 2) ?(queue_depth = 4) f =
+  let path = Filename.temp_file "lacrd_test" ".sock" in
+  Sys.remove path;
+  let service = Service.create () in
+  let server =
+    Server.start
+      ~options:{ Server.endpoint = Protocol.Unix_path path; workers; queue_depth }
+      service
+  in
+  let runner = Domain.spawn (fun () -> Server.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Domain.join runner;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path service)
+
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let send conn ~id meth params =
+  Protocol.write_message conn.oc (Protocol.request_json { Protocol.id; meth; params })
+
+let recv conn =
+  match Protocol.read_message conn.ic with
+  | Ok doc -> doc
+  | Error msg -> Alcotest.failf "read_message: %s" msg
+
+let call conn ~id meth params =
+  send conn ~id meth params;
+  recv conn
+
+let body_int body key =
+  match Option.bind (Jsonx.member key body) Jsonx.to_float with
+  | Some f -> int_of_float f
+  | None -> Alcotest.failf "response body misses integer %s" key
+
+let expect_ok doc =
+  match Protocol.ok_of doc with
+  | Some body -> body
+  | None -> Alcotest.failf "expected ok response, got %s" (Jsonx.to_string doc)
+
+let expect_error ~code doc =
+  match Protocol.error_of doc with
+  | Some (c, _) when String.equal c code -> ()
+  | Some (c, msg) -> Alcotest.failf "expected error %s, got %s (%s)" code c msg
+  | None -> Alcotest.failf "expected error %s, got ok: %s" code (Jsonx.to_string doc)
+
+(* --- the soak: seeded mix, concurrent connections, full verify --- *)
+
+let test_soak () =
+  with_server ~workers:2 ~queue_depth:16 @@ fun path service ->
+  let options =
+    {
+      Loadgen.endpoint = Protocol.Unix_path path;
+      connections = 3;
+      requests = 200;
+      seed = 20030310;
+      mix = [ "s27"; "s27"; "s27"; "s27"; "s298" ];
+      verify = true;
+      second_iteration = true;
+      wait_s = 5.0;
+      shutdown_after = false;
+    }
+  in
+  match Loadgen.run options with
+  | Error msg -> Alcotest.failf "loadgen: %s" msg
+  | Ok summary ->
+    Alcotest.(check int) "all requests answered ok" 200 summary.Loadgen.ok;
+    Alcotest.(check (list (pair string int))) "no failures" [] summary.Loadgen.failed;
+    Alcotest.(check int) "zero result mismatches" 0 summary.Loadgen.result_mismatches;
+    Alcotest.(check int) "metrics aggregate equals echo sums" 0
+      summary.Loadgen.metrics_mismatches;
+    Alcotest.(check int) "both circuits verified against single-shot plans" 2
+      summary.Loadgen.verified_circuits;
+    Alcotest.(check bool) "every repeated fingerprint hit the warm path" true
+      (summary.Loadgen.cache_hits >= 190);
+    Alcotest.(check bool) "each circuit missed at least once" true
+      (summary.Loadgen.cache_misses >= 2);
+    let hits, misses = Service.cache_counts service in
+    Alcotest.(check int) "service hit counter" summary.Loadgen.cache_hits hits;
+    Alcotest.(check int) "service miss counter" summary.Loadgen.cache_misses misses;
+    Alcotest.(check bool) "summary passes" true (Loadgen.passed summary)
+
+(* --- deterministic backpressure drill --- *)
+
+let poll_health conn ~until ~what =
+  let deadline = clock () +. 10.0 in
+  let rec go id =
+    let body = expect_ok (call conn ~id "health" (Jsonx.Obj [])) in
+    if until body then body
+    else if clock () > deadline then Alcotest.failf "health never reached: %s" what
+    else begin
+      Unix.sleepf 0.02;
+      go (id + 1)
+    end
+  in
+  go 1000
+
+let stall_plan ~stall_ms =
+  Jsonx.Obj
+    [
+      ("circuit", Jsonx.Str "s27");
+      ("stall_ms", Jsonx.of_int stall_ms);
+      ("second_iteration", Jsonx.Bool false);
+    ]
+
+let test_backpressure () =
+  with_server ~workers:1 ~queue_depth:2 @@ fun path _service ->
+  let probe = connect path in
+  (* Warm the cache so the stalled requests solve in milliseconds. *)
+  let warmup =
+    expect_ok
+      (call probe ~id:1 "plan"
+         (Jsonx.Obj
+            [ ("circuit", Jsonx.Str "s27"); ("second_iteration", Jsonx.Bool false) ]))
+  in
+  (match Option.bind (Jsonx.member "cache" warmup) Jsonx.to_str with
+  | Some "miss" -> ()
+  | other -> Alcotest.failf "warm-up should miss, got %s" (Option.value other ~default:"?"));
+  (* Hold the only worker... *)
+  let holder = connect path in
+  send holder ~id:2 "plan" (stall_plan ~stall_ms:1500);
+  let _ =
+    poll_health probe ~what:"worker holding the stalled request"
+      ~until:(fun b -> body_int b "in_flight" = 1)
+  in
+  (* ...fill the queue from two more connections... *)
+  let filler_a = connect path in
+  let filler_b = connect path in
+  send filler_a ~id:3 "plan" (stall_plan ~stall_ms:50);
+  send filler_b ~id:4 "plan" (stall_plan ~stall_ms:50);
+  let _ =
+    poll_health probe ~what:"queue holding both fillers"
+      ~until:(fun b -> body_int b "queued" = 2)
+  in
+  (* ...and the next request must bounce immediately, while health
+     (which bypasses the queue) keeps answering. *)
+  let overflow = connect path in
+  let t0 = clock () in
+  expect_error ~code:Protocol.code_overloaded
+    (call overflow ~id:5 "plan" (stall_plan ~stall_ms:0));
+  Alcotest.(check bool) "rejection was immediate, not queued" true (clock () -. t0 < 1.0);
+  let health =
+    poll_health probe ~what:"rejection counted" ~until:(fun b -> body_int b "rejected" >= 1)
+  in
+  Alcotest.(check int) "queue depth reported" 2 (body_int health "queue_depth");
+  (* Everyone queued before the overflow still gets a good answer. *)
+  List.iter
+    (fun conn ->
+      let body = expect_ok (recv conn) in
+      match Option.bind (Jsonx.member "cache" body) Jsonx.to_str with
+      | Some "hit" -> ()
+      | _ -> Alcotest.fail "stalled request should have hit the warm cache")
+    [ holder; filler_a; filler_b ];
+  List.iter close [ probe; holder; filler_a; filler_b; overflow ]
+
+(* --- structured errors on the wire --- *)
+
+let test_errors () =
+  with_server @@ fun path _service ->
+  let conn = connect path in
+  expect_error ~code:Protocol.code_unknown_circuit
+    (call conn ~id:1 "plan" (Jsonx.Obj [ ("circuit", Jsonx.Str "s9999") ]));
+  expect_error ~code:Protocol.code_bad_request (call conn ~id:2 "plan" (Jsonx.Obj []));
+  expect_error ~code:Protocol.code_unknown_method (call conn ~id:3 "frobnicate" (Jsonx.Obj []));
+  expect_error ~code:Protocol.code_unknown_circuit
+    (call conn ~id:4 "stats" (Jsonx.Obj [ ("circuit", Jsonx.Str "hier:1") ]));
+  (* An unparseable line answers with id: null instead of dropping the
+     connection. *)
+  output_string conn.oc "this is not json\n";
+  flush conn.oc;
+  let doc = recv conn in
+  expect_error ~code:Protocol.code_bad_request doc;
+  Alcotest.(check bool) "bad request has null id" true (Protocol.response_id doc = None);
+  (* The connection is still usable afterwards. *)
+  let stats = expect_ok (call conn ~id:5 "stats" (Jsonx.Obj [ ("circuit", Jsonx.Str "s27") ])) in
+  Alcotest.(check int) "s27 units" 15 (body_int stats "units");
+  Alcotest.(check int) "s27 registers" 3 (body_int stats "registers");
+  let metrics = expect_ok (call conn ~id:6 "metrics" (Jsonx.Obj [])) in
+  (match Lacr_obs.Export.validate_metrics_string ~csv:false (Jsonx.to_string metrics) with
+  | Ok n -> Alcotest.(check bool) "metrics validate with counters" true (n > 0)
+  | Error msg -> Alcotest.failf "metrics do not validate: %s" msg);
+  close conn
+
+(* --- shutdown over the wire terminates run cleanly --- *)
+
+let test_shutdown () =
+  let path = Filename.temp_file "lacrd_test" ".sock" in
+  Sys.remove path;
+  let service = Service.create () in
+  let server =
+    Server.start
+      ~options:{ Server.endpoint = Protocol.Unix_path path; workers = 1; queue_depth = 2 }
+      service
+  in
+  let runner = Domain.spawn (fun () -> Server.run server) in
+  let conn = connect path in
+  let body = expect_ok (call conn ~id:1 "shutdown" (Jsonx.Obj [])) in
+  (match Jsonx.member "stopping" body with
+  | Some (Jsonx.Bool true) -> ()
+  | _ -> Alcotest.fail "shutdown should acknowledge stopping");
+  close conn;
+  Domain.join runner;
+  Alcotest.(check bool) "socket file removed on shutdown" false (Sys.file_exists path)
+
+let suite =
+  [
+    Alcotest.test_case "wire errors and stats/metrics" `Quick test_errors;
+    Alcotest.test_case "queue-full backpressure drill" `Quick test_backpressure;
+    Alcotest.test_case "shutdown drains and exits" `Quick test_shutdown;
+    Alcotest.test_case "soak: 200 mixed requests, verified" `Slow test_soak;
+  ]
